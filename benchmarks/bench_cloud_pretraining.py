@@ -1,0 +1,58 @@
+"""E4 — Cloud pre-training of the initial model (paper Sections 3.2, 4.1.2).
+
+Paper setting: five activities (*Drive, E-scooter, Run, Still, Walk*),
+~200k one-second records, 80 statistical features, a Siamese FC network —
+producing an initial model accurate enough to bootstrap every Edge device.
+
+This bench pre-trains on the benchmark campaign (scaled down from 200k to
+1.2k windows) and reports train accuracy and *new-user* accuracy — the
+quantity that matters for an Edge install, measured on a user the campaign
+never saw.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CloudInitializer, NCMClassifier
+from repro.eval import accuracy, confusion_matrix, print_table
+
+from conftest import bench_cloud_config
+
+
+def test_bench_pretrain_accuracy(benchmark, bench_scenario):
+    campaign = bench_scenario.campaign
+
+    def pretrain():
+        cloud = CloudInitializer(bench_cloud_config(), rng=99)
+        return cloud.pretrain(campaign)
+
+    package, report = benchmark.pedantic(pretrain, rounds=1, iterations=1)
+
+    # Held-out user evaluation.
+    pipeline = package.pipeline
+    test = bench_scenario.base_test
+    feats = pipeline.process_windows(test.windows)
+    ncm = NCMClassifier().fit_from_support_set(
+        package.embedder, package.support_set
+    )
+    pred = ncm.predict(package.embedder.embed(feats))
+    new_user_acc = accuracy(test.labels, pred)
+
+    matrix = confusion_matrix(test.labels, pred, test.n_classes)
+    rows = [
+        [name] + matrix[i].tolist()
+        for i, name in enumerate(test.class_names)
+    ]
+    print_table(
+        ["true \\ pred"] + list(test.class_names),
+        rows,
+        title="E4: new-user confusion matrix after Cloud pre-training",
+    )
+    print(f"campaign windows: {report.n_train_windows}")
+    print(f"train accuracy:   {report.train_accuracy:.3f}")
+    print(f"new-user accuracy: {new_user_acc:.3f}")
+    print(f"model parameters: {report.n_parameters}")
+
+    assert report.train_accuracy > 0.95
+    assert new_user_acc > 0.85
+    assert report.history.total[-1] < report.history.total[0]

@@ -1,0 +1,90 @@
+"""E5 — Cloud-based vs Edge-based architecture (paper Figure 1, Section 1).
+
+Paper claims: the Cloud-based approach suffers (i) high latency from
+User-Cloud communication and (iii) lower privacy from the data transfer;
+the Edge-based approach answers with local millisecond inference and zero
+Edge-to-Cloud user-data transfer.
+
+Regenerates the comparison as a table: per-window end-to-end inference
+latency (Wi-Fi and 4G links for the Cloud path) and user bytes uploaded
+per hour of continuous 1 Hz inference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NetworkLink, PrivacyGuard, TYPICAL_4G, TYPICAL_WIFI
+from repro.eval import CloudClassifier, accuracy, print_table
+
+
+@pytest.fixture(scope="module")
+def cloud_classifier(bench_scenario):
+    pipeline = bench_scenario.package.pipeline
+    feats = pipeline.process_windows(bench_scenario.campaign.windows)
+    clf = CloudClassifier(hidden_dims=(256, 128), epochs=30, rng=4)
+    clf.train(feats, bench_scenario.campaign.labels,
+              bench_scenario.campaign.class_names)
+    return clf
+
+
+def test_bench_cloud_vs_edge_latency_and_privacy(
+    benchmark, bench_scenario, cloud_classifier
+):
+    pipeline = bench_scenario.package.pipeline
+    edge = bench_scenario.fresh_edge(rng=3)
+    windows = bench_scenario.base_test.windows[:40]
+    labels = bench_scenario.base_test.labels[:40]
+
+    # --- Edge path: everything local, wall-clock measured. ----------- #
+    edge_latencies = []
+    for window in windows:
+        result = edge.infer_window(window)
+        edge_latencies.append(result.latency_ms)
+    edge_pred = edge.infer_features(pipeline.process_windows(windows))
+    edge_acc = accuracy(labels, edge_pred)
+
+    # --- Cloud path: upload raw window, classify, download. ---------- #
+    def cloud_run(link_profile):
+        guard = PrivacyGuard(enforce=False)
+        link = NetworkLink(**link_profile, rng=11)
+        latencies, preds = [], []
+        for window in windows:
+            features = pipeline.process_window(window)
+            outcome = cloud_classifier.infer_remote(
+                window, features, link, guard
+            )
+            latencies.append(outcome.total_ms)
+            preds.append(outcome.label)
+        return latencies, np.asarray(preds), guard
+
+    wifi_lat, wifi_pred, wifi_guard = cloud_run(TYPICAL_WIFI)
+    lte_lat, lte_pred, lte_guard = cloud_run(TYPICAL_4G)
+    cloud_acc = accuracy(labels, wifi_pred)
+
+    window_bytes = windows[0].astype(np.float32).nbytes
+    hourly_upload = window_bytes * 3600  # 1 Hz continuous inference
+
+    rows = [
+        ["edge (MAGNETO)", float(np.median(edge_latencies)), edge_acc, 0],
+        ["cloud over wifi", float(np.median(wifi_lat)), cloud_acc,
+         wifi_guard.user_bytes_sent_to_cloud() // len(windows) * 3600],
+        ["cloud over 4g", float(np.median(lte_lat)), cloud_acc,
+         lte_guard.user_bytes_sent_to_cloud() // len(windows) * 3600],
+    ]
+    print_table(
+        ["architecture", "median_latency_ms", "accuracy",
+         "user_bytes_uploaded_per_hour"],
+        rows,
+        title="E5: Cloud-based vs Edge-based HAR (paper Fig. 1)",
+    )
+    print(f"raw window size: {window_bytes} B -> "
+          f"{hourly_upload / 1e6:.1f} MB/h uploaded by the Cloud approach")
+
+    benchmark(edge.infer_window, windows[0])
+
+    # Shape assertions: Edge must win latency by a clear factor and leak zero.
+    assert np.median(edge_latencies) * 3 < np.median(wifi_lat)
+    assert np.median(wifi_lat) < np.median(lte_lat)
+    assert edge.guard.user_bytes_sent_to_cloud() == 0
+    assert wifi_guard.user_bytes_sent_to_cloud() > 0
+    assert edge_acc > 0.8

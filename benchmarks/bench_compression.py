@@ -1,0 +1,91 @@
+"""E15 (extension) — Model compression for the Edge (paper §2.1).
+
+The paper's Edge-ML survey names parameter pruning, low-rank factorization
+and weight quantization as the standard footprint reducers.  This bench
+applies each (and stacked combinations) to the trained embedding model,
+reporting stored bytes and the NCM accuracy that survives — the
+footprint/accuracy frontier that complements E3's raw footprint numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NCMClassifier
+from repro.eval import accuracy, print_table
+from repro.nn import (
+    factorize_network,
+    prune_network,
+    quantize_network,
+    sparse_size_bytes,
+)
+from repro.utils import format_bytes
+
+
+class _WrapperEmbedder:
+    """Adapts any forward-capable network to the embedder protocol."""
+
+    def __init__(self, network):
+        self.network = network
+
+    def embed(self, features):
+        return self.network.forward(np.asarray(features, dtype=np.float64))
+
+
+def test_bench_compression_frontier(benchmark, bench_scenario,
+                                    base_test_features):
+    package = bench_scenario.package
+    float_net = package.embedder.network
+    test = bench_scenario.base_test
+    feats = package.pipeline.process_windows(test.windows)
+
+    def evaluate(network, stored_bytes, name):
+        embedder = _WrapperEmbedder(network)
+        ncm = NCMClassifier().fit_from_support_set(
+            embedder, package.support_set
+        )
+        pred = ncm.predict(embedder.embed(feats))
+        return [name, stored_bytes, format_bytes(stored_bytes),
+                accuracy(test.labels, pred)]
+
+    def run_all():
+        rows = [
+            evaluate(float_net, float_net.size_bytes(np.float32),
+                     "float32 (baseline)")
+        ]
+        quant = quantize_network(float_net)
+        rows.append(evaluate(quant, quant.size_bytes(), "int8 quantized"))
+        for sparsity in (0.5, 0.8):
+            pruned = prune_network(float_net, sparsity)
+            rows.append(
+                evaluate(pruned, sparse_size_bytes(pruned),
+                         f"pruned {int(sparsity * 100)}% (sparse enc.)")
+            )
+        lowrank = factorize_network(float_net, rank_fraction=0.25)
+        rows.append(
+            evaluate(lowrank, lowrank.size_bytes(np.float32),
+                     "low-rank r=0.25")
+        )
+        stacked = quantize_network(
+            factorize_network(float_net, rank_fraction=0.25)
+        )
+        rows.append(evaluate(stacked, stacked.size_bytes(),
+                             "low-rank + int8"))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        ["variant", "bytes", "human", "new_user_acc"],
+        rows,
+        title="E15: compression frontier on the trained embedding model",
+    )
+
+    by_name = {row[0]: row for row in rows}
+    baseline = by_name["float32 (baseline)"]
+    # Quantization: ~4x smaller, accuracy essentially intact.
+    assert by_name["int8 quantized"][1] < 0.3 * baseline[1]
+    assert by_name["int8 quantized"][3] > baseline[3] - 0.05
+    # Moderate pruning keeps accuracy within a few points.
+    assert by_name["pruned 50% (sparse enc.)"][3] > baseline[3] - 0.1
+    # The stacked variant is the smallest and still usable.
+    assert by_name["low-rank + int8"][1] < by_name["int8 quantized"][1]
+    assert by_name["low-rank + int8"][3] > 0.7

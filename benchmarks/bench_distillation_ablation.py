@@ -1,0 +1,108 @@
+"""E7 — Incremental-learning strategy ablation (paper Section 3.3).
+
+Paper design choice: Edge re-training jointly optimizes contrastive +
+distillation loss over the updated support set "to handle the Catastrophic
+Forgetting issue".  This bench ablates each ingredient across a sequence of
+three new activities:
+
+- ``magneto``          replay + distillation (the paper's recipe)
+- ``replay_only``      replay, no distillation
+- ``naive_finetune``   no support set at all: new data only, stale prototypes
+- ``frozen_prototype`` no re-training, prototype-only updates
+- ``scratch_retrain``  re-initialize and re-train on everything (costly)
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import train_test_windows
+from repro.eval import (
+    ClassData,
+    FrozenPrototypeStrategy,
+    MagnetoStrategy,
+    NaiveFineTuneStrategy,
+    ReplayOnlyStrategy,
+    ScratchRetrainStrategy,
+    print_table,
+    run_incremental_protocol,
+)
+
+NEW_ACTIVITIES = ("gesture_hi", "gesture_circle", "jump")
+
+
+@pytest.fixture(scope="module")
+def increments(bench_scenario):
+    pipeline = bench_scenario.package.pipeline
+    items = []
+    for i, name in enumerate(NEW_ACTIVITIES):
+        train_w, test_w = train_test_windows(
+            bench_scenario.edge_user, name, n_train=25, n_test=15, rng=300 + i
+        )
+        items.append(
+            ClassData(
+                name=name,
+                train_features=pipeline.process_windows(train_w),
+                test_features=pipeline.process_windows(test_w),
+            )
+        )
+    return items
+
+
+def test_bench_strategy_ablation(benchmark, bench_scenario, base_test_features,
+                                 increments):
+    strategies = [
+        MagnetoStrategy(rng=1),
+        ReplayOnlyStrategy(rng=1),
+        NaiveFineTuneStrategy(rng=1),
+        FrozenPrototypeStrategy(rng=1),
+        ScratchRetrainStrategy(epochs=25, rng=1),
+    ]
+
+    def run_all():
+        results = {}
+        for strategy in strategies:
+            strategy.prepare(bench_scenario.package)
+            results[strategy.name] = run_incremental_protocol(
+                strategy, base_test_features, increments
+            )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    base_names = list(base_test_features)
+    rows = []
+    for name, result in results.items():
+        new_accs = [s.new_class_accuracy for s in result.steps[1:]]
+        rows.append(
+            [
+                name,
+                float(np.mean(new_accs)),
+                result.final_base_class_accuracy(base_names),
+                result.mean_forgetting(),
+                result.final_overall(),
+            ]
+        )
+    print_table(
+        ["strategy", "mean_new_acc", "final_base_acc", "mean_forgetting",
+         "final_overall"],
+        rows,
+        title="E7: strategy ablation over 3 sequential new activities",
+    )
+
+    magneto = results["magneto"]
+    naive = results["naive_finetune"]
+    frozen = results["frozen_prototype"]
+
+    # The paper's recipe must learn new classes AND retain base classes.
+    assert magneto.final_overall() > 0.8
+    assert magneto.final_base_class_accuracy(base_names) > 0.8
+    assert np.mean([s.new_class_accuracy for s in magneto.steps[1:]]) > 0.7
+    # It must beat the no-support-set strawman overall.
+    assert magneto.final_overall() > naive.final_overall()
+    # And forgetting must not exceed the strawman's.
+    assert magneto.mean_forgetting() <= naive.mean_forgetting() + 1e-9
+    # Frozen prototypes cannot learn new classes as well as re-training.
+    assert (
+        np.mean([s.new_class_accuracy for s in magneto.steps[1:]])
+        >= np.mean([s.new_class_accuracy for s in frozen.steps[1:]]) - 0.05
+    )

@@ -1,0 +1,93 @@
+"""E14 (extension) — Federated aggregation across Edge devices (paper §2.1).
+
+The paper cites federated learning as the Edge-training direction and its
+conclusion invites platform extensions.  This bench runs synchronous
+FedAvg rounds over several provisioned Edge devices (each locally
+re-training on its own support set) and verifies:
+
+- the aggregated global model remains accurate for every participant *and*
+  for a non-participating user,
+- only model deltas cross the link — the privacy audit shows zero
+  user-data bytes,
+- the per-round upload is a fixed few hundred kB regardless of how much
+  sensor data each user produced.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NetworkLink
+from repro.datasets import build_edge_scenario
+from repro.eval import accuracy, print_table
+from repro.federated import FederatedClient, FederationServer, state_nbytes
+from repro.nn import TrainConfig
+from repro.utils import format_bytes
+
+from conftest import bench_cloud_config
+
+N_CLIENTS = 4
+N_ROUNDS = 2
+
+
+def test_bench_federated_rounds(benchmark, bench_scenario):
+    link = NetworkLink(latency_ms=30.0, bandwidth_mbps=30.0, rng=0)
+    local_train = TrainConfig(epochs=4, batch_pairs=48, lr=3e-4,
+                              distill_weight=2.0)
+
+    def run():
+        clients = [
+            FederatedClient(
+                bench_scenario.fresh_edge(rng=70 + i),
+                local_train=local_train,
+                rng=80 + i,
+            )
+            for i in range(N_CLIENTS)
+        ]
+        server = FederationServer(
+            bench_scenario.package.embedder.network.state_dict()
+        )
+        stats = [server.run_round(clients, link=link) for _ in range(N_ROUNDS)]
+        return clients, server, stats
+
+    clients, server, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Evaluate the final global model on a non-participant (the edge user's
+    # held-out base test set).
+    probe = bench_scenario.fresh_edge(rng=90)
+    feats = probe.pipeline.process_windows(bench_scenario.base_test.windows)
+    baseline_acc = accuracy(
+        bench_scenario.base_test.labels, probe.infer_features(feats)
+    )
+    probe.embedder.network.load_state_dict(server.global_state)
+    probe._rebuild_classifier()
+    global_acc = accuracy(
+        bench_scenario.base_test.labels, probe.infer_features(feats)
+    )
+
+    delta_bytes = stats[-1]["delta_bytes_per_client"]
+    rows = [
+        [r["round"], r["clients"], format_bytes(r["delta_bytes_per_client"]),
+         r["total_upload_ms"]]
+        for r in stats
+    ]
+    print_table(
+        ["round", "clients", "delta/client", "total_upload_ms"],
+        rows,
+        title="E14: federated rounds (model deltas only)",
+    )
+    print(f"pre-federation accuracy (non-participant): {baseline_acc:.3f}")
+    print(f"post-federation accuracy (non-participant): {global_acc:.3f}")
+    user_bytes = sum(
+        c.edge.guard.user_bytes_sent_to_cloud() for c in clients
+    )
+    print(f"user-data bytes uploaded across all clients/rounds: {user_bytes}")
+
+    # Privacy: strictly zero user data crossed, while model deltas did.
+    assert user_bytes == 0
+    assert delta_bytes > 0
+    # The global model survives aggregation.
+    assert global_acc > baseline_acc - 0.1
+    assert global_acc > 0.8
+    # The upload is bounded by model size, independent of user data volume.
+    model_bytes = state_nbytes(bench_scenario.package.embedder.network.state_dict())
+    assert delta_bytes <= model_bytes * 2.1  # float64 deltas on the wire

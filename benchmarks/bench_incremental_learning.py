@@ -1,0 +1,80 @@
+"""E2 — Incremental learning of a new activity (paper Section 4.2.2, Fig. 3c-e).
+
+Paper claim: from ~20-30 s of recorded data, MAGNETO learns a new custom
+activity on the Edge and integrates it into the model *without forgetting*
+the previously learned activities.
+
+Regenerates the Fig. 3(c-e) outcome as a table: per-class accuracy before
+and after the update, the new activity's accuracy, and mean forgetting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import train_test_windows
+from repro.eval import accuracy, accuracy_by_class_name, print_table
+
+
+NEW_ACTIVITY = "gesture_hi"
+
+
+def test_bench_learn_new_activity(benchmark, bench_scenario, base_test_features):
+    pipeline = bench_scenario.package.pipeline
+    train_w, test_w = train_test_windows(
+        bench_scenario.edge_user, NEW_ACTIVITY, n_train=25, n_test=20, rng=7
+    )
+    train_feats = pipeline.process_windows(train_w)
+    test_feats = pipeline.process_windows(test_w)
+
+    def evaluate(edge):
+        names = edge.classes
+        xs, ys = [], []
+        for name, feats in base_test_features.items():
+            xs.append(feats)
+            ys.append(np.full(feats.shape[0], names.index(name)))
+        if NEW_ACTIVITY in names:
+            xs.append(test_feats)
+            ys.append(np.full(test_feats.shape[0], names.index(NEW_ACTIVITY)))
+        X = np.concatenate(xs)
+        y = np.concatenate(ys).astype(np.int64)
+        pred = edge.infer_features(X)
+        return accuracy(y, pred), accuracy_by_class_name(y, pred, names)
+
+    def one_session():
+        edge = bench_scenario.fresh_edge(rng=5)
+        _, per_class_before = evaluate(edge)
+        edge.learn_activity(NEW_ACTIVITY, train_feats)
+        overall_after, per_class_after = evaluate(edge)
+        return per_class_before, per_class_after, overall_after
+
+    per_class_before, per_class_after, overall_after = benchmark.pedantic(
+        one_session, rounds=1, iterations=1
+    )
+
+    rows = []
+    for name in per_class_after:
+        rows.append(
+            [
+                name,
+                per_class_before.get(name, float("nan")),
+                per_class_after[name],
+            ]
+        )
+    print_table(
+        ["activity", "acc_before", "acc_after"],
+        rows,
+        title=f"E2: learning {NEW_ACTIVITY!r} on the Edge "
+        "(paper: new activity learned, old ones kept)",
+    )
+
+    old = [n for n in per_class_before]
+    forgetting = float(
+        np.mean([per_class_before[n] - per_class_after[n] for n in old])
+    )
+    print(f"new-class accuracy: {per_class_after[NEW_ACTIVITY]:.3f}")
+    print(f"mean forgetting on old classes: {forgetting:.3f}")
+    print(f"overall accuracy after update: {overall_after:.3f}")
+
+    assert per_class_after[NEW_ACTIVITY] > 0.7
+    assert forgetting < 0.1
+    assert overall_after > 0.8

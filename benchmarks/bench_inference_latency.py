@@ -1,0 +1,90 @@
+"""E1 — Edge inference latency (paper Section 4.2.1, Figure 3a-b).
+
+Paper claim: *"imperceptible prediction latency, which is only a few
+milliseconds"* for one-window inference on the Edge.
+
+This bench measures the full on-device path (denoise -> features ->
+normalize -> embed -> NCM) for (a) the reduced benchmark backbone and
+(b) the paper's full-size [1024, 512, 128, 64] -> 128 backbone, and prints
+the per-stage breakdown.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NCMClassifier, SupportSet
+from repro.eval import print_table
+from repro.nn import SiameseEmbedder, build_mlp
+from repro.utils import Timer
+
+
+@pytest.fixture(scope="module")
+def window(bench_scenario):
+    return bench_scenario.sensor_device.record("walk", 1.0).data
+
+
+@pytest.fixture(scope="module")
+def paper_size_edge(bench_scenario):
+    """An edge stack whose model has the paper's published dimensions."""
+    pipeline = bench_scenario.package.pipeline
+    embedder = SiameseEmbedder(build_mlp(input_dim=pipeline.n_features, rng=0))
+    support = SupportSet(capacity_per_class=200, rng=1)
+    source = bench_scenario.package.support_set
+    for name in source.class_names:
+        support.add_class(name, source.features_of(name))
+    ncm = NCMClassifier().fit_from_support_set(embedder, support)
+    return pipeline, embedder, ncm
+
+
+def test_bench_window_inference_reduced_model(benchmark, bench_scenario, window):
+    """One-window inference on the trained benchmark model."""
+    edge = bench_scenario.fresh_edge(rng=0)
+    result = benchmark(edge.infer_window, window)
+    assert result.activity in edge.classes
+    # "a few milliseconds" — generous ceiling for CI machines.
+    assert benchmark.stats["mean"] * 1e3 < 50.0
+
+
+def test_bench_window_inference_paper_model(benchmark, paper_size_edge, window):
+    """One-window inference through the full 1024-wide paper backbone."""
+    pipeline, embedder, ncm = paper_size_edge
+
+    def infer():
+        features = pipeline.process_window(window)
+        return ncm.predict(embedder.embed(features[None, :]))[0]
+
+    label = benchmark(infer)
+    assert 0 <= label < ncm.n_classes
+    assert benchmark.stats["mean"] * 1e3 < 100.0
+
+
+def test_bench_latency_breakdown_table(benchmark, paper_size_edge, window):
+    """Per-stage latency of the paper-size stack (the E1 series)."""
+    pipeline, embedder, ncm = paper_size_edge
+
+    stages = {"preprocess_ms": [], "embed_ms": [], "ncm_ms": [], "total_ms": []}
+    for _ in range(50):
+        with Timer() as t_all:
+            with Timer() as t_pre:
+                features = pipeline.process_window(window)
+            with Timer() as t_emb:
+                z = embedder.embed(features[None, :])
+            with Timer() as t_ncm:
+                ncm.predict(z)
+        stages["preprocess_ms"].append(t_pre.elapsed_ms)
+        stages["embed_ms"].append(t_emb.elapsed_ms)
+        stages["ncm_ms"].append(t_ncm.elapsed_ms)
+        stages["total_ms"].append(t_all.elapsed_ms)
+
+    rows = [
+        [stage, float(np.median(vals)), float(np.percentile(vals, 95))]
+        for stage, vals in stages.items()
+    ]
+    print_table(
+        ["stage", "median_ms", "p95_ms"],
+        rows,
+        title="E1: per-stage inference latency, paper-size backbone "
+        "(claim: total = a few ms)",
+    )
+    benchmark(pipeline.process_window, window)
+    assert float(np.median(stages["total_ms"])) < 50.0

@@ -1,0 +1,84 @@
+"""E3 — On-device footprint (paper Sections 3.2 and 4.2.2).
+
+Paper claims:
+- the support set of "200 observations per class cost[s] roughly 0.5 MB in
+  32-bit precision";
+- "the entire data size that the demonstration needs on the Edge device
+  (including support set, pre-processing, and the model) does not exceed
+  5 MB".
+
+This bench assembles the *paper-size* package — the [1024, 512, 128, 64]
+-> 128 backbone, 200 exemplars/class for the five base activities, the
+fitted pipeline — and prints the component breakdown.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SupportSet, TransferPackage
+from repro.eval import print_table
+from repro.nn import SiameseEmbedder, build_mlp
+from repro.utils import format_bytes
+
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def paper_package(bench_scenario):
+    pipeline = bench_scenario.package.pipeline
+    embedder = SiameseEmbedder(build_mlp(input_dim=pipeline.n_features, rng=0))
+    support = SupportSet(capacity_per_class=200, rng=1)
+    rng = np.random.default_rng(2)
+    # 200 exemplars per class at the pipeline's feature width, as deployed.
+    for name in bench_scenario.package.support_set.class_names:
+        stored = bench_scenario.package.support_set.features_of(name)
+        if stored.shape[0] < 200:
+            extra = rng.normal(size=(200 - stored.shape[0], stored.shape[1]))
+            stored = np.concatenate([stored, extra])
+        support.add_class(name, stored[:200])
+    return TransferPackage(
+        pipeline=pipeline, embedder=embedder, support_set=support
+    )
+
+
+def test_bench_footprint_breakdown(benchmark, paper_package):
+    sizes = paper_package.component_sizes()
+    total = paper_package.size_bytes()
+    wire = benchmark.pedantic(
+        paper_package.serialized_bytes, rounds=1, iterations=1
+    )
+
+    rows = [
+        [name, size, format_bytes(size)] for name, size in sizes.items()
+    ]
+    rows.append(["total (logical)", total, format_bytes(total)])
+    rows.append(["total (wire .npz)", wire, format_bytes(wire)])
+    print_table(
+        ["component", "bytes", "human"],
+        rows,
+        title="E3: Edge footprint, paper-size package (claim: < 5 MB total; "
+        "support set ~0.5 MB)",
+    )
+
+    # The headline claims.
+    assert total < 5 * MB
+    assert wire < 5 * MB
+    # Support set: 5 classes x 200 x 80 float32 = 320 kB -> "roughly 0.5 MB".
+    assert 0.2 * MB < sizes["support_set"] <= 0.5 * MB
+    # Model dominates but stays under 4 MB.
+    assert sizes["model"] < 4 * MB
+
+
+def test_bench_save_load_roundtrip(benchmark, paper_package, tmp_path):
+    """The package must survive disk persistence at deployment size."""
+    path = tmp_path / "paper_package.npz"
+
+    def save_and_load():
+        paper_package.save(path)
+        return TransferPackage.load(path)
+
+    loaded = benchmark.pedantic(save_and_load, rounds=1, iterations=1)
+    assert loaded.support_set.class_names == (
+        paper_package.support_set.class_names
+    )
+    assert path.stat().st_size < 10 * MB

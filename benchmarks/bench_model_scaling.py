@@ -1,0 +1,97 @@
+"""E13 (extension) — Backbone scaling: accuracy vs footprint vs latency.
+
+Paper §3.2: the FC backbone "can be replaced by any other advanced
+networks"; §5: Edge devices "are extremely limited in terms of
+computational resources", necessitating careful model design.
+
+This bench sweeps backbone widths from tiny to the paper's published
+dimensions and reports, for each: parameter count, float32 footprint,
+modeled phone inference latency (FLOPs / device throughput), measured
+laptop latency, and new-user accuracy — the size/quality frontier that
+justifies the paper's choice.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CloudConfig, CloudInitializer, NCMClassifier
+from repro.edge_runtime import MIDRANGE_PHONE, ResourceModel, forward_flops
+from repro.eval import accuracy, print_table
+from repro.nn import PAPER_BACKBONE_DIMS, TrainConfig
+from repro.utils import Timer, format_bytes
+
+BACKBONES = (
+    ("tiny [32]", (32,), 16),
+    ("small [128,64]", (128, 64), 32),
+    ("medium [256,128,64]", (256, 128, 64), 64),
+    ("paper [1024,512,128,64]", PAPER_BACKBONE_DIMS, 128),
+)
+
+
+def test_bench_backbone_scaling(benchmark, bench_scenario):
+    campaign = bench_scenario.campaign
+    test = bench_scenario.base_test
+    phone = ResourceModel(MIDRANGE_PHONE)
+
+    def run_all():
+        rows = []
+        for name, dims, emb_dim in BACKBONES:
+            config = CloudConfig(
+                backbone_dims=dims,
+                embedding_dim=emb_dim,
+                train=TrainConfig(epochs=15, batch_pairs=64, lr=1e-3),
+                support_capacity=100,
+            )
+            cloud = CloudInitializer(config, rng=55)
+            package, report = cloud.pretrain(campaign)
+
+            feats = package.pipeline.process_windows(test.windows)
+            ncm = NCMClassifier().fit_from_support_set(
+                package.embedder, package.support_set
+            )
+            pred = ncm.predict(package.embedder.embed(feats))
+            new_user_acc = accuracy(test.labels, pred)
+
+            network = package.embedder.network
+            modeled_ms = phone.latency_ms(forward_flops(network, 1))
+            one = feats[:1]
+            package.embedder.embed(one)  # warm-up
+            with Timer() as timer:
+                for _ in range(100):
+                    package.embedder.embed(one)
+            measured_ms = timer.elapsed_ms / 100.0
+
+            rows.append(
+                [
+                    name,
+                    network.n_parameters(),
+                    format_bytes(network.size_bytes()),
+                    modeled_ms,
+                    measured_ms,
+                    new_user_acc,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        ["backbone", "params", "float32", "phone_ms (modeled)",
+         "laptop_ms (measured)", "new_user_acc"],
+        rows,
+        precision=4,
+        title="E13: backbone scaling — size/latency/accuracy frontier",
+    )
+
+    params = [row[1] for row in rows]
+    assert all(a < b for a, b in zip(params, params[1:]))
+    # Even the paper-size model stays in phone-friendly latency (modeled).
+    assert rows[-1][3] < 10.0
+    # Accuracy saturates early: the medium model is within a few points of
+    # the paper-size one (the paper's own backbone is deliberately simple).
+    by_name = {row[0]: row for row in rows}
+    assert (
+        by_name["medium [256,128,64]"][5]
+        >= by_name["paper [1024,512,128,64]"][5] - 0.05
+    )
+    for row in rows[1:]:
+        assert row[5] > 0.8, row[0]

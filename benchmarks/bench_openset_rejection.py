@@ -1,0 +1,87 @@
+"""E11 (extension) — Open-set rejection of never-learned activities.
+
+The paper's incremental story starts when the user performs an activity
+the model does not know (§4.2.2).  A deployable MAGNETO needs to *detect*
+that moment instead of silently mislabeling; `repro.core.openset` adds
+per-class distance thresholds calibrated from the support set.
+
+This bench sweeps the threshold slack and reports, for each setting, the
+accuracy on known activities and the rejection rate on four novel
+activities — the operating curve an app designer would pick from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import OpenSetNCM, open_set_report
+from repro.datasets import activity_windows
+from repro.eval import print_table
+
+NOVEL_ACTIVITIES = ("gesture_hi", "gesture_circle", "jump", "cycling")
+#: (slack, ratio) operating points, from strict to permissive.  The ratio
+#: test is the active knob for a new user (support radii are tight); slack
+#: widens the radius test alongside it.
+OPERATING_POINTS = (
+    (1.0, 0.0),
+    (2.5, 0.1),
+    (2.5, 0.2),
+    (2.5, 0.3),
+    (2.5, 0.45),
+    (5.0, 0.6),
+)
+
+
+def test_bench_open_set_operating_curve(benchmark, bench_scenario):
+    edge = bench_scenario.fresh_edge(rng=17)
+    pipeline = edge.pipeline
+
+    known_feats = pipeline.process_windows(bench_scenario.base_test.windows)
+    known_labels = bench_scenario.base_test.labels
+    novel_feats = np.concatenate(
+        [
+            pipeline.process_windows(
+                activity_windows(bench_scenario.edge_user, name, 15,
+                                 rng=900 + i)
+            )
+            for i, name in enumerate(NOVEL_ACTIVITIES)
+        ]
+    )
+
+    def sweep():
+        rows = []
+        for slack, ratio in OPERATING_POINTS:
+            open_ncm = OpenSetNCM(quantile=0.95, slack=slack, ratio=ratio)
+            open_ncm.fit_from_support_set(edge.embedder, edge.support_set)
+            report = open_set_report(
+                open_ncm, edge.embedder, known_feats, known_labels, novel_feats
+            )
+            rows.append(
+                [
+                    slack,
+                    ratio,
+                    report["known_accuracy"],
+                    report["known_rejection_rate"],
+                    report["unknown_rejection_rate"],
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        ["slack", "ratio", "known_acc", "known_rejected", "novel_rejected"],
+        rows,
+        title="E11: open-set operating curve "
+        "(4 novel activities vs 5 known ones)",
+    )
+
+    # Shape: permissiveness trades novel rejection for known acceptance,
+    # monotonically along the operating points.
+    known_accs = [row[2] for row in rows]
+    novel_rates = [row[4] for row in rows]
+    assert all(a <= b + 1e-9 for a, b in zip(known_accs, known_accs[1:]))
+    assert all(a >= b - 1e-9 for a, b in zip(novel_rates, novel_rates[1:]))
+    # The default operating point (slack 2.5, ratio 0.3) must be usable:
+    # most known windows kept, most novel windows flagged.
+    default = {(row[0], row[1]): row for row in rows}[(2.5, 0.3)]
+    assert default[2] > 0.8   # known accuracy
+    assert default[4] > 0.5   # novel rejection

@@ -1,0 +1,65 @@
+"""E9 — Linear-time pre-processing (paper Sections 3.2(1), 4.1.2).
+
+Paper claims: the feature extractor "requir[es] linear processing time"
+and "the real-time coming data can be processed instantly, as the
+preprocessing requires linear time".
+
+This bench times the full pipeline (denoise -> segment -> features ->
+normalize) over recordings of doubling duration and checks the per-second
+cost stays flat.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import print_table
+from repro.utils import Timer
+
+DURATIONS_S = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+def test_bench_pipeline_linear_scaling(benchmark, bench_scenario):
+    pipeline = bench_scenario.package.pipeline
+    device = bench_scenario.sensor_device
+    recordings = {d: device.record("walk", d) for d in DURATIONS_S}
+
+    def time_once(recording):
+        with Timer() as t:
+            pipeline.process_recording(recording)
+        return t.elapsed_ms
+
+    # Warm-up, then median of repeats per duration.
+    for rec in recordings.values():
+        time_once(rec)
+    rows = []
+    per_second = []
+    for duration, rec in recordings.items():
+        times = [time_once(rec) for _ in range(7)]
+        median = float(np.median(times))
+        rows.append([duration, rec.n_samples, median, median / duration])
+        per_second.append(median / duration)
+
+    print_table(
+        ["duration_s", "samples", "median_ms", "ms_per_second_of_data"],
+        rows,
+        title="E9: pre-processing cost vs input length (claim: linear time)",
+    )
+
+    benchmark(pipeline.process_recording, recordings[4.0])
+
+    # Linearity shape check on the longer inputs, where constant overheads
+    # are amortized: per-second cost of 32 s input within 3x of the 4 s one.
+    ref = per_second[DURATIONS_S.index(4.0)]
+    longest = per_second[-1]
+    assert longest < 3.0 * ref
+    # And absolutely fast enough for real time: processing one second of
+    # data takes far less than one second.
+    assert per_second[-1] < 100.0
+
+
+def test_bench_single_window_realtime(benchmark, bench_scenario):
+    """One-second windows must process far faster than they arrive."""
+    pipeline = bench_scenario.package.pipeline
+    window = bench_scenario.sensor_device.record("run", 1.0).data
+    benchmark(pipeline.process_window, window)
+    assert benchmark.stats["mean"] * 1e3 < 100.0  # << 1000 ms budget

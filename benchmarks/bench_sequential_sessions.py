@@ -1,0 +1,83 @@
+"""E10 — Repeated incremental sessions (paper Sections 3.3, 5, Definition 2).
+
+Paper claim: *"the learning process can be repeated to accommodate the
+addition of multiple activities as per the user's requirements"* — i.e.
+personalization survives a whole sequence of updates, not just one.
+
+This bench adds four new activities one session at a time and tracks the
+accuracy trajectory: overall, base classes, and each already-learned new
+class (checking earlier custom activities survive later sessions).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import train_test_windows
+from repro.eval import (
+    ClassData,
+    MagnetoStrategy,
+    print_table,
+    run_incremental_protocol,
+)
+
+SESSION_ACTIVITIES = ("gesture_hi", "gesture_circle", "jump", "stairs_up")
+
+
+def test_bench_sequential_learning_sessions(
+    benchmark, bench_scenario, base_test_features
+):
+    pipeline = bench_scenario.package.pipeline
+    increments = []
+    for i, name in enumerate(SESSION_ACTIVITIES):
+        train_w, test_w = train_test_windows(
+            bench_scenario.edge_user, name, n_train=25, n_test=15, rng=700 + i
+        )
+        increments.append(
+            ClassData(
+                name=name,
+                train_features=pipeline.process_windows(train_w),
+                test_features=pipeline.process_windows(test_w),
+            )
+        )
+
+    def run():
+        strategy = MagnetoStrategy(rng=13)
+        strategy.prepare(bench_scenario.package)
+        return run_incremental_protocol(
+            strategy, base_test_features, increments
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    base_names = list(base_test_features)
+    rows = []
+    for step in result.steps:
+        base_acc = float(
+            np.mean([step.per_class_accuracy[n] for n in base_names])
+        )
+        rows.append(
+            [
+                step.step,
+                step.learned_class or "(base)",
+                step.overall_accuracy,
+                base_acc,
+                step.new_class_accuracy,
+                step.forgetting,
+            ]
+        )
+    print_table(
+        ["step", "learned", "overall_acc", "base_acc", "new_acc",
+         "forgetting"],
+        rows,
+        title="E10: four sequential on-device learning sessions",
+    )
+
+    final = result.steps[-1]
+    # All four custom activities still recognized at the end.
+    for name in SESSION_ACTIVITIES:
+        assert final.per_class_accuracy[name] > 0.6, name
+    # Base classes retained across the whole sequence.
+    assert result.final_base_class_accuracy(base_names) > 0.8
+    assert result.final_overall() > 0.75
+    # Forgetting stays bounded at every step.
+    assert max(s.forgetting for s in result.steps[1:]) < 0.15

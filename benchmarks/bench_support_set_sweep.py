@@ -1,0 +1,93 @@
+"""E8 — Support-set size sweep (paper Section 3.2, item 3).
+
+Paper design choice: the support set holds "a limited amount of data
+samples which are representative for each class" (200/class in the demo),
+trading Edge storage for retention.  This bench sweeps the per-class
+capacity and reports storage cost vs accuracy after learning a new
+activity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SupportSet, TransferPackage
+from repro.datasets import train_test_windows
+from repro.eval import (
+    ClassData,
+    MagnetoStrategy,
+    print_table,
+    run_incremental_protocol,
+)
+from repro.utils import format_bytes
+
+CAPACITIES = (10, 25, 50, 100, 200)
+
+
+def test_bench_support_capacity_sweep(benchmark, bench_scenario,
+                                      base_test_features):
+    pipeline = bench_scenario.package.pipeline
+    train_w, test_w = train_test_windows(
+        bench_scenario.edge_user, "gesture_hi", n_train=25, n_test=15, rng=42
+    )
+    increments = [
+        ClassData(
+            name="gesture_hi",
+            train_features=pipeline.process_windows(train_w),
+            test_features=pipeline.process_windows(test_w),
+        )
+    ]
+    source = bench_scenario.package.support_set
+
+    def run_sweep():
+        outcomes = []
+        for capacity in CAPACITIES:
+            shrunk = SupportSet(capacity_per_class=capacity, rng=8)
+            for name in source.class_names:
+                shrunk.add_class(name, source.features_of(name))
+            package = TransferPackage(
+                pipeline=pipeline,
+                embedder=bench_scenario.package.embedder.clone(),
+                support_set=shrunk,
+            )
+            strategy = MagnetoStrategy(rng=9)
+            strategy.prepare(package)
+            result = run_incremental_protocol(
+                strategy, base_test_features, increments
+            )
+            outcomes.append(
+                (
+                    capacity,
+                    strategy.support_set.size_bytes(),
+                    result.steps[-1].new_class_accuracy,
+                    result.final_base_class_accuracy(list(base_test_features)),
+                    result.mean_forgetting(),
+                )
+            )
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = [
+        [cap, format_bytes(size), new_acc, base_acc, forgetting]
+        for cap, size, new_acc, base_acc, forgetting in outcomes
+    ]
+    print_table(
+        ["capacity/class", "support_bytes", "new_acc", "base_acc",
+         "forgetting"],
+        rows,
+        title="E8: support-set capacity vs retention "
+        "(paper uses 200/class at ~0.5 MB)",
+    )
+
+    # Storage grows monotonically with capacity.
+    sizes = [size for _, size, *_ in outcomes]
+    assert all(a < b for a, b in zip(sizes, sizes[1:]))
+    # Even the paper's 200/class stays in the sub-MB regime.
+    assert sizes[-1] < 1024 * 1024
+    # Retention at the paper's capacity must be strong.
+    cap200 = outcomes[-1]
+    assert cap200[3] > 0.8  # base accuracy
+    assert cap200[4] < 0.1  # forgetting
+    # The smallest support set must not beat the largest on base retention
+    # by a meaningful margin (storage buys retention, not the reverse).
+    assert outcomes[0][3] <= cap200[3] + 0.05

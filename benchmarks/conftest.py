@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run at a larger scale than unit tests: a 6-user campaign with 40
+windows per user per activity (1200 one-second windows), the reduced
+backbone for trainable experiments, and the full paper-dimension backbone
+where the claim under test is about the deployed model (latency E1,
+footprint E3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CloudConfig
+from repro.datasets import build_edge_scenario
+from repro.nn import TrainConfig
+
+
+def bench_cloud_config() -> CloudConfig:
+    return CloudConfig(
+        backbone_dims=(256, 128, 64),
+        embedding_dim=64,
+        train=TrainConfig(epochs=25, batch_pairs=64, lr=1e-3),
+        support_capacity=200,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scenario():
+    """The benchmark-scale pre-trained scenario (shared, read-only)."""
+    return build_edge_scenario(
+        cloud_config=bench_cloud_config(),
+        n_users=6,
+        windows_per_user_per_activity=40,
+        base_test_windows_per_activity=25,
+        rng=2024,
+    )
+
+
+@pytest.fixture(scope="session")
+def base_test_features(bench_scenario):
+    """Per-class test feature sets of the edge user's base activities."""
+    pipeline = bench_scenario.package.pipeline
+    sets = {}
+    for label, name in enumerate(bench_scenario.base_test.class_names):
+        mask = bench_scenario.base_test.labels == label
+        sets[name] = pipeline.process_windows(
+            bench_scenario.base_test.windows[mask]
+        )
+    return sets

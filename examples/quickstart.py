@@ -1,0 +1,76 @@
+"""Quickstart: the whole MAGNETO lifecycle in ~40 lines.
+
+Cloud pre-training on a simulated campaign, one Cloud-to-Edge transfer,
+real-time inference, and on-device learning of a new activity — with the
+privacy guard proving no user data ever left the device.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MagnetoPlatform, PrivacyViolationError
+from repro.core import CloudConfig
+from repro.nn import TrainConfig
+from repro.sensors import SensorDevice, sample_user
+from repro.utils import format_bytes
+
+
+def main() -> None:
+    # --- Cloud initialization (offline step) -------------------------- #
+    platform = MagnetoPlatform(
+        cloud_config=CloudConfig(
+            backbone_dims=(256, 128, 64),
+            embedding_dim=64,
+            train=TrainConfig(epochs=20, batch_pairs=64, lr=1e-3),
+            support_capacity=100,
+        ),
+        rng=7,
+    )
+    print("Pre-training on the Cloud (simulated campaign)...")
+    edge, report = platform.initialize(
+        n_users=5, windows_per_user_per_activity=30
+    )
+    print(f"  pre-train accuracy: {report.pretrain.train_accuracy:.3f}")
+    print(f"  transfer package:   {format_bytes(report.package_bytes)} "
+          f"downloaded in {report.download_ms:.0f} ms (simulated)")
+    print(f"  activities: {', '.join(edge.classes)}")
+
+    # --- A brand-new user starts using the app ------------------------ #
+    user = sample_user(user_id=42, rng=11)
+    phone = SensorDevice(user=user, rng=12)
+
+    print("\nReal-time inference on the Edge:")
+    for activity in ("still", "walk", "run"):
+        window = phone.record(activity, 1.0).data
+        result = edge.infer_window(window)
+        print(f"  doing {activity:<8} -> predicted {result.activity:<8} "
+              f"(confidence {result.confidence:.2f}, "
+              f"{result.latency_ms:.1f} ms)")
+
+    # --- Learn a new custom activity on the device -------------------- #
+    print("\nRecording 25 s of a new gesture and learning it on-device...")
+    recording = phone.record("gesture_hi", 25.0)
+    edge.learn_activity("gesture_hi", recording)
+    print(f"  activities now: {', '.join(edge.classes)}")
+
+    test = phone.record("gesture_hi", 5.0)
+    majority, _ = edge.infer_recording(test)
+    print(f"  new gesture recognized as: {majority}")
+
+    old = phone.record("walk", 5.0)
+    majority, _ = edge.infer_recording(old)
+    print(f"  old activity still recognized as: {majority}")
+
+    # --- Privacy: Definition 1 is enforced, not promised --------------- #
+    print("\nPrivacy audit:")
+    print(f"  user bytes sent to Cloud: "
+          f"{edge.guard.user_bytes_sent_to_cloud()}")
+    try:
+        edge.attempt_cloud_upload(recording)
+    except PrivacyViolationError as exc:
+        print(f"  upload attempt blocked: {exc}")
+
+    print(f"\nTotal on-device footprint: {format_bytes(edge.footprint_bytes())}")
+
+
+if __name__ == "__main__":
+    main()

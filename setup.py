@@ -1,0 +1,5 @@
+"""Setup shim: enables editable installs in environments without the
+``wheel`` package (pip's PEP-660 editable path needs bdist_wheel)."""
+from setuptools import setup
+
+setup()

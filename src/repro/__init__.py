@@ -1,0 +1,78 @@
+"""MAGNETO reproduction — Edge AI for Human Activity Recognition.
+
+A from-scratch Python reproduction of *MAGNETO: Edge AI for Human Activity
+Recognition — Privacy and Personalization* (EDBT 2024): Cloud
+initialization of a Siamese HAR model, a single Cloud-to-Edge transfer
+package, on-device NCM inference, and privacy-preserving incremental
+learning of new activities with a contrastive + distillation objective.
+
+Quickstart::
+
+    from repro import MagnetoPlatform
+
+    platform = MagnetoPlatform(rng=7)
+    edge, report = platform.initialize(n_users=6,
+                                       windows_per_user_per_activity=30)
+    result = edge.infer_window(window)            # millisecond inference
+    edge.learn_activity("gesture_hi", recording)  # on-device learning
+
+Subpackages:
+
+- :mod:`repro.core` — the paper's contribution (platform, privacy,
+  incremental learning, NCM, support set, transfer package),
+- :mod:`repro.nn` — numpy neural substrate (Siamese net, losses, optim),
+- :mod:`repro.sensors` — synthetic 22-channel sensor campaign,
+- :mod:`repro.preprocessing` — denoise/segment/normalize/80 features,
+- :mod:`repro.datasets` — splits, loaders, experiment scenarios,
+- :mod:`repro.eval` — metrics, incremental protocol, baselines,
+- :mod:`repro.edge_runtime` — device resource model and the demo app.
+"""
+
+from .core import (
+    CloudConfig,
+    CloudInitializer,
+    EdgeDevice,
+    IncrementalConfig,
+    InferenceResult,
+    MagnetoPlatform,
+    NCMClassifier,
+    NetworkLink,
+    PrivacyGuard,
+    SupportSet,
+    TransferPackage,
+)
+from .exceptions import (
+    ConfigurationError,
+    DataShapeError,
+    MagnetoError,
+    NotFittedError,
+    PrivacyViolationError,
+    ResourceExceededError,
+    SerializationError,
+    UnknownActivityError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CloudConfig",
+    "CloudInitializer",
+    "ConfigurationError",
+    "DataShapeError",
+    "EdgeDevice",
+    "IncrementalConfig",
+    "InferenceResult",
+    "MagnetoError",
+    "MagnetoPlatform",
+    "NCMClassifier",
+    "NetworkLink",
+    "NotFittedError",
+    "PrivacyGuard",
+    "PrivacyViolationError",
+    "ResourceExceededError",
+    "SerializationError",
+    "SupportSet",
+    "TransferPackage",
+    "UnknownActivityError",
+    "__version__",
+]

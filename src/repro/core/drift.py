@@ -1,0 +1,165 @@
+"""Distribution-drift monitoring on the Edge.
+
+Personalization is not a one-shot event: a user's style changes (injury,
+new shoes, new phone pocket) and the sensor distribution drifts until the
+installed model misfits again.  The paper's calibration loop (Section 3.3)
+needs a *trigger*; this module provides it without storing raw data beyond
+a bounded window — consistent with the Edge's storage constraints and
+privacy posture.
+
+:class:`DriftMonitor` keeps per-feature reference statistics (mean/std,
+taken from the Cloud-fitted pipeline's training distribution — where
+features are z-scored, the reference is simply N(0,1)) and a bounded FIFO
+of recent feature vectors.  The drift score is the mean absolute
+standardized shift of the recent window's feature means — a cheap,
+O(features) statistic.  Scores above ``threshold`` flag drift, and
+:meth:`should_recalibrate` debounces the flag over ``patience``
+consecutive checks so single odd windows don't trigger a re-training
+session.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DataShapeError, NotFittedError
+from ..utils import check_2d
+
+
+class DriftMonitor:
+    """Online drift detector over the Edge's incoming feature stream.
+
+    Parameters
+    ----------
+    window:
+        How many recent feature vectors to keep (bounded memory).
+    threshold:
+        Drift score above which the window is flagged (in reference
+        standard deviations; 0.5 = feature means moved half a sigma on
+        average).
+    patience:
+        Number of consecutive flagged checks before
+        :meth:`should_recalibrate` fires.
+    min_samples:
+        Minimum window fill before any score is computed.
+    """
+
+    def __init__(
+        self,
+        window: int = 60,
+        threshold: float = 0.5,
+        patience: int = 3,
+        min_samples: int = 10,
+    ) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be > 0, got {threshold}")
+        if patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {patience}")
+        if not 1 <= min_samples <= window:
+            raise ConfigurationError(
+                f"min_samples must be in [1, window], got {min_samples}"
+            )
+        self.window = int(window)
+        self.threshold = float(threshold)
+        self.patience = int(patience)
+        self.min_samples = int(min_samples)
+        self._reference_mean: Optional[np.ndarray] = None
+        self._reference_std: Optional[np.ndarray] = None
+        self._recent: Deque[np.ndarray] = deque(maxlen=self.window)
+        self._flag_streak = 0
+
+    # ------------------------------------------------------------------ #
+    # reference
+    # ------------------------------------------------------------------ #
+
+    def set_reference(self, mean: np.ndarray, std: np.ndarray) -> "DriftMonitor":
+        """Set reference statistics explicitly."""
+        mean = np.asarray(mean, dtype=np.float64)
+        std = np.asarray(std, dtype=np.float64)
+        if mean.ndim != 1 or mean.shape != std.shape:
+            raise DataShapeError("mean and std must be equal-length 1-D arrays")
+        if np.any(std <= 0):
+            raise ConfigurationError("reference std must be strictly positive")
+        self._reference_mean = mean.copy()
+        self._reference_std = std.copy()
+        return self
+
+    def set_standard_reference(self, n_features: int) -> "DriftMonitor":
+        """Reference N(0, 1) — correct right after a z-score pipeline."""
+        if n_features < 1:
+            raise ConfigurationError(f"n_features must be >= 1, got {n_features}")
+        return self.set_reference(np.zeros(n_features), np.ones(n_features))
+
+    def fit_reference(self, features: np.ndarray) -> "DriftMonitor":
+        """Take reference statistics from a feature matrix (e.g. the
+        support set, after a calibration reset)."""
+        arr = check_2d("features", features)
+        if arr.shape[0] < 2:
+            raise DataShapeError("need >= 2 samples to fit a reference")
+        std = arr.std(axis=0)
+        return self.set_reference(arr.mean(axis=0), np.where(std > 0, std, 1.0))
+
+    @property
+    def is_ready(self) -> bool:
+        return self._reference_mean is not None
+
+    # ------------------------------------------------------------------ #
+    # streaming
+    # ------------------------------------------------------------------ #
+
+    def observe(self, feature_vector: np.ndarray) -> Optional[float]:
+        """Feed one feature vector; returns the current drift score (or
+        None while the window is under-filled)."""
+        if not self.is_ready:
+            raise NotFittedError("DriftMonitor has no reference; set one first")
+        vec = np.asarray(feature_vector, dtype=np.float64)
+        if vec.shape != self._reference_mean.shape:
+            raise DataShapeError(
+                f"feature vector must have shape "
+                f"{self._reference_mean.shape}, got {vec.shape}"
+            )
+        self._recent.append(vec)
+        score = self.score()
+        if score is not None:
+            if score > self.threshold:
+                self._flag_streak += 1
+            else:
+                self._flag_streak = 0
+        return score
+
+    def score(self) -> Optional[float]:
+        """Current drift score: mean |standardized shift| of window means."""
+        if len(self._recent) < self.min_samples:
+            return None
+        window_mean = np.mean(np.stack(self._recent), axis=0)
+        shift = np.abs(window_mean - self._reference_mean) / self._reference_std
+        return float(shift.mean())
+
+    def is_drifting(self) -> bool:
+        """Whether the latest score exceeded the threshold."""
+        score = self.score()
+        return score is not None and score > self.threshold
+
+    def should_recalibrate(self) -> bool:
+        """Debounced trigger: ``patience`` consecutive drifting checks."""
+        return self._flag_streak >= self.patience
+
+    def reset_after_recalibration(self) -> None:
+        """Clear state after the app has re-calibrated the model."""
+        self._recent.clear()
+        self._flag_streak = 0
+
+    def status(self) -> Dict[str, float]:
+        """Snapshot for logging/GUI."""
+        score = self.score()
+        return {
+            "samples_in_window": float(len(self._recent)),
+            "score": float("nan") if score is None else score,
+            "threshold": self.threshold,
+            "flag_streak": float(self._flag_streak),
+        }

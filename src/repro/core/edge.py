@@ -1,0 +1,243 @@
+"""The Edge device: on-device inference and learning, zero uplink.
+
+:class:`EdgeDevice` is the runtime that lives on the phone.  It receives
+one :class:`~repro.core.transfer.TransferPackage` from the Cloud (the only
+Cloud-to-Edge interaction), then performs everything locally:
+
+- real-time inference of one-second windows (pipeline -> embedding -> NCM),
+- incremental learning of new activities and calibration of existing ones,
+- footprint accounting,
+- privacy enforcement: every transfer is routed through its
+  :class:`~repro.core.privacy.PrivacyGuard`, so an attempted upload of user
+  data raises instead of leaking.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import DataShapeError, NotFittedError
+from ..sensors.device import Recording
+from ..utils import RngLike, Timer, check_2d, ensure_rng
+from .incremental import IncrementalConfig, IncrementalLearner, UpdateResult
+from .ncm import NCMClassifier
+from .privacy import CLOUD_TO_EDGE, EDGE_TO_CLOUD, NetworkLink, PrivacyGuard
+from .transfer import TransferPackage
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """One window's prediction, as the GUI would display it."""
+
+    activity: str
+    confidence: float
+    latency_ms: float
+    distances: Dict[str, float]
+
+    def top(self, k: int = 3) -> List[Tuple[str, float]]:
+        """The ``k`` nearest classes with their distances, ascending."""
+        ranked = sorted(self.distances.items(), key=lambda item: item[1])
+        return ranked[:k]
+
+
+class EdgeDevice:
+    """A simulated smartphone running MAGNETO."""
+
+    def __init__(
+        self,
+        guard: Optional[PrivacyGuard] = None,
+        incremental_config: Optional[IncrementalConfig] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.guard = guard if guard is not None else PrivacyGuard(enforce=True)
+        self._learner = IncrementalLearner(incremental_config, rng=ensure_rng(rng))
+        self.pipeline = None
+        self.embedder = None
+        self.support_set = None
+        self.ncm: Optional[NCMClassifier] = None
+        self._install_ms: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # installation (the single Cloud->Edge transfer)
+    # ------------------------------------------------------------------ #
+
+    def install(
+        self, package: TransferPackage, link: Optional[NetworkLink] = None
+    ) -> float:
+        """Install the transfer package; returns the simulated download ms.
+
+        The download is audited as a Cloud-to-Edge transfer (always
+        permitted by Definition 1).
+        """
+        n_bytes = package.serialized_bytes()
+        download_ms = link.transfer_ms(n_bytes) if link is not None else 0.0
+        self.guard.record(
+            CLOUD_TO_EDGE,
+            kind="transfer_package",
+            n_bytes=n_bytes,
+            contains_user_data=False,
+            simulated_ms=download_ms,
+        )
+        self.pipeline = package.pipeline
+        self.embedder = package.embedder
+        self.support_set = package.support_set
+        self._rebuild_classifier()
+        self._install_ms = download_ms
+        return download_ms
+
+    @property
+    def is_ready(self) -> bool:
+        return self.ncm is not None
+
+    def _require_ready(self) -> None:
+        if not self.is_ready:
+            raise NotFittedError(
+                "edge device has no installed model; call install() first"
+            )
+
+    def _rebuild_classifier(self) -> None:
+        self.ncm = NCMClassifier().fit_from_support_set(
+            self.embedder, self.support_set
+        )
+
+    @property
+    def classes(self) -> Tuple[str, ...]:
+        self._require_ready()
+        return self.ncm.class_names_
+
+    # ------------------------------------------------------------------ #
+    # inference
+    # ------------------------------------------------------------------ #
+
+    def process_recording(self, recording: Recording) -> np.ndarray:
+        """Run the installed pipeline over a raw recording -> features."""
+        self._require_ready()
+        return self.pipeline.process_recording(recording)
+
+    def infer_window(self, window: np.ndarray) -> InferenceResult:
+        """Classify one raw window; reports wall-clock latency (E1)."""
+        self._require_ready()
+        arr = np.asarray(window, dtype=np.float64)
+        if arr.ndim != 2:
+            raise DataShapeError(
+                f"window must be 2-D (samples, channels), got {arr.shape}"
+            )
+        with Timer() as timer:
+            features = self.pipeline.process_window(arr)
+            embedding = self.embedder.embed(features[None, :])
+            distances = self.ncm.distances(embedding)[0]
+            proba = self.ncm.predict_proba(embedding)[0]
+            winner = int(np.argmin(distances))
+        return InferenceResult(
+            activity=self.ncm.class_names_[winner],
+            confidence=float(proba[winner]),
+            latency_ms=timer.elapsed_ms,
+            distances={
+                name: float(d)
+                for name, d in zip(self.ncm.class_names_, distances)
+            },
+        )
+
+    def infer_features(self, features: np.ndarray) -> np.ndarray:
+        """Classify pre-processed feature rows; returns integer labels."""
+        self._require_ready()
+        arr = check_2d("features", features)
+        return self.ncm.predict(self.embedder.embed(arr))
+
+    def infer_recording(self, recording: Recording) -> Tuple[str, List[str]]:
+        """Classify every window of a recording; majority-vote the verdict."""
+        features = self.process_recording(recording)
+        if features.shape[0] == 0:
+            raise DataShapeError(
+                "recording too short: no complete window to classify"
+            )
+        labels = self.infer_features(features)
+        names = [self.ncm.class_names_[i] for i in labels]
+        majority = Counter(names).most_common(1)[0][0]
+        return majority, names
+
+    # ------------------------------------------------------------------ #
+    # incremental learning (all local)
+    # ------------------------------------------------------------------ #
+
+    def _features_from(
+        self, data: Union[Recording, np.ndarray]
+    ) -> np.ndarray:
+        if isinstance(data, Recording):
+            return self.process_recording(data)
+        return check_2d("features", data)
+
+    def learn_activity(
+        self, name: str, data: Union[Recording, np.ndarray]
+    ) -> UpdateResult:
+        """Learn a brand-new activity from a recording (or features).
+
+        This is the Figure 3(c-e) flow: record ~20-30 s, update the support
+        set, re-train jointly with distillation, rebuild prototypes.
+        """
+        self._require_ready()
+        result = self._learner.learn_new_class(
+            self.embedder, self.support_set, name, self._features_from(data)
+        )
+        self._rebuild_classifier()
+        return result
+
+    def calibrate_activity(
+        self, name: str, data: Union[Recording, np.ndarray]
+    ) -> UpdateResult:
+        """Re-calibrate an existing activity with the user's own data."""
+        self._require_ready()
+        result = self._learner.calibrate_class(
+            self.embedder, self.support_set, name, self._features_from(data)
+        )
+        self._rebuild_classifier()
+        return result
+
+    def reinforce_activity(
+        self, name: str, data: Union[Recording, np.ndarray]
+    ) -> UpdateResult:
+        """Blend fresh samples of an existing activity into the support set."""
+        self._require_ready()
+        result = self._learner.reinforce_class(
+            self.embedder, self.support_set, name, self._features_from(data)
+        )
+        self._rebuild_classifier()
+        return result
+
+    # ------------------------------------------------------------------ #
+    # footprint & privacy
+    # ------------------------------------------------------------------ #
+
+    def component_sizes(self) -> Dict[str, int]:
+        """Current on-device footprint per component (bytes, float32)."""
+        self._require_ready()
+        return TransferPackage(
+            pipeline=self.pipeline,
+            embedder=self.embedder,
+            support_set=self.support_set,
+        ).component_sizes()
+
+    def footprint_bytes(self) -> int:
+        """Total bytes the platform occupies on the device (E3)."""
+        return sum(self.component_sizes().values())
+
+    def attempt_cloud_upload(self, data: Union[Recording, np.ndarray]) -> None:
+        """Try to send user data to the Cloud — must raise under MAGNETO.
+
+        Exists so tests and demos can show Definition 1 being enforced; a
+        conventional Cloud pipeline performs this transfer on every window.
+        """
+        if isinstance(data, Recording):
+            n_bytes = data.data.astype(np.float32).nbytes
+        else:
+            n_bytes = np.asarray(data, dtype=np.float32).nbytes
+        self.guard.record(
+            EDGE_TO_CLOUD,
+            kind="raw_user_data",
+            n_bytes=n_bytes,
+            contains_user_data=True,
+        )

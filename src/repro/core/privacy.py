@@ -1,0 +1,186 @@
+"""Privacy enforcement and the simulated Cloud-Edge network link.
+
+Paper, Definition 1: *"no user data is allowed to be transferred from Edge
+to Cloud. However, it is less restrict to pull data from Cloud to Edge."*
+
+:class:`PrivacyGuard` is the runtime embodiment of that rule — every
+transfer between Cloud and Edge is routed through it, audited, and
+Edge-to-Cloud transfers carrying user data raise
+:class:`~repro.exceptions.PrivacyViolationError`.  The Cloud-based baseline
+(E5) runs with ``enforce=False`` so the audit log *records* the violations
+a conventional architecture commits instead of refusing to run, which is
+what makes the privacy comparison measurable.
+
+:class:`NetworkLink` models the User-Cloud channel's latency and bandwidth,
+the source of the Cloud approach's inference latency penalty (Figure 1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..exceptions import ConfigurationError, PrivacyViolationError
+from ..utils import RngLike, ensure_rng
+
+#: Transfer directions.
+CLOUD_TO_EDGE = "cloud->edge"
+EDGE_TO_CLOUD = "edge->cloud"
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One audited transfer event."""
+
+    direction: str
+    kind: str
+    n_bytes: int
+    contains_user_data: bool
+    allowed: bool
+    simulated_ms: float
+
+
+class PrivacyGuard:
+    """Audits every Cloud-Edge transfer and enforces Definition 1.
+
+    Parameters
+    ----------
+    enforce:
+        When true (the MAGNETO mode), an Edge-to-Cloud transfer flagged as
+        containing user data raises :class:`PrivacyViolationError` *before*
+        any bytes move.  When false (baseline mode), the transfer is allowed
+        but recorded as a violation.
+    """
+
+    def __init__(self, enforce: bool = True) -> None:
+        self.enforce = bool(enforce)
+        self._log: List[TransferRecord] = []
+
+    @property
+    def log(self) -> List[TransferRecord]:
+        return list(self._log)
+
+    def record(
+        self,
+        direction: str,
+        kind: str,
+        n_bytes: int,
+        contains_user_data: bool,
+        simulated_ms: float = 0.0,
+    ) -> TransferRecord:
+        """Audit (and possibly veto) one transfer."""
+        if direction not in (CLOUD_TO_EDGE, EDGE_TO_CLOUD):
+            raise ConfigurationError(f"unknown transfer direction {direction!r}")
+        if n_bytes < 0:
+            raise ConfigurationError(f"n_bytes must be >= 0, got {n_bytes}")
+        violating = direction == EDGE_TO_CLOUD and contains_user_data
+        allowed = not (violating and self.enforce)
+        entry = TransferRecord(
+            direction=direction,
+            kind=kind,
+            n_bytes=int(n_bytes),
+            contains_user_data=bool(contains_user_data),
+            allowed=allowed,
+            simulated_ms=float(simulated_ms),
+        )
+        self._log.append(entry)
+        if violating and self.enforce:
+            raise PrivacyViolationError(
+                f"blocked Edge->Cloud transfer of user data ({kind!r}, "
+                f"{n_bytes} bytes): Definition 1 forbids it"
+            )
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # audit queries
+    # ------------------------------------------------------------------ #
+
+    def user_bytes_sent_to_cloud(self) -> int:
+        """Total user-data bytes that actually left the Edge.
+
+        Zero by construction when ``enforce`` is true — the headline privacy
+        property of the Edge approach.
+        """
+        return sum(
+            rec.n_bytes
+            for rec in self._log
+            if rec.direction == EDGE_TO_CLOUD
+            and rec.contains_user_data
+            and rec.allowed
+        )
+
+    def violations(self) -> List[TransferRecord]:
+        """All user-data Edge-to-Cloud events, allowed or vetoed."""
+        return [
+            rec
+            for rec in self._log
+            if rec.direction == EDGE_TO_CLOUD and rec.contains_user_data
+        ]
+
+    def bytes_by_direction(self, direction: str) -> int:
+        return sum(
+            rec.n_bytes
+            for rec in self._log
+            if rec.direction == direction and rec.allowed
+        )
+
+    def reset(self) -> None:
+        self._log.clear()
+
+
+class NetworkLink:
+    """Latency + bandwidth model of the User-Cloud channel.
+
+    ``transfer_ms(n_bytes)`` returns the simulated round-trip cost of moving
+    ``n_bytes``: one latency term plus serialization at ``bandwidth_mbps``,
+    with optional jitter.  The link does not sleep — callers add the cost to
+    their accounting — except via :meth:`transfer_realtime` used by
+    wall-clock demos.
+    """
+
+    def __init__(
+        self,
+        latency_ms: float = 50.0,
+        bandwidth_mbps: float = 20.0,
+        jitter_ms: float = 0.0,
+        rng: RngLike = None,
+    ) -> None:
+        if latency_ms < 0:
+            raise ConfigurationError(f"latency_ms must be >= 0, got {latency_ms}")
+        if bandwidth_mbps <= 0:
+            raise ConfigurationError(
+                f"bandwidth_mbps must be > 0, got {bandwidth_mbps}"
+            )
+        if jitter_ms < 0:
+            raise ConfigurationError(f"jitter_ms must be >= 0, got {jitter_ms}")
+        self.latency_ms = float(latency_ms)
+        self.bandwidth_mbps = float(bandwidth_mbps)
+        self.jitter_ms = float(jitter_ms)
+        self._rng = ensure_rng(rng)
+
+    def transfer_ms(self, n_bytes: int) -> float:
+        """Simulated one-way transfer time in milliseconds."""
+        if n_bytes < 0:
+            raise ConfigurationError(f"n_bytes must be >= 0, got {n_bytes}")
+        serialization_ms = (n_bytes * 8.0) / (self.bandwidth_mbps * 1e6) * 1e3
+        jitter = (
+            float(self._rng.uniform(0.0, self.jitter_ms)) if self.jitter_ms else 0.0
+        )
+        return self.latency_ms + serialization_ms + jitter
+
+    def round_trip_ms(self, up_bytes: int, down_bytes: int) -> float:
+        """Request/response cost: upload, server turn-around excluded."""
+        return self.transfer_ms(up_bytes) + self.transfer_ms(down_bytes)
+
+    def transfer_realtime(self, n_bytes: int) -> float:
+        """Actually sleep for the simulated duration (wall-clock demos)."""
+        cost_ms = self.transfer_ms(n_bytes)
+        time.sleep(cost_ms / 1e3)
+        return cost_ms
+
+
+#: A link profile resembling a decent 4G connection.
+TYPICAL_4G = dict(latency_ms=45.0, bandwidth_mbps=25.0, jitter_ms=15.0)
+#: A link profile resembling home Wi-Fi.
+TYPICAL_WIFI = dict(latency_ms=8.0, bandwidth_mbps=120.0, jitter_ms=3.0)

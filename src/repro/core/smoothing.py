@@ -1,0 +1,111 @@
+"""Temporal smoothing of the per-window prediction stream.
+
+A 1 Hz classifier flickers: one noisy window mid-walk shouldn't flash
+"run" on the GUI.  The demo's result-visualization layer needs a stable
+verdict, so this module provides two classic stream post-processors:
+
+- :class:`MajorityVoteSmoother` — sliding mode over the last ``window``
+  predictions;
+- :class:`HysteresisSmoother` — switch the displayed activity only after
+  ``switch_after`` consecutive windows agree on a different one (the
+  debouncing a real fitness app ships with).
+
+Both are stateful online filters: feed predictions one at a time with
+``update`` and read the stable verdict, or batch-apply with ``apply``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Iterable, List, Optional
+
+from ..exceptions import ConfigurationError
+
+
+class MajorityVoteSmoother:
+    """Sliding-window mode filter over a label stream.
+
+    Ties resolve to the most recent label among the tied ones, so the
+    filter never invents a label it has not seen.
+    """
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self._buffer: Deque[str] = deque(maxlen=self.window)
+
+    def update(self, label: str) -> str:
+        """Feed one prediction; returns the current smoothed verdict."""
+        self._buffer.append(label)
+        counts = Counter(self._buffer)
+        best_count = max(counts.values())
+        tied = {name for name, count in counts.items() if count == best_count}
+        for recent in reversed(self._buffer):
+            if recent in tied:
+                return recent
+        return label  # unreachable; defensive
+
+    def apply(self, labels: Iterable[str]) -> List[str]:
+        """Smooth a whole sequence (resets internal state first)."""
+        self.reset()
+        return [self.update(label) for label in labels]
+
+    def reset(self) -> None:
+        self._buffer.clear()
+
+
+class HysteresisSmoother:
+    """Debounced activity display: switch only after sustained agreement.
+
+    The displayed activity changes to a new label only once that label has
+    been predicted ``switch_after`` times in a row; isolated disagreements
+    reset the counter and keep the current display.
+    """
+
+    def __init__(self, switch_after: int = 3) -> None:
+        if switch_after < 1:
+            raise ConfigurationError(
+                f"switch_after must be >= 1, got {switch_after}"
+            )
+        self.switch_after = int(switch_after)
+        self._current: Optional[str] = None
+        self._candidate: Optional[str] = None
+        self._streak = 0
+
+    @property
+    def current(self) -> Optional[str]:
+        """The currently displayed activity (None before any input)."""
+        return self._current
+
+    def update(self, label: str) -> str:
+        """Feed one prediction; returns the displayed activity."""
+        if self._current is None:
+            self._current = label
+            self._candidate = None
+            self._streak = 0
+            return self._current
+        if label == self._current:
+            self._candidate = None
+            self._streak = 0
+            return self._current
+        if label == self._candidate:
+            self._streak += 1
+        else:
+            self._candidate = label
+            self._streak = 1
+        if self._streak >= self.switch_after:
+            self._current = label
+            self._candidate = None
+            self._streak = 0
+        return self._current
+
+    def apply(self, labels: Iterable[str]) -> List[str]:
+        """Smooth a whole sequence (resets internal state first)."""
+        self.reset()
+        return [self.update(label) for label in labels]
+
+    def reset(self) -> None:
+        self._current = None
+        self._candidate = None
+        self._streak = 0

@@ -1,0 +1,145 @@
+"""The Cloud-to-Edge transfer package.
+
+Paper, Section 3.2: at the end of Cloud initialization exactly three items
+are transferred to the Edge device — (1) the pre-processing function,
+(2) the initial ML model, (3) the support set.  :class:`TransferPackage`
+bundles the three, accounts their footprint (the paper's "<5 MB total"
+claim, E3) and persists to a single ``.npz`` file.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import zipfile
+from dataclasses import dataclass
+from typing import Dict, Union
+
+import numpy as np
+
+from ..exceptions import SerializationError
+from ..nn.network import Sequential
+from ..nn.siamese import SiameseEmbedder
+from ..preprocessing.pipeline import PreprocessingPipeline
+from ..utils import format_bytes
+from .support_set import SupportSet
+
+_META_KEY = "__meta_json__"
+
+
+@dataclass
+class TransferPackage:
+    """Everything the Edge needs, and nothing else."""
+
+    pipeline: PreprocessingPipeline
+    embedder: SiameseEmbedder
+    support_set: SupportSet
+
+    # ------------------------------------------------------------------ #
+    # footprint accounting (experiment E3)
+    # ------------------------------------------------------------------ #
+
+    def component_sizes(self) -> Dict[str, int]:
+        """Bytes per component at deployment precision (float32 weights)."""
+        return {
+            "pipeline": self.pipeline.size_bytes(),
+            "model": self.embedder.size_bytes(dtype=np.float32),
+            "support_set": self.support_set.size_bytes(dtype=np.float32),
+        }
+
+    def size_bytes(self) -> int:
+        """Total footprint of the package."""
+        return sum(self.component_sizes().values())
+
+    def describe(self) -> str:
+        """Human-readable footprint summary (the Fig.-3-style size readout)."""
+        sizes = self.component_sizes()
+        lines = [
+            f"  {name:<12} {format_bytes(size)}" for name, size in sizes.items()
+        ]
+        lines.append(f"  {'total':<12} {format_bytes(self.size_bytes())}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        """Write the whole package to one ``.npz`` bundle."""
+        arrays: Dict[str, np.ndarray] = {}
+        meta = {
+            "pipeline": self.pipeline.to_dict(),
+            "network_config": self.embedder.network.to_config(),
+            "support_capacity": self.support_set.capacity_per_class,
+            "support_selection": self.support_set.selection,
+        }
+        arrays[_META_KEY] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        for key, value in self.embedder.network.state_dict().items():
+            arrays[f"model/{key}"] = value
+        for key, value in self.support_set.to_arrays().items():
+            arrays[f"support/{key}"] = value
+        with open(path, "wb") as fh:
+            np.savez(fh, **arrays)
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "TransferPackage":
+        """Rebuild a package saved with :meth:`save`."""
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                if _META_KEY not in payload:
+                    raise SerializationError(
+                        f"{path!s} is not a transfer package (missing metadata)"
+                    )
+                meta = json.loads(bytes(payload[_META_KEY].tobytes()).decode("utf-8"))
+                model_state = {
+                    key[len("model/"):]: payload[key]
+                    for key in payload.files
+                    if key.startswith("model/")
+                }
+                support_arrays = {
+                    key[len("support/"):]: payload[key]
+                    for key in payload.files
+                    if key.startswith("support/")
+                }
+        except (OSError, ValueError, zipfile.BadZipFile,
+                json.JSONDecodeError) as exc:
+            raise SerializationError(
+                f"cannot load transfer package from {path!s}: {exc}"
+            ) from exc
+
+        pipeline = PreprocessingPipeline.from_dict(meta["pipeline"])
+        network = Sequential.from_config(meta["network_config"])
+        network.load_state_dict(model_state)
+        support = SupportSet.from_arrays(
+            support_arrays,
+            capacity_per_class=int(meta["support_capacity"]),
+            selection=str(meta["support_selection"]),
+        )
+        return cls(
+            pipeline=pipeline,
+            embedder=SiameseEmbedder(network),
+            support_set=support,
+        )
+
+    def serialized_bytes(self) -> int:
+        """Size of the on-the-wire ``.npz`` encoding (what the link moves)."""
+        buffer = io.BytesIO()
+        arrays: Dict[str, np.ndarray] = {}
+        meta = {
+            "pipeline": self.pipeline.to_dict(),
+            "network_config": self.embedder.network.to_config(),
+            "support_capacity": self.support_set.capacity_per_class,
+            "support_selection": self.support_set.selection,
+        }
+        arrays[_META_KEY] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        for key, value in self.embedder.network.state_dict().items():
+            arrays[f"model/{key}"] = value.astype(np.float32)
+        for key, value in self.support_set.to_arrays().items():
+            arrays[f"support/{key}"] = value.astype(np.float32)
+        np.savez(buffer, **arrays)
+        return buffer.tell()

@@ -1,0 +1,21 @@
+"""Dataset utilities: splits, batch loading and ready-made scenarios."""
+
+from .loaders import BatchLoader
+from .scenarios import (
+    EdgeScenario,
+    activity_windows,
+    build_edge_scenario,
+    train_test_windows,
+)
+from .splits import leave_users_out, split_by_class, stratified_split
+
+__all__ = [
+    "BatchLoader",
+    "EdgeScenario",
+    "activity_windows",
+    "build_edge_scenario",
+    "leave_users_out",
+    "split_by_class",
+    "stratified_split",
+    "train_test_windows",
+]

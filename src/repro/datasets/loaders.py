@@ -1,0 +1,53 @@
+"""Mini-batch iteration over feature matrices."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DataShapeError
+from ..utils import RngLike, check_2d, check_labels, ensure_rng
+
+
+class BatchLoader:
+    """Iterates ``(features, labels)`` mini-batches, optionally shuffled.
+
+    Deterministic for a fixed seed; the last partial batch is kept (drop it
+    with ``drop_last=True``).
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 64,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: RngLike = None,
+    ) -> None:
+        self.features = check_2d("features", features)
+        self.labels = check_labels("labels", labels, n=self.features.shape[0])
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if self.features.shape[0] == 0:
+            raise DataShapeError("cannot iterate over an empty dataset")
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = ensure_rng(rng)
+
+    def __len__(self) -> int:
+        n = self.features.shape[0]
+        if self.drop_last:
+            return n // self.batch_size
+        return int(np.ceil(n / self.batch_size))
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = self.features.shape[0]
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and idx.size < self.batch_size:
+                return
+            yield self.features[idx], self.labels[idx]

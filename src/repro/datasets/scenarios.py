@@ -1,0 +1,142 @@
+"""Ready-made experiment scenarios.
+
+Benchmarks, examples and integration tests all need the same setup: a
+Cloud pre-trained on a population, an Edge device owned by a *new* user
+(never seen in the campaign), and fresh recordings of activities to infer,
+learn or calibrate.  :func:`build_edge_scenario` assembles that once, with
+scale knobs small enough for tests and large enough for benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.cloud import CloudConfig, CloudInitializer, PretrainReport
+from ..core.edge import EdgeDevice
+from ..core.incremental import IncrementalConfig
+from ..core.privacy import NetworkLink, PrivacyGuard
+from ..core.transfer import TransferPackage
+from ..exceptions import ConfigurationError
+from ..sensors.activities import BASE_ACTIVITIES
+from ..sensors.dataset import RawDataset, generate_campaign, generate_user_windows
+from ..sensors.device import SensorDevice
+from ..sensors.user import UserProfile, atypical_user, sample_user
+from ..utils import RngLike, ensure_rng, spawn_rng
+
+
+@dataclass
+class EdgeScenario:
+    """Everything a MAGNETO experiment starts from."""
+
+    package: TransferPackage
+    pretrain_report: PretrainReport
+    campaign: RawDataset
+    edge_user: UserProfile
+    sensor_device: SensorDevice
+    #: Held-out test windows of the base activities, recorded by the edge user.
+    base_test: RawDataset
+
+    def fresh_edge(
+        self,
+        incremental_config: Optional[IncrementalConfig] = None,
+        link: Optional[NetworkLink] = None,
+        rng: RngLike = None,
+    ) -> EdgeDevice:
+        """A newly provisioned Edge device with its own package copy.
+
+        Each call installs independent copies, so strategies/benchmarks can
+        mutate their device without contaminating the scenario.
+        """
+        edge = EdgeDevice(
+            guard=PrivacyGuard(enforce=True),
+            incremental_config=incremental_config,
+            rng=rng,
+        )
+        package_copy = TransferPackage(
+            pipeline=self.package.pipeline,  # pipeline is read-only at Edge
+            embedder=self.package.embedder.clone(),
+            support_set=self.package.support_set.clone(),
+        )
+        edge.install(package_copy, link=link)
+        return edge
+
+
+def build_edge_scenario(
+    cloud_config: Optional[CloudConfig] = None,
+    n_users: int = 6,
+    windows_per_user_per_activity: int = 30,
+    base_test_windows_per_activity: int = 15,
+    activities: Sequence[str] = BASE_ACTIVITIES,
+    edge_user_atypical: bool = False,
+    rng: RngLike = None,
+) -> EdgeScenario:
+    """Pre-train on a population and hand the package to a brand-new user.
+
+    ``edge_user_atypical=True`` draws the device owner far from the
+    population mean — the calibration experiment's setting.
+    """
+    rng = ensure_rng(rng)
+    campaign = generate_campaign(
+        n_users=n_users,
+        windows_per_user_per_activity=windows_per_user_per_activity,
+        activities=activities,
+        rng=spawn_rng(rng),
+    )
+    cloud = CloudInitializer(cloud_config, rng=spawn_rng(rng))
+    package, report = cloud.pretrain(campaign)
+
+    edge_user = (
+        atypical_user(user_id=1000, rng=spawn_rng(rng))
+        if edge_user_atypical
+        else sample_user(user_id=1000, rng=spawn_rng(rng))
+    )
+    sensor_device = SensorDevice(user=edge_user, rng=spawn_rng(rng))
+    base_test = generate_user_windows(
+        edge_user,
+        activities=activities,
+        windows_per_activity=base_test_windows_per_activity,
+        rng=spawn_rng(rng),
+    )
+    return EdgeScenario(
+        package=package,
+        pretrain_report=report,
+        campaign=campaign,
+        edge_user=edge_user,
+        sensor_device=sensor_device,
+        base_test=base_test,
+    )
+
+
+def activity_windows(
+    user: UserProfile,
+    activity: str,
+    n_windows: int,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Raw one-second windows of one activity performed by ``user``.
+
+    Returns ``(n_windows, 120, 22)``.
+    """
+    if n_windows < 1:
+        raise ConfigurationError(f"n_windows must be >= 1, got {n_windows}")
+    dataset = generate_user_windows(
+        user, activities=[activity], windows_per_activity=n_windows, rng=rng
+    )
+    return dataset.windows
+
+
+def train_test_windows(
+    user: UserProfile,
+    activity: str,
+    n_train: int,
+    n_test: int,
+    rng: RngLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Independent train and test raw windows of one activity."""
+    rng = ensure_rng(rng)
+    train = activity_windows(user, activity, n_train, rng=spawn_rng(rng))
+    test = activity_windows(user, activity, n_test, rng=spawn_rng(rng))
+    return train, test

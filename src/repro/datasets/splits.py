@@ -1,0 +1,88 @@
+"""Dataset splitting utilities.
+
+Two split families matter for the experiments:
+
+- :func:`stratified_split` — per-class train/test split of windows (used
+  for the pre-training accuracy numbers),
+- :func:`leave_users_out` — holds entire users out of training, the honest
+  way to measure how a population model generalizes to a *new person*
+  (the situation every fresh Edge install is in).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DataShapeError
+from ..sensors.dataset import RawDataset
+from ..utils import RngLike, ensure_rng
+
+
+def stratified_split(
+    dataset: RawDataset,
+    test_fraction: float = 0.25,
+    rng: RngLike = None,
+) -> Tuple[RawDataset, RawDataset]:
+    """Split windows into train/test, preserving class proportions.
+
+    Every class contributes at least one window to each side when it has at
+    least two windows.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ConfigurationError(
+            f"test_fraction must be in (0, 1), got {test_fraction}"
+        )
+    rng = ensure_rng(rng)
+    test_mask = np.zeros(dataset.n_windows, dtype=bool)
+    for label in range(dataset.n_classes):
+        idx = np.flatnonzero(dataset.labels == label)
+        if idx.size == 0:
+            continue
+        n_test = int(round(idx.size * test_fraction))
+        if idx.size >= 2:
+            n_test = min(max(n_test, 1), idx.size - 1)
+        else:
+            n_test = 0
+        chosen = rng.choice(idx, size=n_test, replace=False)
+        test_mask[chosen] = True
+    return dataset.subset(~test_mask), dataset.subset(test_mask)
+
+
+def leave_users_out(
+    dataset: RawDataset, held_out_users: Sequence[int]
+) -> Tuple[RawDataset, RawDataset]:
+    """Split by user id: held-out users form the test set.
+
+    Raises if the split would leave either side empty.
+    """
+    held = set(int(u) for u in held_out_users)
+    if not held:
+        raise ConfigurationError("held_out_users must be non-empty")
+    test_mask = np.isin(dataset.user_ids, sorted(held))
+    if not test_mask.any():
+        raise DataShapeError(
+            f"none of the users {sorted(held)} appear in the dataset"
+        )
+    if test_mask.all():
+        raise DataShapeError("cannot hold out every user")
+    return dataset.subset(~test_mask), dataset.subset(test_mask)
+
+
+def split_by_class(
+    dataset: RawDataset, class_names: Sequence[str]
+) -> Tuple[RawDataset, RawDataset]:
+    """Partition windows into (selected classes, remaining classes).
+
+    Both sides keep the full ``class_names`` tuple so labels stay aligned.
+    """
+    wanted = set(class_names)
+    unknown = wanted - set(dataset.class_names)
+    if unknown:
+        raise ConfigurationError(
+            f"classes {sorted(unknown)} not in dataset {dataset.class_names}"
+        )
+    labels = {dataset.label_of(name) for name in wanted}
+    mask = np.isin(dataset.labels, sorted(labels))
+    return dataset.subset(mask), dataset.subset(~mask)

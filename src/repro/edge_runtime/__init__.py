@@ -1,0 +1,44 @@
+"""Simulated edge-device runtime: resource model, budgets, and the demo app."""
+
+from .app import AppEvent, AppState, MagnetoApp, PredictionFrame
+from .journal import ActivityJournal, ActivitySegment
+from .display import (
+    confidence_bar,
+    render_event_log,
+    render_prediction,
+    render_session,
+)
+from .resources import (
+    DEVICE_PRESETS,
+    FLAGSHIP_PHONE,
+    MIDRANGE_PHONE,
+    RASPBERRY_PI,
+    DeviceSpec,
+    ResourceModel,
+    forward_flops,
+    training_flops,
+)
+from .runtime import EdgeRuntime, RuntimeStats
+
+__all__ = [
+    "ActivityJournal",
+    "ActivitySegment",
+    "AppEvent",
+    "AppState",
+    "DEVICE_PRESETS",
+    "DeviceSpec",
+    "EdgeRuntime",
+    "FLAGSHIP_PHONE",
+    "MagnetoApp",
+    "MIDRANGE_PHONE",
+    "PredictionFrame",
+    "RASPBERRY_PI",
+    "ResourceModel",
+    "RuntimeStats",
+    "confidence_bar",
+    "forward_flops",
+    "render_event_log",
+    "render_prediction",
+    "render_session",
+    "training_flops",
+]

@@ -1,0 +1,182 @@
+"""The MAGNETO demo application as a state machine.
+
+The Android app of Section 4 / Figure 3 is reproduced as an explicit state
+machine driving the simulated sensor stream:
+
+``IDLE -> INFERRING``      live activity prediction (Fig. 3a-b)
+``IDLE -> RECORDING``      capturing an annotated new activity (Fig. 3c)
+``IDLE -> TRAINING``       on-device model update (Fig. 3d)
+``back to INFERRING``      recognizing the freshly learned activity (Fig. 3e)
+
+Every transition and every prediction frame is logged, and
+:mod:`repro.edge_runtime.display` renders frames as the text equivalent of
+the app's screens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..core.edge import EdgeDevice, InferenceResult
+from ..core.incremental import UpdateResult
+from ..exceptions import ConfigurationError, UnknownActivityError
+from ..sensors.device import Recording, SensorDevice
+from ..sensors.stream import SensorStream
+
+
+class AppState(Enum):
+    """The app's top-level modes."""
+
+    IDLE = "idle"
+    INFERRING = "inferring"
+    RECORDING = "recording"
+    TRAINING = "training"
+
+
+@dataclass(frozen=True)
+class PredictionFrame:
+    """One live-inference screen update (what Fig. 3a/b/e shows)."""
+
+    t_start: float
+    activity: str
+    confidence: float
+    latency_ms: float
+    true_activity: str  # ground truth, for evaluation only
+
+
+@dataclass(frozen=True)
+class AppEvent:
+    """One entry of the app's event log."""
+
+    state: AppState
+    message: str
+
+
+class MagnetoApp:
+    """Drives an :class:`EdgeDevice` through the demonstration scenarios."""
+
+    def __init__(self, edge: EdgeDevice, sensor_device: SensorDevice) -> None:
+        self.edge = edge
+        self.sensor_device = sensor_device
+        self.state = AppState.IDLE
+        self.events: List[AppEvent] = []
+        self._staged: Dict[str, Recording] = {}
+
+    def _log(self, message: str) -> None:
+        self.events.append(AppEvent(state=self.state, message=message))
+
+    def _transition(self, state: AppState, message: str) -> None:
+        self.state = state
+        self._log(message)
+
+    # ------------------------------------------------------------------ #
+    # live inference (Fig. 3a-b, 3e)
+    # ------------------------------------------------------------------ #
+
+    def infer_live(
+        self, performed_activity: str, duration_s: float
+    ) -> List[PredictionFrame]:
+        """The user performs an activity; the app predicts every second."""
+        if duration_s <= 0:
+            raise ConfigurationError(f"duration_s must be > 0, got {duration_s}")
+        self._transition(
+            AppState.INFERRING, f"live inference while user does {performed_activity!r}"
+        )
+        window_s = self.edge.pipeline.window_len / self.sensor_device.sampling_hz
+        stream = SensorStream(
+            self.sensor_device,
+            segments=[(performed_activity, duration_s)],
+            chunk_duration_s=window_s,
+        )
+        frames: List[PredictionFrame] = []
+        for chunk in stream:
+            result: InferenceResult = self.edge.infer_window(chunk.data)
+            frames.append(
+                PredictionFrame(
+                    t_start=chunk.t_start,
+                    activity=result.activity,
+                    confidence=result.confidence,
+                    latency_ms=result.latency_ms,
+                    true_activity=chunk.activity,
+                )
+            )
+        self._transition(AppState.IDLE, f"inference session ended ({len(frames)} windows)")
+        return frames
+
+    # ------------------------------------------------------------------ #
+    # recording + learning a new activity (Fig. 3c-d)
+    # ------------------------------------------------------------------ #
+
+    def record_activity(
+        self, label: str, performed_activity: str, duration_s: float = 25.0
+    ) -> Recording:
+        """Capture an annotated recording (the paper suggests 20-30 s)."""
+        if not label:
+            raise ConfigurationError("label must be non-empty")
+        if duration_s <= 0:
+            raise ConfigurationError(f"duration_s must be > 0, got {duration_s}")
+        self._transition(
+            AppState.RECORDING,
+            f"recording {duration_s:.0f}s of {performed_activity!r} as {label!r}",
+        )
+        recording = self.sensor_device.record(performed_activity, duration_s)
+        self._staged[label] = recording
+        self._transition(AppState.IDLE, f"recording staged for {label!r}")
+        return recording
+
+    def learn_staged(self, label: str) -> UpdateResult:
+        """Train the on-device model on a staged recording (Fig. 3d)."""
+        if label not in self._staged:
+            raise UnknownActivityError(
+                f"no staged recording for {label!r}; "
+                f"staged: {sorted(self._staged)}"
+            )
+        self._transition(AppState.TRAINING, f"updating model with {label!r}")
+        result = self.edge.learn_activity(label, self._staged.pop(label))
+        self._transition(
+            AppState.IDLE,
+            f"model updated; classes now {list(self.edge.classes)}",
+        )
+        return result
+
+    def calibrate_staged(self, label: str) -> UpdateResult:
+        """Calibrate an existing activity from a staged recording."""
+        if label not in self._staged:
+            raise UnknownActivityError(
+                f"no staged recording for {label!r}; "
+                f"staged: {sorted(self._staged)}"
+            )
+        self._transition(AppState.TRAINING, f"calibrating {label!r}")
+        result = self.edge.calibrate_activity(label, self._staged.pop(label))
+        self._transition(AppState.IDLE, f"calibration of {label!r} finished")
+        return result
+
+    # ------------------------------------------------------------------ #
+    # the full Figure-3 demonstration
+    # ------------------------------------------------------------------ #
+
+    def run_demo_scenario(
+        self,
+        new_label: str = "gesture_hi",
+        performed_new_activity: str = "gesture_hi",
+        warmup_activities: Optional[List[str]] = None,
+        infer_s: float = 5.0,
+        record_s: float = 25.0,
+    ) -> Dict[str, List[PredictionFrame]]:
+        """Reproduce the Fig. 3 sequence end to end.
+
+        Returns per-phase prediction frames keyed ``'warmup:<activity>'``
+        and ``'new:<label>'``.
+        """
+        warmup = warmup_activities if warmup_activities is not None else ["still", "walk"]
+        frames: Dict[str, List[PredictionFrame]] = {}
+        for activity in warmup:  # Fig. 3(a-b)
+            frames[f"warmup:{activity}"] = self.infer_live(activity, infer_s)
+        self.record_activity(new_label, performed_new_activity, record_s)  # 3(c)
+        self.learn_staged(new_label)  # 3(d)
+        frames[f"new:{new_label}"] = self.infer_live(
+            performed_new_activity, infer_s
+        )  # 3(e)
+        return frames

@@ -1,0 +1,61 @@
+"""Text rendering of the app's screens.
+
+The demo projects the phone's GUI onto a screen (Section 4.2); here the
+"GUI" is rendered as fixed-width text panels so examples and logs can show
+what Figure 3's screens display: the predicted activity, a confidence bar
+and the prediction latency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .app import AppEvent, AppState, PredictionFrame
+
+_PANEL_WIDTH = 38
+
+
+def _frame_line(text: str) -> str:
+    return "| " + text.ljust(_PANEL_WIDTH - 4) + " |"
+
+
+def confidence_bar(confidence: float, width: int = 20) -> str:
+    """A textual confidence meter, e.g. ``[########            ] 40%``."""
+    confidence = min(max(confidence, 0.0), 1.0)
+    filled = int(round(confidence * width))
+    return f"[{'#' * filled}{' ' * (width - filled)}] {confidence * 100.0:3.0f}%"
+
+
+def render_prediction(frame: PredictionFrame) -> str:
+    """One Fig.-3-style screen for a prediction frame."""
+    top = "+" + "-" * (_PANEL_WIDTH - 2) + "+"
+    lines = [
+        top,
+        _frame_line("MAGNETO"),
+        _frame_line(f"t = {frame.t_start:5.1f} s"),
+        _frame_line(""),
+        _frame_line(f"Activity:  {frame.activity}"),
+        _frame_line(confidence_bar(frame.confidence)),
+        _frame_line(f"latency: {frame.latency_ms:.1f} ms"),
+        top,
+    ]
+    return "\n".join(lines)
+
+
+def render_event_log(events: Sequence[AppEvent]) -> str:
+    """The app's event log as one line per transition."""
+    return "\n".join(
+        f"[{event.state.value:>9}] {event.message}" for event in events
+    )
+
+
+def render_session(frames: Sequence[PredictionFrame]) -> str:
+    """A compact per-window session trace (one line per second)."""
+    lines: List[str] = []
+    for frame in frames:
+        marker = "ok " if frame.activity == frame.true_activity else "MIS"
+        lines.append(
+            f"t={frame.t_start:5.1f}s  pred={frame.activity:<14} "
+            f"conf={frame.confidence:4.2f}  {frame.latency_ms:5.1f} ms  [{marker}]"
+        )
+    return "\n".join(lines)

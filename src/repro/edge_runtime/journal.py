@@ -1,0 +1,159 @@
+"""Activity journal — the result-visualization end of the pipeline.
+
+The paper describes MAGNETO as "the whole pipeline of HAR tasks, covering
+real-time data collection, data preprocessing, model
+adaptation/re-training/calibration, model inference and **result
+visualization**" (Section 3).  The phone GUI shows the instantaneous
+prediction; what a health/fitness product (Section 1's motivating
+applications) actually surfaces is the *day's story*: contiguous activity
+segments with durations — "42 minutes walking, 15 minutes running".
+
+:class:`ActivityJournal` builds that story from the per-window prediction
+stream: predictions are debounced with a
+:class:`~repro.core.smoothing.HysteresisSmoother`, merged into contiguous
+:class:`ActivitySegment` spans, and summarized into per-activity totals
+and a text timeline.  Everything stays on the device, like the rest of the
+platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..core.smoothing import HysteresisSmoother
+from ..exceptions import ConfigurationError
+from .app import PredictionFrame
+
+
+@dataclass(frozen=True)
+class ActivitySegment:
+    """One contiguous span of a single (smoothed) activity."""
+
+    activity: str
+    t_start: float
+    t_end: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end - self.t_start
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise ConfigurationError(
+                f"segment ends ({self.t_end}) before it starts ({self.t_start})"
+            )
+
+
+class ActivityJournal:
+    """Accumulates per-window predictions into an activity timeline.
+
+    Parameters
+    ----------
+    window_s:
+        Duration each prediction covers (1.0 for the paper's windows).
+    switch_after:
+        Hysteresis debounce: a new activity must persist this many windows
+        before the journal opens a new segment.
+    """
+
+    def __init__(self, window_s: float = 1.0, switch_after: int = 3) -> None:
+        if window_s <= 0:
+            raise ConfigurationError(f"window_s must be > 0, got {window_s}")
+        self.window_s = float(window_s)
+        self._smoother = HysteresisSmoother(switch_after=switch_after)
+        self._segments: List[ActivitySegment] = []
+        self._open_activity: Optional[str] = None
+        self._open_start: float = 0.0
+        self._cursor: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+
+    def add_prediction(self, activity: str, t_start: Optional[float] = None) -> str:
+        """Feed one window's prediction; returns the journal's stable label.
+
+        ``t_start`` defaults to the running cursor (contiguous stream).
+        Timestamps that rewind time (e.g. a new inference session restarting
+        its clock at zero) are clamped to the cursor, so journals spanning
+        several sessions stay monotone.
+        """
+        t0 = self._cursor if t_start is None else max(float(t_start), self._cursor)
+        stable = self._smoother.update(activity)
+        if self._open_activity is None:
+            self._open_activity = stable
+            self._open_start = t0
+        elif stable != self._open_activity:
+            self._segments.append(
+                ActivitySegment(self._open_activity, self._open_start, t0)
+            )
+            self._open_activity = stable
+            self._open_start = t0
+        self._cursor = t0 + self.window_s
+        return stable
+
+    def add_frames(self, frames: Iterable[PredictionFrame]) -> None:
+        """Ingest a batch of app prediction frames."""
+        for frame in frames:
+            self.add_prediction(frame.activity, t_start=frame.t_start)
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+
+    def segments(self) -> List[ActivitySegment]:
+        """All closed segments plus the currently open one (if any)."""
+        out = list(self._segments)
+        if self._open_activity is not None and self._cursor > self._open_start:
+            out.append(
+                ActivitySegment(self._open_activity, self._open_start,
+                                self._cursor)
+            )
+        return out
+
+    def totals(self) -> Dict[str, float]:
+        """Seconds spent per activity, over the whole journal."""
+        sums: Dict[str, float] = {}
+        for segment in self.segments():
+            sums[segment.activity] = (
+                sums.get(segment.activity, 0.0) + segment.duration_s
+            )
+        return sums
+
+    def total_duration_s(self) -> float:
+        return sum(seg.duration_s for seg in self.segments())
+
+    def dominant_activity(self) -> Optional[str]:
+        """The activity with the most accumulated time (None when empty)."""
+        totals = self.totals()
+        if not totals:
+            return None
+        return max(totals.items(), key=lambda item: item[1])[0]
+
+    def render_timeline(self) -> str:
+        """The day's story as text, one line per segment."""
+        lines = []
+        for segment in self.segments():
+            lines.append(
+                f"{segment.t_start:7.1f}s - {segment.t_end:7.1f}s  "
+                f"{segment.activity:<14} ({segment.duration_s:5.1f} s)"
+            )
+        return "\n".join(lines)
+
+    def render_summary(self) -> str:
+        """Per-activity totals, longest first."""
+        totals = sorted(
+            self.totals().items(), key=lambda item: item[1], reverse=True
+        )
+        width = max((len(name) for name, _ in totals), default=0)
+        return "\n".join(
+            f"{name.ljust(width)}  {seconds:7.1f} s" for name, seconds in totals
+        )
+
+    def reset(self) -> None:
+        self._smoother.reset()
+        self._segments.clear()
+        self._open_activity = None
+        self._open_start = 0.0
+        self._cursor = 0.0

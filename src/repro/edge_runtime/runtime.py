@@ -1,0 +1,136 @@
+"""Edge runtime accounting: storage, energy and operation budgets.
+
+Wraps an :class:`~repro.core.edge.EdgeDevice` with the
+:class:`~repro.edge_runtime.resources.ResourceModel` so every inference and
+re-training session is charged to the device's budgets.  Storage is checked
+against the device spec after every mutating operation — growing the
+support set beyond the device's storage raises
+:class:`~repro.exceptions.ResourceExceededError` instead of silently
+pretending phones have infinite disks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+import numpy as np
+
+from ..core.edge import EdgeDevice, InferenceResult
+from ..core.incremental import UpdateResult
+from ..exceptions import NotFittedError, ResourceExceededError
+from ..sensors.device import Recording
+from .resources import MIDRANGE_PHONE, DeviceSpec, ResourceModel, forward_flops
+
+
+@dataclass
+class RuntimeStats:
+    """Cumulative resource usage since the runtime started."""
+
+    inferences: int = 0
+    retrainings: int = 0
+    compute_energy_joules: float = 0.0
+    modeled_compute_ms: float = 0.0
+    wall_clock_ms: float = 0.0
+
+
+class EdgeRuntime:
+    """Resource-accounted wrapper around the Edge device."""
+
+    def __init__(
+        self,
+        edge: EdgeDevice,
+        spec: DeviceSpec = MIDRANGE_PHONE,
+        storage_budget_fraction: float = 0.01,
+    ) -> None:
+        """``storage_budget_fraction`` is the share of device storage the
+        app may occupy (1% of a 64 GB phone ≈ 655 MB — generous against the
+        paper's <5 MB)."""
+        if not 0.0 < storage_budget_fraction <= 1.0:
+            raise ResourceExceededError(
+                f"storage_budget_fraction must be in (0, 1], "
+                f"got {storage_budget_fraction}"
+            )
+        self.edge = edge
+        self.model = ResourceModel(spec)
+        self.storage_budget_bytes = int(
+            spec.storage_mb * 1024 * 1024 * storage_budget_fraction
+        )
+        self.stats = RuntimeStats()
+
+    # ------------------------------------------------------------------ #
+    # budget checks
+    # ------------------------------------------------------------------ #
+
+    def check_storage(self) -> int:
+        """Current footprint; raises if it exceeds the storage budget."""
+        footprint = self.edge.footprint_bytes()
+        if footprint > self.storage_budget_bytes:
+            raise ResourceExceededError(
+                f"on-device footprint {footprint} B exceeds storage budget "
+                f"{self.storage_budget_bytes} B"
+            )
+        return footprint
+
+    # ------------------------------------------------------------------ #
+    # accounted operations
+    # ------------------------------------------------------------------ #
+
+    def infer_window(self, window: np.ndarray) -> InferenceResult:
+        """Inference with energy/latency charged to the budgets."""
+        if not self.edge.is_ready:
+            raise NotFittedError("edge device is not provisioned")
+        result = self.edge.infer_window(window)
+        flops = forward_flops(self.edge.embedder.network, batch_size=1)
+        self.stats.inferences += 1
+        self.stats.compute_energy_joules += self.model.energy_joules(flops)
+        self.stats.modeled_compute_ms += self.model.latency_ms(flops)
+        self.stats.wall_clock_ms += result.latency_ms
+        return result
+
+    def learn_activity(
+        self, name: str, data: Union[Recording, np.ndarray]
+    ) -> UpdateResult:
+        """Incremental learning with retraining cost charged and storage
+        re-checked afterwards."""
+        result = self.edge.learn_activity(name, data)
+        self._charge_retraining()
+        self.check_storage()
+        return result
+
+    def calibrate_activity(
+        self, name: str, data: Union[Recording, np.ndarray]
+    ) -> UpdateResult:
+        result = self.edge.calibrate_activity(name, data)
+        self._charge_retraining()
+        self.check_storage()
+        return result
+
+    def _charge_retraining(self) -> None:
+        cfg = self.edge._learner.config.train
+        n_samples = self.edge.support_set.total_samples
+        cost = self.model.retraining_cost(
+            self.edge.embedder.network,
+            n_samples=n_samples,
+            batch_pairs=cfg.batch_pairs,
+            epochs=cfg.epochs,
+        )
+        self.stats.retrainings += 1
+        self.stats.compute_energy_joules += cost["energy_joules"]
+        self.stats.modeled_compute_ms += cost["latency_s"] * 1e3
+
+    # ------------------------------------------------------------------ #
+    # summaries
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> Dict[str, float]:
+        """Budget/usage snapshot for display and experiments."""
+        return {
+            "inferences": float(self.stats.inferences),
+            "retrainings": float(self.stats.retrainings),
+            "compute_energy_joules": self.stats.compute_energy_joules,
+            "modeled_compute_ms": self.stats.modeled_compute_ms,
+            "wall_clock_ms": self.stats.wall_clock_ms,
+            "footprint_bytes": float(self.edge.footprint_bytes()),
+            "storage_budget_bytes": float(self.storage_budget_bytes),
+        }

@@ -1,0 +1,57 @@
+"""Evaluation substrate: metrics, incremental protocol, baselines, tables."""
+
+from .baselines import (
+    ALL_STRATEGIES,
+    CloudClassifier,
+    CloudInference,
+    FrozenPrototypeStrategy,
+    IncrementalStrategy,
+    MagnetoStrategy,
+    NaiveFineTuneStrategy,
+    ReplayOnlyStrategy,
+    ScratchRetrainStrategy,
+)
+from .metrics import (
+    accuracy,
+    accuracy_by_class_name,
+    average_forgetting,
+    backward_transfer,
+    confusion_matrix,
+    forgetting_per_class,
+    macro_f1,
+    per_class_accuracy,
+)
+from .protocols import (
+    ClassData,
+    ProtocolResult,
+    StepRecord,
+    run_incremental_protocol,
+)
+from .reporting import format_cell, print_table, render_table
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "ClassData",
+    "CloudClassifier",
+    "CloudInference",
+    "FrozenPrototypeStrategy",
+    "IncrementalStrategy",
+    "MagnetoStrategy",
+    "NaiveFineTuneStrategy",
+    "ProtocolResult",
+    "ReplayOnlyStrategy",
+    "ScratchRetrainStrategy",
+    "StepRecord",
+    "accuracy",
+    "accuracy_by_class_name",
+    "average_forgetting",
+    "backward_transfer",
+    "confusion_matrix",
+    "forgetting_per_class",
+    "format_cell",
+    "macro_f1",
+    "per_class_accuracy",
+    "print_table",
+    "render_table",
+    "run_incremental_protocol",
+]

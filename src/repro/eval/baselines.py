@@ -1,0 +1,361 @@
+"""Baseline systems the experiments compare MAGNETO against.
+
+Incremental-learning strategies (E2, E7, E8, E10) share the
+:class:`IncrementalStrategy` interface so the protocol runner can sweep
+them:
+
+- :class:`MagnetoStrategy` — the paper's recipe: support-set replay +
+  joint contrastive/distillation re-training (distillation on).
+- :class:`ReplayOnlyStrategy` — ablation: replay but no distillation.
+- :class:`NaiveFineTuneStrategy` — the catastrophic-forgetting strawman:
+  re-train on the *new data only*, no replay, no distillation.
+- :class:`FrozenPrototypeStrategy` — no re-training at all: the frozen
+  embedder just gains a prototype for the new class (the cheapest
+  possible update).
+- :class:`ScratchRetrainStrategy` — re-initialize and re-train on the full
+  support set (a compute-heavy reference point).
+
+Architecture baseline (E5):
+
+- :class:`CloudClassifier` — the conventional Cloud-based HAR service: a
+  softmax MLP living in the Cloud; every inference ships the user's window
+  over the network (recorded as a privacy violation by a non-enforcing
+  guard) and pays the round-trip latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError
+from ..nn.losses import softmax_cross_entropy
+from ..nn.network import Sequential, build_mlp
+from ..nn.optim import Adam
+from ..nn.siamese import SiameseEmbedder, SiameseTrainer, TrainConfig
+from ..core.ncm import NCMClassifier
+from ..core.privacy import EDGE_TO_CLOUD, NetworkLink, PrivacyGuard
+from ..core.support_set import SupportSet
+from ..core.transfer import TransferPackage
+from ..utils import RngLike, check_2d, check_labels, ensure_rng, spawn_rng
+
+
+class IncrementalStrategy:
+    """Base class: holds private copies of the embedder and support set."""
+
+    name = "base"
+
+    def __init__(self, rng: RngLike = None) -> None:
+        self._rng = ensure_rng(rng)
+        self.embedder: Optional[SiameseEmbedder] = None
+        self.support_set: Optional[SupportSet] = None
+        self.ncm: Optional[NCMClassifier] = None
+
+    def prepare(self, package: TransferPackage) -> None:
+        """Take independent copies so strategies never share state."""
+        self.embedder = package.embedder.clone()
+        self.support_set = package.support_set.clone()
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self.ncm = NCMClassifier().fit_from_support_set(
+            self.embedder, self.support_set
+        )
+
+    @property
+    def class_names(self) -> Tuple[str, ...]:
+        if self.ncm is None:
+            raise NotFittedError(f"{self.name} strategy not prepared")
+        return self.ncm.class_names_
+
+    def classify(self, features: np.ndarray) -> np.ndarray:
+        if self.ncm is None:
+            raise NotFittedError(f"{self.name} strategy not prepared")
+        return self.ncm.predict(self.embedder.embed(check_2d("features", features)))
+
+    def add_class(self, name: str, features: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+def _edge_train_config(distill_weight: float) -> TrainConfig:
+    """The shared Edge re-training budget used by the trainable strategies."""
+    return TrainConfig(
+        epochs=15, batch_pairs=48, lr=3e-4, distill_weight=distill_weight
+    )
+
+
+class MagnetoStrategy(IncrementalStrategy):
+    """The paper's method: replay + distillation-anchored re-training."""
+
+    name = "magneto"
+
+    def __init__(self, distill_weight: float = 2.0, rng: RngLike = None) -> None:
+        super().__init__(rng=rng)
+        if distill_weight <= 0:
+            raise ConfigurationError(
+                f"distill_weight must be > 0 for MagnetoStrategy, "
+                f"got {distill_weight}"
+            )
+        self.distill_weight = float(distill_weight)
+
+    def add_class(self, name: str, features: np.ndarray) -> None:
+        teacher = self.embedder.clone()
+        self.support_set.add_class(name, check_2d("features", features),
+                                   embedder=self.embedder)
+        X, y = self.support_set.training_set()
+        trainer = SiameseTrainer(
+            _edge_train_config(self.distill_weight), rng=spawn_rng(self._rng)
+        )
+        trainer.train(self.embedder, X, y, teacher=teacher)
+        self._rebuild()
+
+
+class ReplayOnlyStrategy(IncrementalStrategy):
+    """Ablation: support-set replay, but no distillation anchor."""
+
+    name = "replay_only"
+
+    def add_class(self, name: str, features: np.ndarray) -> None:
+        self.support_set.add_class(name, check_2d("features", features),
+                                   embedder=self.embedder)
+        X, y = self.support_set.training_set()
+        trainer = SiameseTrainer(
+            _edge_train_config(0.0), rng=spawn_rng(self._rng)
+        )
+        trainer.train(self.embedder, X, y, teacher=None)
+        self._rebuild()
+
+
+class NaiveFineTuneStrategy(IncrementalStrategy):
+    """Strawman: fine-tune on the new class's data only, with *no support set*.
+
+    This is what a conventional app without MAGNETO's support set can do:
+    it has no stored exemplars of the old classes, so (a) re-training sees
+    only the new activity's data, and (b) the old class prototypes cannot
+    be recomputed — they stay frozen in the *old* embedding space while
+    fine-tuning moves the map underneath them.  That stale-prototype drift
+    is the textbook catastrophic-forgetting failure the paper's support
+    set (Section 3.2, item 3) exists to prevent.
+    """
+
+    name = "naive_finetune"
+
+    def __init__(self, epochs: int = 30, lr: float = 1e-3,
+                 rng: RngLike = None) -> None:
+        super().__init__(rng=rng)
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        self.epochs = int(epochs)
+        self.lr = float(lr)
+
+    def add_class(self, name: str, features: np.ndarray) -> None:
+        arr = check_2d("features", features)
+        labels = np.zeros(arr.shape[0], dtype=np.int64)
+        # Without replay there is no retention signal to stop early, so the
+        # app trains until the new activity fits — a larger budget than
+        # MAGNETO's gentle anchored update.
+        trainer = SiameseTrainer(
+            TrainConfig(epochs=self.epochs, batch_pairs=48, lr=self.lr,
+                        distill_weight=0.0),
+            rng=spawn_rng(self._rng),
+        )
+        trainer.train(self.embedder, arr, labels, teacher=None)
+        # Old prototypes are stale (no exemplars to recompute them from);
+        # only the new class's prototype lives in the updated space.
+        new_prototype = self.embedder.embed(arr).mean(axis=0)
+        stale = self.ncm
+        rebuilt = NCMClassifier()
+        rebuilt.prototypes_ = np.vstack([stale.prototypes_, new_prototype])
+        rebuilt.class_names_ = stale.class_names_ + (name,)
+        self.ncm = rebuilt
+        # Keep the support set's bookkeeping aligned for protocol label
+        # mapping (it is *not* used for training or prototypes here).
+        self.support_set.add_class(name, arr)
+
+
+class FrozenPrototypeStrategy(IncrementalStrategy):
+    """No re-training: the frozen embedder gains one more prototype."""
+
+    name = "frozen_prototype"
+
+    def add_class(self, name: str, features: np.ndarray) -> None:
+        self.support_set.add_class(name, check_2d("features", features),
+                                   embedder=self.embedder)
+        self._rebuild()
+
+
+class ScratchRetrainStrategy(IncrementalStrategy):
+    """Re-initialize the network and re-train on the whole support set.
+
+    The "just retrain everything" reference point: strong accuracy, but a
+    far larger compute bill than MAGNETO's gentle update — and only
+    possible because the support set exists.
+    """
+
+    name = "scratch_retrain"
+
+    def __init__(self, epochs: int = 30, rng: RngLike = None) -> None:
+        super().__init__(rng=rng)
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        self.epochs = int(epochs)
+
+    def add_class(self, name: str, features: np.ndarray) -> None:
+        self.support_set.add_class(name, check_2d("features", features),
+                                   embedder=self.embedder)
+        fresh = Sequential.from_config(
+            self.embedder.network.to_config(), rng=spawn_rng(self._rng)
+        )
+        self.embedder = SiameseEmbedder(fresh)
+        X, y = self.support_set.training_set()
+        trainer = SiameseTrainer(
+            TrainConfig(epochs=self.epochs, batch_pairs=64, lr=1e-3),
+            rng=spawn_rng(self._rng),
+        )
+        trainer.train(self.embedder, X, y)
+        self._rebuild()
+
+
+#: The strategies E7 sweeps, in display order.
+ALL_STRATEGIES = (
+    MagnetoStrategy,
+    ReplayOnlyStrategy,
+    NaiveFineTuneStrategy,
+    FrozenPrototypeStrategy,
+    ScratchRetrainStrategy,
+)
+
+
+# ---------------------------------------------------------------------- #
+# Cloud-based architecture baseline (E5)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CloudInference:
+    """One Cloud-side inference with its cost breakdown."""
+
+    label: int
+    activity: str
+    network_ms: float
+    compute_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.network_ms + self.compute_ms
+
+
+class CloudClassifier:
+    """A conventional centralized HAR classifier.
+
+    Trains a softmax MLP in the Cloud; :meth:`infer_remote` models the
+    deployed behaviour — the Edge uploads the raw window (a privacy
+    violation the guard records), the Cloud computes, the label rides back.
+    """
+
+    def __init__(
+        self,
+        hidden_dims: Sequence[int] = (256, 128),
+        epochs: int = 30,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        compute_ms: float = 0.5,
+        rng: RngLike = None,
+    ) -> None:
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if compute_ms < 0:
+            raise ConfigurationError(f"compute_ms must be >= 0, got {compute_ms}")
+        self.hidden_dims = tuple(hidden_dims)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.lr = float(lr)
+        self.compute_ms = float(compute_ms)
+        self._rng = ensure_rng(rng)
+        self.network: Optional[Sequential] = None
+        self.class_names: Tuple[str, ...] = ()
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.network is not None
+
+    def train(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        class_names: Sequence[str],
+    ) -> List[float]:
+        """Centralized supervised training; returns per-epoch mean losses."""
+        X = check_2d("features", features)
+        y = check_labels("labels", labels, n=X.shape[0])
+        names = tuple(class_names)
+        if y.size and y.max() >= len(names):
+            raise ConfigurationError("labels exceed class_names")
+        self.class_names = names
+        self.network = build_mlp(
+            input_dim=X.shape[1],
+            hidden_dims=self.hidden_dims,
+            output_dim=len(names),
+            rng=spawn_rng(self._rng),
+        )
+        optimizer = Adam(self.network.parameters(), lr=self.lr)
+        n = X.shape[0]
+        losses: List[float] = []
+        for _ in range(self.epochs):
+            order = self._rng.permutation(n)
+            epoch_loss, n_batches = 0.0, 0
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                logits = self.network.forward(X[idx], training=True)
+                loss, grad = softmax_cross_entropy(logits, y[idx])
+                self.network.zero_grad()
+                self.network.backward(grad)
+                optimizer.step()
+                epoch_loss += loss
+                n_batches += 1
+            losses.append(epoch_loss / max(1, n_batches))
+        return losses
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Server-side prediction (no network modeling)."""
+        if not self.is_fitted:
+            raise NotFittedError("CloudClassifier used before train()")
+        X = check_2d("features", features)
+        return np.argmax(self.network.forward(X, training=False), axis=1)
+
+    def infer_remote(
+        self,
+        window: np.ndarray,
+        features: np.ndarray,
+        link: NetworkLink,
+        guard: PrivacyGuard,
+    ) -> CloudInference:
+        """The deployed Cloud path: upload raw window, classify, download.
+
+        ``guard`` should be non-enforcing; the upload is recorded as a
+        user-data transfer — the measurable privacy cost of this
+        architecture.
+        """
+        if not self.is_fitted:
+            raise NotFittedError("CloudClassifier used before train()")
+        window_bytes = np.asarray(window, dtype=np.float32).nbytes
+        up_ms = link.transfer_ms(window_bytes)
+        guard.record(
+            EDGE_TO_CLOUD,
+            kind="raw_window_for_inference",
+            n_bytes=window_bytes,
+            contains_user_data=True,
+            simulated_ms=up_ms,
+        )
+        label = int(self.predict(np.asarray(features)[None, :])[0])
+        down_ms = link.transfer_ms(64)  # a small JSON result payload
+        return CloudInference(
+            label=label,
+            activity=self.class_names[label],
+            network_ms=up_ms + down_ms,
+            compute_ms=self.compute_ms,
+        )

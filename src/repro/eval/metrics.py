@@ -1,0 +1,123 @@
+"""Classification and continual-learning metrics.
+
+Beyond the standard accuracy/F1/confusion matrix, this module implements
+the continual-learning quantities the incremental experiments report:
+
+- **forgetting** — how much accuracy each *old* class lost after an update
+  (the quantity MAGNETO's distillation loss is designed to keep near zero),
+- **backward transfer (BWT)** — the signed mean accuracy change on old
+  classes (negative = forgetting, positive = the update helped old classes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DataShapeError
+from ..utils import check_labels
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    t = check_labels("y_true", y_true)
+    p = check_labels("y_pred", y_pred, n=t.shape[0])
+    if t.shape[0] == 0:
+        raise DataShapeError("cannot compute accuracy of zero samples")
+    return float(np.mean(t == p))
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """Row-true, column-predicted count matrix of shape ``(C, C)``."""
+    t = check_labels("y_true", y_true)
+    p = check_labels("y_pred", y_pred, n=t.shape[0])
+    if n_classes < 1:
+        raise DataShapeError(f"n_classes must be >= 1, got {n_classes}")
+    if t.size and (t.max() >= n_classes or p.max() >= n_classes):
+        raise DataShapeError("labels exceed n_classes")
+    if t.size and (t.min() < 0 or p.min() < 0):
+        raise DataShapeError("labels must be non-negative")
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (t, p), 1)
+    return matrix
+
+
+def per_class_accuracy(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """Recall of each class; NaN for classes absent from ``y_true``."""
+    matrix = confusion_matrix(y_true, y_pred, n_classes)
+    support = matrix.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(support > 0, np.diag(matrix) / support, np.nan)
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int) -> float:
+    """Unweighted mean F1 across classes present in ``y_true``."""
+    matrix = confusion_matrix(y_true, y_pred, n_classes)
+    tp = np.diag(matrix).astype(np.float64)
+    support = matrix.sum(axis=1)
+    predicted = matrix.sum(axis=0)
+    f1s: List[float] = []
+    for c in range(n_classes):
+        if support[c] == 0:
+            continue
+        precision = tp[c] / predicted[c] if predicted[c] > 0 else 0.0
+        recall = tp[c] / support[c]
+        if precision + recall == 0:
+            f1s.append(0.0)
+        else:
+            f1s.append(2.0 * precision * recall / (precision + recall))
+    if not f1s:
+        raise DataShapeError("no class has support in y_true")
+    return float(np.mean(f1s))
+
+
+def forgetting_per_class(
+    acc_before: Dict[str, float], acc_after: Dict[str, float]
+) -> Dict[str, float]:
+    """Accuracy drop per old class: ``before - after`` (positive = forgot).
+
+    Classes are matched by name; classes only present after the update
+    (the newly learned ones) are ignored.
+    """
+    return {
+        name: acc_before[name] - acc_after[name]
+        for name in acc_before
+        if name in acc_after
+    }
+
+
+def average_forgetting(
+    acc_before: Dict[str, float], acc_after: Dict[str, float]
+) -> float:
+    """Mean accuracy drop across old classes (0 = perfect retention)."""
+    drops = forgetting_per_class(acc_before, acc_after)
+    if not drops:
+        raise DataShapeError("no shared classes between before/after")
+    return float(np.mean(list(drops.values())))
+
+
+def backward_transfer(
+    acc_before: Dict[str, float], acc_after: Dict[str, float]
+) -> float:
+    """Signed mean accuracy change on old classes (``after - before``)."""
+    return -average_forgetting(acc_before, acc_after)
+
+
+def accuracy_by_class_name(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    class_names: Sequence[str],
+) -> Dict[str, float]:
+    """Per-class accuracy keyed by class name (classes with support only)."""
+    names = list(class_names)
+    per_class = per_class_accuracy(y_true, y_pred, len(names))
+    return {
+        name: float(per_class[i])
+        for i, name in enumerate(names)
+        if not np.isnan(per_class[i])
+    }

@@ -1,0 +1,164 @@
+"""The incremental-learning evaluation protocol.
+
+Reproduces the paper's demonstration flow as a measurable experiment: start
+from the pre-trained base classes, add new activities one at a time, and
+after every step evaluate on a *growing* test set (base classes + every
+class learned so far).  Records per-class accuracy, overall accuracy, the
+accuracy on the newly learned class, and forgetting relative to the
+pre-update state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DataShapeError
+from ..utils import check_2d
+from .baselines import IncrementalStrategy
+from .metrics import accuracy, accuracy_by_class_name, average_forgetting
+
+
+@dataclass(frozen=True)
+class ClassData:
+    """Train/test features for one activity to be learned incrementally."""
+
+    name: str
+    train_features: np.ndarray
+    test_features: np.ndarray
+
+    def __post_init__(self) -> None:
+        check_2d(f"{self.name} train_features", self.train_features)
+        check_2d(f"{self.name} test_features", self.test_features)
+
+
+@dataclass
+class StepRecord:
+    """Evaluation snapshot after one protocol step.
+
+    ``step`` 0 is the pre-trained base state; step ``k`` follows learning
+    the ``k``-th new activity.
+    """
+
+    step: int
+    learned_class: str  # "" for the base step
+    overall_accuracy: float
+    new_class_accuracy: float  # NaN for the base step
+    per_class_accuracy: Dict[str, float]
+    forgetting: float  # mean drop on pre-existing classes vs previous step
+
+
+@dataclass
+class ProtocolResult:
+    """All step records for one strategy."""
+
+    strategy: str
+    steps: List[StepRecord] = field(default_factory=list)
+
+    def final_overall(self) -> float:
+        return self.steps[-1].overall_accuracy
+
+    def mean_forgetting(self) -> float:
+        """Mean forgetting over the incremental steps (step >= 1)."""
+        drops = [s.forgetting for s in self.steps[1:]]
+        if not drops:
+            raise DataShapeError("protocol has no incremental steps")
+        return float(np.mean(drops))
+
+    def final_base_class_accuracy(self, base_names: Sequence[str]) -> float:
+        """Mean final accuracy over the original base classes."""
+        last = self.steps[-1].per_class_accuracy
+        values = [last[name] for name in base_names if name in last]
+        if not values:
+            raise DataShapeError("no base class present in final evaluation")
+        return float(np.mean(values))
+
+
+def _evaluate(
+    strategy: IncrementalStrategy,
+    test_sets: Dict[str, np.ndarray],
+) -> Tuple[float, Dict[str, float]]:
+    """Overall + per-class accuracy of ``strategy`` on named test sets."""
+    names = strategy.class_names
+    features = []
+    labels = []
+    for name, feats in test_sets.items():
+        if name not in names:
+            raise ConfigurationError(
+                f"test class {name!r} unknown to strategy (has {names})"
+            )
+        features.append(feats)
+        labels.append(np.full(feats.shape[0], names.index(name), dtype=np.int64))
+    X = np.concatenate(features, axis=0)
+    y = np.concatenate(labels)
+    pred = strategy.classify(X)
+    return accuracy(y, pred), accuracy_by_class_name(y, pred, names)
+
+
+def run_incremental_protocol(
+    strategy: IncrementalStrategy,
+    base_test_sets: Dict[str, np.ndarray],
+    increments: Sequence[ClassData],
+) -> ProtocolResult:
+    """Run the add-one-class-at-a-time protocol for a prepared strategy.
+
+    Parameters
+    ----------
+    strategy:
+        An :class:`IncrementalStrategy` already ``prepare()``-d with the
+        transfer package.
+    base_test_sets:
+        Test features per base class name.
+    increments:
+        The new activities, in learning order.
+    """
+    if strategy.ncm is None:
+        raise ConfigurationError("strategy must be prepared before the protocol")
+    for name in base_test_sets:
+        if name not in strategy.class_names:
+            raise ConfigurationError(
+                f"base test class {name!r} missing from strategy classes"
+            )
+
+    result = ProtocolResult(strategy=strategy.name)
+    test_sets: Dict[str, np.ndarray] = dict(base_test_sets)
+
+    overall, per_class = _evaluate(strategy, test_sets)
+    result.steps.append(
+        StepRecord(
+            step=0,
+            learned_class="",
+            overall_accuracy=overall,
+            new_class_accuracy=float("nan"),
+            per_class_accuracy=per_class,
+            forgetting=0.0,
+        )
+    )
+
+    for k, increment in enumerate(increments, start=1):
+        previous_per_class = result.steps[-1].per_class_accuracy
+        strategy.add_class(increment.name, increment.train_features)
+        test_sets[increment.name] = increment.test_features
+        overall, per_class = _evaluate(strategy, test_sets)
+        old_before = {
+            name: acc
+            for name, acc in previous_per_class.items()
+        }
+        old_after = {
+            name: acc
+            for name, acc in per_class.items()
+            if name in old_before
+        }
+        result.steps.append(
+            StepRecord(
+                step=k,
+                learned_class=increment.name,
+                overall_accuracy=overall,
+                new_class_accuracy=per_class.get(increment.name, float("nan")),
+                per_class_accuracy=per_class,
+                forgetting=average_forgetting(old_before, old_after),
+            )
+        )
+    return result

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the MAGNETO reproduction.
+
+All library errors derive from :class:`MagnetoError` so callers can catch a
+single base class.  Specific subclasses exist for the distinct failure
+domains (privacy, configuration, data shape, model state), because each is
+actionable in a different way by the caller.
+"""
+
+from __future__ import annotations
+
+
+class MagnetoError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(MagnetoError):
+    """An invalid configuration value was supplied."""
+
+
+class DataShapeError(MagnetoError):
+    """An array did not have the shape or dtype the API requires."""
+
+
+class PrivacyViolationError(MagnetoError):
+    """An operation attempted to move user data from the Edge to the Cloud.
+
+    The paper's Definition 1 forbids any Edge-to-Cloud user-data transfer;
+    the :class:`~repro.core.privacy.PrivacyGuard` raises this error when the
+    rule would be broken.
+    """
+
+
+class NotFittedError(MagnetoError):
+    """A component that must be fitted/trained was used before fitting."""
+
+
+class UnknownActivityError(MagnetoError):
+    """An activity label was requested that the component does not know."""
+
+
+class SerializationError(MagnetoError):
+    """A model/pipeline bundle could not be saved or restored."""
+
+
+class ResourceExceededError(MagnetoError):
+    """A simulated edge-device resource budget (RAM, storage) was exceeded."""

@@ -1,0 +1,26 @@
+"""Federated aggregation across Edge devices (extension, paper Section 2.1).
+
+FedAvg over the numpy networks' state dicts plus a synchronous round
+orchestrator — personalization knowledge is pooled through *model deltas*
+while every byte of user data stays on its device.
+"""
+
+from .fedavg import (
+    apply_delta,
+    clip_delta_norm,
+    federated_average,
+    state_delta,
+    state_nbytes,
+)
+from .round import ClientUpdate, FederatedClient, FederationServer
+
+__all__ = [
+    "ClientUpdate",
+    "FederatedClient",
+    "FederationServer",
+    "apply_delta",
+    "clip_delta_norm",
+    "federated_average",
+    "state_delta",
+    "state_nbytes",
+]

@@ -1,0 +1,110 @@
+"""Federated averaging over network state dicts.
+
+The paper's Edge-ML survey (Section 2.1) points at distributed/federated
+learning [Yang et al. 2019] as the way to train across Edge devices, and
+its conclusion invites extensions of the platform.  This module provides
+the aggregation math: plain and sample-weighted FedAvg over the numpy
+networks' state dicts, plus delta (update) arithmetic so clients can ship
+*differences* from the last global model instead of full weights.
+
+Privacy posture: what crosses the network here are **model parameters**,
+never sensor windows or features.  Definition 1 (no *user data* to the
+Cloud) is honored under the standard federated-learning reading; the
+module documents — and the privacy guard records — that weight updates are
+derived artifacts, and notes that differentially-private noise could be
+layered on top (out of scope).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DataShapeError
+
+StateDict = Dict[str, np.ndarray]
+
+
+def _check_compatible(states: Sequence[StateDict]) -> None:
+    if not states:
+        raise ConfigurationError("need at least one state dict")
+    reference = states[0]
+    for i, state in enumerate(states[1:], start=1):
+        if set(state) != set(reference):
+            raise DataShapeError(
+                f"state dict {i} has different keys than state dict 0"
+            )
+        for key in reference:
+            if state[key].shape != reference[key].shape:
+                raise DataShapeError(
+                    f"state dict {i} key {key!r} has shape "
+                    f"{state[key].shape}, expected {reference[key].shape}"
+                )
+
+
+def federated_average(
+    states: Sequence[StateDict],
+    weights: Optional[Sequence[float]] = None,
+) -> StateDict:
+    """FedAvg: the (optionally weighted) mean of compatible state dicts.
+
+    ``weights`` are typically each client's local sample count; they are
+    normalized internally and must be positive.
+    """
+    _check_compatible(states)
+    if weights is None:
+        norm = np.full(len(states), 1.0 / len(states))
+    else:
+        if len(weights) != len(states):
+            raise ConfigurationError(
+                f"got {len(weights)} weights for {len(states)} states"
+            )
+        arr = np.asarray(weights, dtype=np.float64)
+        if np.any(arr <= 0):
+            raise ConfigurationError("weights must be strictly positive")
+        norm = arr / arr.sum()
+    out: StateDict = {}
+    for key in states[0]:
+        out[key] = sum(
+            w * state[key] for w, state in zip(norm, states)
+        ).astype(np.float64)
+    return out
+
+
+def state_delta(new: StateDict, old: StateDict) -> StateDict:
+    """Per-parameter difference ``new - old`` (what a client uploads)."""
+    _check_compatible([new, old])
+    return {key: new[key] - old[key] for key in new}
+
+
+def apply_delta(
+    base: StateDict, delta: StateDict, lr: float = 1.0
+) -> StateDict:
+    """``base + lr * delta`` (how the server folds in an aggregate update)."""
+    if lr <= 0:
+        raise ConfigurationError(f"lr must be > 0, got {lr}")
+    _check_compatible([base, delta])
+    return {key: base[key] + lr * delta[key] for key in base}
+
+
+def state_nbytes(state: StateDict, dtype=np.float32) -> int:
+    """Wire size of a state dict at ``dtype`` precision."""
+    itemsize = np.dtype(dtype).itemsize
+    return sum(int(np.prod(v.shape)) * itemsize for v in state.values())
+
+
+def clip_delta_norm(delta: StateDict, max_norm: float) -> StateDict:
+    """Scale a delta so its global L2 norm is at most ``max_norm``.
+
+    The standard robustness guard against one client dominating the round
+    (and the hook where DP noise would be added).
+    """
+    if max_norm <= 0:
+        raise ConfigurationError(f"max_norm must be > 0, got {max_norm}")
+    total = sum(float((v * v).sum()) for v in delta.values())
+    norm = float(np.sqrt(total))
+    if norm <= max_norm:
+        return {key: value.copy() for key, value in delta.items()}
+    scale = max_norm / (norm + 1e-12)
+    return {key: value * scale for key, value in delta.items()}

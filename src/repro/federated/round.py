@@ -1,0 +1,163 @@
+"""Federated round orchestration: server + edge clients.
+
+One federated personalization round, MAGNETO-style:
+
+1. the server publishes the current global model (Cloud -> Edge: allowed),
+2. each client re-trains **locally** on its own support set (which already
+   contains the user's calibration/custom-activity data — no raw data
+   moves),
+3. each client uploads a norm-clipped *weight delta* (Edge -> Cloud:
+   contains model parameters, not user data — the guard records it as a
+   non-user-data transfer, see :mod:`repro.federated.fedavg`'s privacy
+   note),
+4. the server FedAvg-aggregates the deltas (weighted by local sample
+   counts) into the next global model.
+
+The E14 benchmark runs this loop and verifies the aggregated model stays
+accurate for every participant while zero user-data bytes cross the link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.edge import EdgeDevice
+from ..core.privacy import EDGE_TO_CLOUD, CLOUD_TO_EDGE, NetworkLink, PrivacyGuard
+from ..exceptions import ConfigurationError, NotFittedError
+from ..nn.siamese import SiameseTrainer, TrainConfig
+from ..utils import RngLike, ensure_rng, spawn_rng
+from .fedavg import (
+    StateDict,
+    apply_delta,
+    clip_delta_norm,
+    federated_average,
+    state_delta,
+    state_nbytes,
+)
+
+
+@dataclass
+class ClientUpdate:
+    """What one client contributes to a round."""
+
+    delta: StateDict
+    n_samples: int
+    upload_ms: float
+
+
+class FederatedClient:
+    """An Edge device participating in federated rounds.
+
+    Wraps a provisioned :class:`EdgeDevice`; local training runs on the
+    device's own support set, and only the clipped weight delta leaves.
+    """
+
+    def __init__(
+        self,
+        edge: EdgeDevice,
+        local_train: Optional[TrainConfig] = None,
+        delta_clip: float = 10.0,
+        rng: RngLike = None,
+    ) -> None:
+        if not edge.is_ready:
+            raise NotFittedError("client edge device must be provisioned")
+        if delta_clip <= 0:
+            raise ConfigurationError(f"delta_clip must be > 0, got {delta_clip}")
+        self.edge = edge
+        self.local_train = (
+            local_train
+            if local_train is not None
+            else TrainConfig(epochs=8, batch_pairs=48, lr=3e-4, distill_weight=2.0)
+        )
+        self.delta_clip = float(delta_clip)
+        self._rng = ensure_rng(rng)
+
+    def receive_global(self, state: StateDict, link: Optional[NetworkLink] = None) -> float:
+        """Install the global model (the allowed Cloud->Edge direction)."""
+        n_bytes = state_nbytes(state)
+        download_ms = link.transfer_ms(n_bytes) if link is not None else 0.0
+        self.edge.guard.record(
+            CLOUD_TO_EDGE,
+            kind="global_model",
+            n_bytes=n_bytes,
+            contains_user_data=False,
+            simulated_ms=download_ms,
+        )
+        self.edge.embedder.network.load_state_dict(state)
+        self.edge._rebuild_classifier()
+        return download_ms
+
+    def local_round(self, link: Optional[NetworkLink] = None) -> ClientUpdate:
+        """Train locally on the support set and emit a clipped delta.
+
+        Distillation against the received global model keeps the local
+        update gentle, exactly as in on-device incremental learning.
+        """
+        before = self.edge.embedder.network.state_dict()
+        teacher = self.edge.embedder.clone()
+        features, labels = self.edge.support_set.training_set()
+        trainer = SiameseTrainer(self.local_train, rng=spawn_rng(self._rng))
+        trainer.train(self.edge.embedder, features, labels, teacher=teacher)
+        self.edge._rebuild_classifier()
+
+        after = self.edge.embedder.network.state_dict()
+        delta = clip_delta_norm(state_delta(after, before), self.delta_clip)
+        n_bytes = state_nbytes(delta)
+        upload_ms = link.transfer_ms(n_bytes) if link is not None else 0.0
+        # Weights, not user data: recorded, permitted, and auditable.
+        self.edge.guard.record(
+            EDGE_TO_CLOUD,
+            kind="model_delta",
+            n_bytes=n_bytes,
+            contains_user_data=False,
+            simulated_ms=upload_ms,
+        )
+        return ClientUpdate(
+            delta=delta,
+            n_samples=features.shape[0],
+            upload_ms=upload_ms,
+        )
+
+
+class FederationServer:
+    """Aggregates client deltas into successive global models."""
+
+    def __init__(self, initial_state: StateDict, server_lr: float = 1.0) -> None:
+        if server_lr <= 0:
+            raise ConfigurationError(f"server_lr must be > 0, got {server_lr}")
+        self.global_state: StateDict = {
+            key: value.copy() for key, value in initial_state.items()
+        }
+        self.server_lr = float(server_lr)
+        self.rounds_completed = 0
+
+    def run_round(
+        self,
+        clients: List[FederatedClient],
+        link: Optional[NetworkLink] = None,
+    ) -> Dict[str, float]:
+        """One synchronous round over ``clients``; returns round stats."""
+        if not clients:
+            raise ConfigurationError("need at least one client")
+        for client in clients:
+            client.receive_global(self.global_state, link=link)
+        updates = [client.local_round(link=link) for client in clients]
+        aggregate = federated_average(
+            [update.delta for update in updates],
+            weights=[update.n_samples for update in updates],
+        )
+        self.global_state = apply_delta(
+            self.global_state, aggregate, lr=self.server_lr
+        )
+        self.rounds_completed += 1
+        return {
+            "clients": float(len(clients)),
+            "total_upload_ms": float(sum(u.upload_ms for u in updates)),
+            "delta_bytes_per_client": float(
+                np.mean([state_nbytes(u.delta) for u in updates])
+            ),
+            "round": float(self.rounds_completed),
+        }

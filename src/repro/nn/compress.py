@@ -1,0 +1,284 @@
+"""Model compression for Edge deployment.
+
+The paper's Edge-ML survey (Section 2.1) names the classic techniques for
+shrinking models to Edge budgets: *"optimizing model scale and quantizing
+weights to reduce resource costs, employing methods like parameter pruning
+[6], low-rank factorization [4], and knowledge distillation [8]"*.
+Distillation already powers the incremental learner; this module implements
+the other three as post-training transforms on the numpy networks:
+
+- :func:`quantize_network` / :class:`QuantizedNetwork` — int8 affine
+  weight quantization (per-tensor scale+zero-point); weights are *stored*
+  at 1 byte each and dequantized on the fly, cutting the model's transfer
+  and storage footprint ~4x;
+- :func:`prune_network` — global magnitude pruning: the smallest
+  ``sparsity`` fraction of weights (across all Linear layers) is zeroed;
+- :func:`factorize_network` — truncated-SVD low-rank factorization: each
+  wide Linear layer ``(in, out)`` becomes two layers ``(in, r)`` and
+  ``(r, out)``, shrinking parameters whenever ``r < in*out/(in+out)``.
+
+All three return ordinary networks/wrappers with the usual ``forward``,
+so the NCM classifier and footprint accounting work unchanged — the
+compression benchmark (E15) sweeps them against accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DataShapeError
+from .layers import Linear
+from .network import Sequential
+
+
+# --------------------------------------------------------------------- #
+# int8 quantization
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An int8-quantized array with its affine dequantization parameters."""
+
+    values: np.ndarray  # int8
+    scale: float
+    zero_point: float
+
+    def dequantize(self) -> np.ndarray:
+        return (self.values.astype(np.float64) - self.zero_point) * self.scale
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.values.nbytes)
+
+
+def quantize_tensor(array: np.ndarray) -> QuantizedTensor:
+    """Per-tensor affine int8 quantization of ``array``.
+
+    Maps ``[min, max]`` linearly onto ``[-128, 127]``; a constant tensor
+    quantizes to all zero-points with scale 1.
+    """
+    arr = np.asarray(array, dtype=np.float64)
+    lo, hi = float(arr.min()), float(arr.max())
+    scale = (hi - lo) / 255.0
+    # Constant tensors — including ranges so small the step underflows to
+    # zero — quantize as a pure offset.
+    if hi == lo or scale == 0.0:
+        return QuantizedTensor(
+            values=np.zeros(arr.shape, dtype=np.int8), scale=1.0, zero_point=-lo
+        )
+    zero_point = np.round(-128.0 - lo / scale)
+    values = np.clip(np.round(arr / scale + zero_point), -128, 127)
+    return QuantizedTensor(
+        values=values.astype(np.int8), scale=scale, zero_point=float(zero_point)
+    )
+
+
+class QuantizedNetwork:
+    """An inference-only network whose Linear weights live as int8.
+
+    Exposes ``forward(x)`` (inference mode only) plus footprint accounting,
+    so it can stand in for the float network inside an embedder at
+    deployment time.  Quantized weights are dequantized per forward pass —
+    the storage/transfer saving is the point, not compute.
+    """
+
+    def __init__(self, network: Sequential) -> None:
+        self._template = network.clone()
+        self._quantized: Dict[int, Dict[str, QuantizedTensor]] = {}
+        for i, layer in enumerate(self._template.layers):
+            if isinstance(layer, Linear):
+                self._quantized[i] = {
+                    "weight": quantize_tensor(layer.weight.data),
+                    "bias": quantize_tensor(layer.bias.data),
+                }
+                # Replace stored float weights with their dequantized form
+                # so forward() reflects quantization error faithfully.
+                layer.weight.data = self._quantized[i]["weight"].dequantize()
+                layer.bias.data = self._quantized[i]["bias"].dequantize()
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            raise ConfigurationError(
+                "QuantizedNetwork is inference-only; re-train the float "
+                "network and re-quantize instead"
+            )
+        return self._template.forward(x, training=False)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def n_parameters(self) -> int:
+        return self._template.n_parameters()
+
+    def size_bytes(self, dtype=None) -> int:
+        """Stored size: int8 weights + float64 quantization constants.
+
+        The ``dtype`` argument exists for interface compatibility with
+        :meth:`Sequential.size_bytes` and is ignored (storage is int8 by
+        construction).
+        """
+        total = 0
+        for tensors in self._quantized.values():
+            for qt in tensors.values():
+                total += qt.nbytes + 16  # scale + zero_point as float64
+        return total
+
+    def max_abs_weight_error(self) -> float:
+        """Largest absolute dequantization error across all tensors —
+        bounded by half a quantization step per tensor."""
+        worst = 0.0
+        for tensors in self._quantized.values():
+            for qt in tensors.values():
+                worst = max(worst, qt.scale / 2.0 + 1e-12)
+        return worst
+
+
+def quantize_network(network: Sequential) -> QuantizedNetwork:
+    """Post-training int8 quantization of every Linear layer."""
+    return QuantizedNetwork(network)
+
+
+# --------------------------------------------------------------------- #
+# magnitude pruning
+# --------------------------------------------------------------------- #
+
+
+def prune_network(network: Sequential, sparsity: float) -> Sequential:
+    """Global magnitude pruning: zero the smallest ``sparsity`` fraction of
+    Linear *weights* (biases are untouched — they are few and load-bearing).
+
+    Returns a pruned **copy**; the original network is unchanged.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ConfigurationError(f"sparsity must be in [0, 1), got {sparsity}")
+    pruned = network.clone()
+    if sparsity == 0.0:
+        return pruned
+    weights = [
+        layer.weight.data
+        for layer in pruned.layers
+        if isinstance(layer, Linear)
+    ]
+    if not weights:
+        raise ConfigurationError("network has no Linear layers to prune")
+    magnitudes = np.concatenate([np.abs(w).ravel() for w in weights])
+    threshold = np.quantile(magnitudes, sparsity)
+    for layer in pruned.layers:
+        if isinstance(layer, Linear):
+            mask = np.abs(layer.weight.data) > threshold
+            layer.weight.data = layer.weight.data * mask
+    return pruned
+
+
+def sparsity_of(network: Sequential) -> float:
+    """Fraction of exactly-zero Linear weights in ``network``."""
+    total, zeros = 0, 0
+    for layer in network.layers:
+        if isinstance(layer, Linear):
+            total += layer.weight.data.size
+            zeros += int((layer.weight.data == 0.0).sum())
+    if total == 0:
+        raise ConfigurationError("network has no Linear layers")
+    return zeros / total
+
+
+def sparse_size_bytes(network: Sequential, dtype=np.float32) -> int:
+    """Storage cost of a pruned network in a COO-style sparse encoding.
+
+    Non-zero weights cost one value plus one int32 index; biases and dense
+    bookkeeping are charged densely.  This is what the pruning row of the
+    compression benchmark reports — pruning only pays off through a sparse
+    format.
+    """
+    itemsize = np.dtype(dtype).itemsize
+    total = 0
+    for layer in network.layers:
+        if isinstance(layer, Linear):
+            nonzero = int((layer.weight.data != 0.0).sum())
+            total += nonzero * (itemsize + 4)
+            total += layer.bias.data.size * itemsize
+    return total
+
+
+# --------------------------------------------------------------------- #
+# low-rank factorization
+# --------------------------------------------------------------------- #
+
+
+def factorize_linear(layer: Linear, rank: int) -> Tuple[Linear, Linear]:
+    """Split one Linear layer into two via truncated SVD.
+
+    ``W (in, out) ≈ U_r S_r V_r^T`` becomes ``A = U_r sqrt(S_r)`` and
+    ``B = sqrt(S_r) V_r^T``; the bias rides on the second layer.
+    """
+    max_rank = min(layer.in_features, layer.out_features)
+    if not 1 <= rank <= max_rank:
+        raise ConfigurationError(
+            f"rank must be in [1, {max_rank}], got {rank}"
+        )
+    u, s, vt = np.linalg.svd(layer.weight.data, full_matrices=False)
+    root_s = np.sqrt(s[:rank])
+    first = Linear(layer.in_features, rank)
+    second = Linear(rank, layer.out_features)
+    first.weight.data = u[:, :rank] * root_s[None, :]
+    first.bias.data = np.zeros(rank)
+    second.weight.data = root_s[:, None] * vt[:rank, :]
+    second.bias.data = layer.bias.data.copy()
+    return first, second
+
+
+def factorize_network(
+    network: Sequential, rank_fraction: float = 0.5, min_features: int = 64
+) -> Sequential:
+    """Low-rank factorize every Linear layer big enough to benefit.
+
+    Each eligible layer's rank is ``ceil(rank_fraction * min(in, out))``;
+    layers with ``min(in, out) < min_features`` are kept dense (factorizing
+    tiny layers adds parameters).  Returns a new network; the original is
+    unchanged.
+    """
+    if not 0.0 < rank_fraction <= 1.0:
+        raise ConfigurationError(
+            f"rank_fraction must be in (0, 1], got {rank_fraction}"
+        )
+    if min_features < 1:
+        raise ConfigurationError(
+            f"min_features must be >= 1, got {min_features}"
+        )
+    layers: List = []
+    for layer in network.clone().layers:
+        eligible = (
+            isinstance(layer, Linear)
+            and min(layer.in_features, layer.out_features) >= min_features
+        )
+        if eligible:
+            rank = int(np.ceil(
+                rank_fraction * min(layer.in_features, layer.out_features)
+            ))
+            # Only factorize when it actually saves parameters.
+            dense_params = layer.in_features * layer.out_features
+            lowrank_params = rank * (layer.in_features + layer.out_features)
+            if lowrank_params < dense_params:
+                first, second = factorize_linear(layer, rank)
+                layers.extend([first, second])
+                continue
+        layers.append(layer)
+    return Sequential(layers)
+
+
+def reconstruction_error(original: Sequential, compressed, probe: np.ndarray) -> float:
+    """Mean absolute output difference on a probe batch.
+
+    Works for any compressed variant exposing ``forward`` — the common
+    quality measure of the compression benchmark.
+    """
+    probe = np.asarray(probe, dtype=np.float64)
+    if probe.ndim != 2:
+        raise DataShapeError(f"probe must be 2-D, got {probe.shape}")
+    a = original.forward(probe, training=False)
+    b = compressed.forward(probe, training=False)
+    return float(np.abs(a - b).mean())

@@ -1,0 +1,42 @@
+"""Weight initialization schemes for the numpy NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils import RngLike, ensure_rng
+
+
+def he_normal(fan_in: int, fan_out: int, rng: RngLike = None) -> np.ndarray:
+    """Kaiming/He normal init — the right default for ReLU networks."""
+    if fan_in < 1 or fan_out < 1:
+        raise ConfigurationError("fan_in and fan_out must be >= 1")
+    rng = ensure_rng(rng)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def xavier_uniform(fan_in: int, fan_out: int, rng: RngLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform init — suited to tanh/sigmoid networks."""
+    if fan_in < 1 or fan_out < 1:
+        raise ConfigurationError("fan_in and fan_out must be >= 1")
+    rng = ensure_rng(rng)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+INITIALIZERS = {
+    "he_normal": he_normal,
+    "xavier_uniform": xavier_uniform,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown initializer {name!r}; available: {sorted(INITIALIZERS)}"
+        ) from None

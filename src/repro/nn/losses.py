@@ -1,0 +1,155 @@
+"""Loss functions with analytic gradients.
+
+Three losses carry the MAGNETO training recipe (Section 3.3):
+
+- :func:`contrastive_loss` — the Siamese pair loss [Hadsell et al. 2006 /
+  Khosla et al. 2020 style]: pull same-class embedding pairs together,
+  push different-class pairs beyond a margin;
+- :func:`distillation_loss` — embedding-space distillation against the
+  frozen pre-update model, the anti-forgetting term [Hinton et al. 2015
+  adapted to embeddings];
+- :func:`softmax_cross_entropy` — for the conventional classifier baselines.
+
+Every loss returns ``(scalar_loss, gradient(s))`` so callers can combine
+losses by summing gradients before a single backward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DataShapeError
+
+_EPS = 1e-12
+
+
+def contrastive_loss(
+    za: np.ndarray,
+    zb: np.ndarray,
+    same: np.ndarray,
+    margin: float = 1.0,
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """Pairwise contrastive loss over embedding pairs.
+
+    ``L = mean( same * d^2 + (1 - same) * max(0, margin - d)^2 )`` with
+    ``d = ||za - zb||_2`` per pair.
+
+    Parameters
+    ----------
+    za, zb:
+        Embedding batches of shape ``(n_pairs, dim)``.
+    same:
+        Boolean/0-1 array, true where the pair shares a class.
+    margin:
+        Minimum desired distance between different-class pairs.
+
+    Returns ``(loss, grad_za, grad_zb)``.
+    """
+    za = np.asarray(za, dtype=np.float64)
+    zb = np.asarray(zb, dtype=np.float64)
+    if za.shape != zb.shape or za.ndim != 2:
+        raise DataShapeError(
+            f"za and zb must be equal-shaped 2-D arrays, got {za.shape}, {zb.shape}"
+        )
+    same = np.asarray(same).astype(np.float64)
+    if same.shape != (za.shape[0],):
+        raise DataShapeError(
+            f"same must have shape ({za.shape[0]},), got {same.shape}"
+        )
+    if margin <= 0:
+        raise ConfigurationError(f"margin must be > 0, got {margin}")
+
+    n = za.shape[0]
+    if n == 0:
+        return 0.0, np.zeros_like(za), np.zeros_like(zb)
+
+    diff = za - zb
+    dist = np.sqrt((diff * diff).sum(axis=1) + _EPS)
+    pos_term = dist**2
+    hinge = np.maximum(0.0, margin - dist)
+    neg_term = hinge**2
+    loss = float(np.mean(same * pos_term + (1.0 - same) * neg_term))
+
+    # d(pos)/dza = 2 * diff ; d(neg)/dza = -2 * hinge * diff / dist (0 when
+    # the hinge is inactive).
+    pos_grad = 2.0 * diff
+    neg_grad = (-2.0 * hinge / dist)[:, None] * diff
+    grad_za = (same[:, None] * pos_grad + (1.0 - same)[:, None] * neg_grad) / n
+    grad_zb = -grad_za
+    return loss, grad_za, grad_zb
+
+
+def distillation_loss(
+    z_student: np.ndarray, z_teacher: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Embedding distillation: mean squared error to the frozen teacher.
+
+    Returns ``(loss, grad_wrt_student)``; the teacher receives no gradient.
+    """
+    zs = np.asarray(z_student, dtype=np.float64)
+    zt = np.asarray(z_teacher, dtype=np.float64)
+    if zs.shape != zt.shape or zs.ndim != 2:
+        raise DataShapeError(
+            f"student/teacher embeddings must be equal-shaped 2-D arrays, "
+            f"got {zs.shape}, {zt.shape}"
+        )
+    if zs.shape[0] == 0:
+        return 0.0, np.zeros_like(zs)
+    diff = zs - zt
+    loss = float(np.mean(diff * diff))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable row-wise softmax."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy over integer labels.
+
+    Returns ``(loss, grad_wrt_logits)``.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise DataShapeError(f"logits must be 2-D, got {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise DataShapeError(
+            f"labels must have shape ({logits.shape[0]},), got {labels.shape}"
+        )
+    if labels.size and (labels.min() < 0 or labels.max() >= logits.shape[1]):
+        raise DataShapeError(
+            f"labels must lie in [0, {logits.shape[1]}), "
+            f"got range [{labels.min()}, {labels.max()}]"
+        )
+    n = logits.shape[0]
+    if n == 0:
+        return 0.0, np.zeros_like(logits)
+    probs = softmax(logits)
+    loss = float(-np.mean(np.log(probs[np.arange(n), labels] + _EPS)))
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean squared error and gradient w.r.t. ``pred``."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise DataShapeError(
+            f"pred and target must share a shape, got {pred.shape}, {target.shape}"
+        )
+    if pred.size == 0:
+        return 0.0, np.zeros_like(pred)
+    diff = pred - target
+    return float(np.mean(diff * diff)), 2.0 * diff / diff.size

@@ -1,0 +1,102 @@
+"""Pair sampling for Siamese (contrastive) training.
+
+Contrastive training consumes pairs ``(x_a, x_b, same?)``.
+:func:`sample_pairs` draws a class-balanced batch of pair indices — half
+positive (same class), half negative (different classes) by default —
+which keeps the contrastive gradient informative even when class sizes are
+skewed (exactly the situation right after a new activity is recorded on
+the Edge: few samples of the new class vs. a full support set of old
+classes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DataShapeError
+from ..utils import RngLike, check_labels, ensure_rng
+
+
+def _indices_by_class(labels: np.ndarray) -> Dict[int, np.ndarray]:
+    classes = np.unique(labels)
+    return {int(c): np.flatnonzero(labels == c) for c in classes}
+
+
+def sample_pairs(
+    labels: np.ndarray,
+    n_pairs: int,
+    rng: RngLike = None,
+    positive_fraction: float = 0.5,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Draw ``n_pairs`` index pairs balanced across positives/negatives.
+
+    Returns ``(idx_a, idx_b, same)`` where ``same`` is a boolean array.
+    Positive pairs are drawn uniformly over classes (each positive pair
+    picks a class first, then two of its members), so rare classes
+    contribute as many positives as frequent ones.
+
+    Requires at least two distinct classes for negatives and at least one
+    class with two members for positives; fractions are adjusted when one
+    side is impossible (e.g. a single-class dataset yields all positives).
+    """
+    labels = check_labels("labels", labels)
+    if n_pairs < 1:
+        raise ConfigurationError(f"n_pairs must be >= 1, got {n_pairs}")
+    if not 0.0 <= positive_fraction <= 1.0:
+        raise ConfigurationError(
+            f"positive_fraction must be in [0, 1], got {positive_fraction}"
+        )
+    rng = ensure_rng(rng)
+    by_class = _indices_by_class(labels)
+    classes = sorted(by_class)
+    multi_member = [c for c in classes if by_class[c].size >= 2]
+
+    can_positive = bool(multi_member)
+    can_negative = len(classes) >= 2
+    if not can_positive and not can_negative:
+        raise DataShapeError(
+            "cannot sample pairs: need two samples of one class or two classes"
+        )
+    if not can_positive:
+        positive_fraction = 0.0
+    elif not can_negative:
+        positive_fraction = 1.0
+
+    n_pos = int(round(n_pairs * positive_fraction))
+    n_neg = n_pairs - n_pos
+
+    idx_a: List[int] = []
+    idx_b: List[int] = []
+    same: List[bool] = []
+
+    for _ in range(n_pos):
+        c = multi_member[int(rng.integers(len(multi_member)))]
+        a, b = rng.choice(by_class[c], size=2, replace=False)
+        idx_a.append(int(a))
+        idx_b.append(int(b))
+        same.append(True)
+
+    for _ in range(n_neg):
+        ca, cb = rng.choice(len(classes), size=2, replace=False)
+        a = rng.choice(by_class[classes[int(ca)]])
+        b = rng.choice(by_class[classes[int(cb)]])
+        idx_a.append(int(a))
+        idx_b.append(int(b))
+        same.append(False)
+
+    order = rng.permutation(len(idx_a))
+    return (
+        np.asarray(idx_a, dtype=np.int64)[order],
+        np.asarray(idx_b, dtype=np.int64)[order],
+        np.asarray(same, dtype=bool)[order],
+    )
+
+
+def all_pairs(labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Every unordered index pair with its same-class flag (small inputs only)."""
+    labels = check_labels("labels", labels)
+    n = labels.shape[0]
+    ia, ib = np.triu_indices(n, k=1)
+    return ia, ib, labels[ia] == labels[ib]

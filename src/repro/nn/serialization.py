@@ -1,0 +1,62 @@
+"""Saving and loading networks to/from disk.
+
+Model bundles are a single ``.npz`` file holding the architecture config
+(JSON string) plus one array per parameter — the numpy equivalent of a
+TorchScript checkpoint, small enough to ship Cloud-to-Edge.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import zipfile
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import SerializationError
+from .network import Sequential
+
+_CONFIG_KEY = "__config_json__"
+
+
+def save_network(network: Sequential, path: Union[str, os.PathLike]) -> None:
+    """Serialize ``network`` (architecture + weights) to ``path`` (.npz)."""
+    state = network.state_dict()
+    config_json = json.dumps(network.to_config())
+    arrays = {_CONFIG_KEY: np.frombuffer(config_json.encode("utf-8"), dtype=np.uint8)}
+    arrays.update(state)
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
+
+
+def load_network(path: Union[str, os.PathLike]) -> Sequential:
+    """Rebuild a network previously stored with :func:`save_network`."""
+    try:
+        with np.load(path) as payload:
+            if _CONFIG_KEY not in payload:
+                raise SerializationError(
+                    f"{path!s} is not a network bundle (missing config)"
+                )
+            config = json.loads(bytes(payload[_CONFIG_KEY].tobytes()).decode("utf-8"))
+            state = {
+                key: payload[key] for key in payload.files if key != _CONFIG_KEY
+            }
+    except (OSError, ValueError, zipfile.BadZipFile,
+                json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot load network from {path!s}: {exc}") from exc
+    network = Sequential.from_config(config)
+    network.load_state_dict(state)
+    return network
+
+
+def network_bundle_bytes(network: Sequential) -> int:
+    """Size in bytes of the serialized bundle (without writing to disk)."""
+    buffer = io.BytesIO()
+    state = network.state_dict()
+    config_json = json.dumps(network.to_config())
+    arrays = {_CONFIG_KEY: np.frombuffer(config_json.encode("utf-8"), dtype=np.uint8)}
+    arrays.update({k: v.astype(np.float32) for k, v in state.items()})
+    np.savez(buffer, **arrays)
+    return buffer.tell()

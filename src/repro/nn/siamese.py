@@ -1,0 +1,214 @@
+"""Siamese embedding model and its trainer.
+
+This implements the paper's learning recipe (Sections 3.2-3.3): a Siamese
+network — two weight-shared copies of the FC backbone — trained with a
+contrastive loss to learn a class-separable embedding space, optionally
+joined with an embedding-distillation loss against a frozen *teacher* (the
+pre-update model) to prevent catastrophic forgetting during Edge re-training.
+
+Because the two branches share weights, a pair batch is run as one stacked
+forward pass; the contrastive gradient is split/merged accordingly and a
+single backward pass updates the shared parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DataShapeError
+from ..utils import RngLike, check_2d, check_labels, ensure_rng
+from .layers import Linear
+from .losses import contrastive_loss, distillation_loss
+from .network import Sequential
+from .optim import Adam, SGD, clip_grad_norm
+from .pairs import sample_pairs
+
+
+class SiameseEmbedder:
+    """A weight-shared embedding network with an inference-mode ``embed``."""
+
+    def __init__(self, network: Sequential) -> None:
+        self.network = network
+
+    @property
+    def embedding_dim(self) -> int:
+        """Output dimension (from the last Linear layer)."""
+        for layer in reversed(self.network.layers):
+            if isinstance(layer, Linear):
+                return layer.out_features
+        raise ConfigurationError("network has no Linear layer")
+
+    @property
+    def input_dim(self) -> int:
+        """Input dimension (from the first Linear layer)."""
+        for layer in self.network.layers:
+            if isinstance(layer, Linear):
+                return layer.in_features
+        raise ConfigurationError("network has no Linear layer")
+
+    def embed(self, features: np.ndarray) -> np.ndarray:
+        """Map ``(n, input_dim)`` features to ``(n, embedding_dim)`` embeddings."""
+        arr = check_2d("features", features, n_cols=self.input_dim)
+        return self.network.forward(arr, training=False)
+
+    def embed_one(self, feature: np.ndarray) -> np.ndarray:
+        """Embed a single feature vector, returning shape ``(embedding_dim,)``."""
+        arr = np.asarray(feature, dtype=np.float64)
+        if arr.ndim != 1:
+            raise DataShapeError(f"feature must be 1-D, got {arr.shape}")
+        return self.embed(arr[None, :])[0]
+
+    def clone(self) -> "SiameseEmbedder":
+        """Deep copy — used to freeze the teacher before Edge re-training."""
+        return SiameseEmbedder(self.network.clone())
+
+    def n_parameters(self) -> int:
+        return self.network.n_parameters()
+
+    def size_bytes(self, dtype=np.float32) -> int:
+        return self.network.size_bytes(dtype=dtype)
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch loss traces recorded by :class:`SiameseTrainer`."""
+
+    contrastive: List[float] = field(default_factory=list)
+    distillation: List[float] = field(default_factory=list)
+    total: List[float] = field(default_factory=list)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.total)
+
+    def final_loss(self) -> float:
+        if not self.total:
+            raise ValueError("history is empty")
+        return self.total[-1]
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of Siamese training.
+
+    ``distill_weight`` is the λ of the joint loss
+    ``L = L_contrastive + λ · L_distill``; it only matters when a teacher is
+    passed to :meth:`SiameseTrainer.train`.
+    """
+
+    epochs: int = 30
+    batch_pairs: int = 64
+    pairs_per_epoch: Optional[int] = None  # default: 4 x n_samples
+    lr: float = 1e-3
+    optimizer: str = "adam"  # "adam" | "sgd"
+    momentum: float = 0.9  # SGD only
+    weight_decay: float = 0.0
+    margin: float = 1.0
+    distill_weight: float = 1.0
+    grad_clip: Optional[float] = 5.0
+    positive_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {self.epochs}")
+        if self.batch_pairs < 1:
+            raise ConfigurationError(
+                f"batch_pairs must be >= 1, got {self.batch_pairs}"
+            )
+        if self.optimizer not in ("adam", "sgd"):
+            raise ConfigurationError(
+                f"optimizer must be 'adam' or 'sgd', got {self.optimizer!r}"
+            )
+        if self.distill_weight < 0:
+            raise ConfigurationError(
+                f"distill_weight must be >= 0, got {self.distill_weight}"
+            )
+
+
+class SiameseTrainer:
+    """Trains a :class:`SiameseEmbedder` with contrastive (+ distillation) loss."""
+
+    def __init__(self, config: TrainConfig = None, rng: RngLike = None) -> None:
+        self.config = config if config is not None else TrainConfig()
+        self._rng = ensure_rng(rng)
+
+    def _make_optimizer(self, embedder: SiameseEmbedder):
+        cfg = self.config
+        params = embedder.network.parameters()
+        if cfg.optimizer == "adam":
+            return Adam(params, lr=cfg.lr, weight_decay=cfg.weight_decay)
+        return SGD(
+            params, lr=cfg.lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay
+        )
+
+    def train(
+        self,
+        embedder: SiameseEmbedder,
+        features: np.ndarray,
+        labels: np.ndarray,
+        teacher: Optional[SiameseEmbedder] = None,
+    ) -> TrainHistory:
+        """Optimize ``embedder`` in place on ``(features, labels)``.
+
+        When ``teacher`` is given and ``distill_weight > 0``, every batch
+        adds an embedding-distillation term anchoring the student to the
+        teacher's embedding of the *same* inputs — the paper's defense
+        against catastrophic forgetting during Edge re-training.
+        """
+        cfg = self.config
+        X = check_2d("features", features, n_cols=embedder.input_dim)
+        y = check_labels("labels", labels, n=X.shape[0])
+        if X.shape[0] < 2:
+            raise DataShapeError("need at least 2 samples to form pairs")
+
+        optimizer = self._make_optimizer(embedder)
+        pairs_per_epoch = (
+            cfg.pairs_per_epoch if cfg.pairs_per_epoch is not None else 4 * X.shape[0]
+        )
+        n_batches = max(1, int(np.ceil(pairs_per_epoch / cfg.batch_pairs)))
+        distill_active = teacher is not None and cfg.distill_weight > 0.0
+
+        history = TrainHistory()
+        for _ in range(cfg.epochs):
+            epoch_con, epoch_dis = 0.0, 0.0
+            for _ in range(n_batches):
+                ia, ib, same = sample_pairs(
+                    y,
+                    cfg.batch_pairs,
+                    rng=self._rng,
+                    positive_fraction=cfg.positive_fraction,
+                )
+                batch = np.concatenate([X[ia], X[ib]], axis=0)
+                z = embedder.network.forward(batch, training=True)
+                b = ia.shape[0]
+                za, zb = z[:b], z[b:]
+
+                con_loss, grad_a, grad_b = contrastive_loss(
+                    za, zb, same, margin=cfg.margin
+                )
+                grad_z = np.concatenate([grad_a, grad_b], axis=0)
+
+                dis_loss = 0.0
+                if distill_active:
+                    z_teacher = teacher.embed(batch)
+                    dis_loss, grad_dis = distillation_loss(z, z_teacher)
+                    grad_z = grad_z + cfg.distill_weight * grad_dis
+
+                embedder.network.zero_grad()
+                embedder.network.backward(grad_z)
+                if cfg.grad_clip is not None:
+                    clip_grad_norm(embedder.network.parameters(), cfg.grad_clip)
+                optimizer.step()
+
+                epoch_con += con_loss
+                epoch_dis += dis_loss
+
+            history.contrastive.append(epoch_con / n_batches)
+            history.distillation.append(epoch_dis / n_batches)
+            history.total.append(
+                (epoch_con + cfg.distill_weight * epoch_dis) / n_batches
+            )
+        return history

@@ -1,0 +1,70 @@
+"""Pre-processing substrate: denoise, segment, normalize, extract features.
+
+This is the "pre-processing function" of the paper's transfer package —
+fitted once on the Cloud, serialized, and executed on the Edge in linear
+time per window.
+"""
+
+from .denoise import (
+    ButterworthLowpass,
+    IdentityFilter,
+    MedianFilter,
+    MovingAverageFilter,
+    denoiser_from_dict,
+)
+from .features import (
+    DEFAULT_SIGNALS,
+    DEFAULT_STATS,
+    DERIVED_SIGNALS,
+    STATISTICS,
+    FeatureConfig,
+    FeatureExtractor,
+)
+from .normalization import (
+    MinMaxNormalizer,
+    ZScoreNormalizer,
+    normalizer_from_dict,
+)
+from .pipeline import (
+    PreprocessingPipeline,
+    extractor_from_dict,
+    extractor_to_dict,
+)
+from .segmentation import segment_recording, sliding_windows, window_count
+from .spectral import (
+    DEFAULT_SPECTRAL_SIGNALS,
+    FREQUENCY_BANDS,
+    SPECTRAL_STATS,
+    CombinedFeatureExtractor,
+    SpectralConfig,
+    SpectralFeatureExtractor,
+)
+
+__all__ = [
+    "ButterworthLowpass",
+    "DEFAULT_SIGNALS",
+    "DEFAULT_STATS",
+    "DERIVED_SIGNALS",
+    "FeatureConfig",
+    "FeatureExtractor",
+    "IdentityFilter",
+    "MedianFilter",
+    "MinMaxNormalizer",
+    "MovingAverageFilter",
+    "CombinedFeatureExtractor",
+    "DEFAULT_SPECTRAL_SIGNALS",
+    "FREQUENCY_BANDS",
+    "PreprocessingPipeline",
+    "SPECTRAL_STATS",
+    "SpectralConfig",
+    "SpectralFeatureExtractor",
+    "STATISTICS",
+    "ZScoreNormalizer",
+    "denoiser_from_dict",
+    "extractor_from_dict",
+    "extractor_to_dict",
+    "normalizer_from_dict",
+    "segment_recording",
+    "sliding_windows",
+    "window_count",
+]

@@ -1,0 +1,191 @@
+"""Denoising filters for raw multichannel sensor data.
+
+The paper's pre-processing begins with denoising.  Three classic streaming
+filters are provided, all linear-time in the number of samples and cheap
+enough for edge deployment:
+
+- :class:`MovingAverageFilter` — box smoothing, kills white noise,
+- :class:`MedianFilter` — robust to spikes/glitches,
+- :class:`ButterworthLowpass` — IIR low-pass for band-limited motion.
+
+Each filter operates column-wise on ``(n_samples, n_channels)`` arrays,
+carries its configuration in plain attributes and round-trips through
+``to_dict``/``from_dict`` so it can ship inside the Cloud-to-Edge transfer
+package.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+import numpy as np
+from scipy import signal as _signal
+from scipy.ndimage import median_filter as _median_filter
+
+from ..exceptions import ConfigurationError, SerializationError
+
+
+class IdentityFilter:
+    """A no-op denoiser (useful as a baseline and for ablations)."""
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        return np.asarray(data, dtype=np.float64)
+
+    def to_dict(self) -> Dict:
+        return {"kind": "identity"}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "IdentityFilter":
+        return cls()
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IdentityFilter)
+
+
+class MovingAverageFilter:
+    """Centered moving-average smoothing with window ``size`` (odd)."""
+
+    def __init__(self, size: int = 5) -> None:
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        if size % 2 == 0:
+            raise ConfigurationError(f"size must be odd, got {size}")
+        self.size = int(size)
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        arr = np.asarray(data, dtype=np.float64)
+        if self.size == 1 or arr.shape[0] == 0:
+            return arr.copy()
+        kernel = np.ones(self.size) / self.size
+        if arr.ndim == 1:
+            return np.convolve(np.pad(arr, self.size // 2, mode="edge"), kernel, "valid")
+        half = self.size // 2
+        padded = np.pad(arr, ((half, half), (0, 0)), mode="edge")
+        out = np.empty_like(arr)
+        for col in range(arr.shape[1]):
+            out[:, col] = np.convolve(padded[:, col], kernel, "valid")
+        return out
+
+    def to_dict(self) -> Dict:
+        return {"kind": "moving_average", "size": self.size}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "MovingAverageFilter":
+        return cls(size=int(payload["size"]))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, MovingAverageFilter) and other.size == self.size
+
+
+class MedianFilter:
+    """Column-wise median filtering with window ``size`` (odd), spike-robust."""
+
+    def __init__(self, size: int = 5) -> None:
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        if size % 2 == 0:
+            raise ConfigurationError(f"size must be odd, got {size}")
+        self.size = int(size)
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        arr = np.asarray(data, dtype=np.float64)
+        if self.size == 1 or arr.shape[0] == 0:
+            return arr.copy()
+        if arr.ndim == 1:
+            return _median_filter(arr, size=self.size, mode="nearest")
+        return _median_filter(arr, size=(self.size, 1), mode="nearest")
+
+    def to_dict(self) -> Dict:
+        return {"kind": "median", "size": self.size}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "MedianFilter":
+        return cls(size=int(payload["size"]))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, MedianFilter) and other.size == self.size
+
+
+class ButterworthLowpass:
+    """Zero-phase Butterworth low-pass (applied with ``filtfilt``).
+
+    ``cutoff_hz`` must be below the Nyquist frequency of ``sampling_hz``.
+    """
+
+    def __init__(
+        self, cutoff_hz: float = 30.0, sampling_hz: float = 120.0, order: int = 4
+    ) -> None:
+        if cutoff_hz <= 0:
+            raise ConfigurationError(f"cutoff_hz must be > 0, got {cutoff_hz}")
+        if sampling_hz <= 0:
+            raise ConfigurationError(f"sampling_hz must be > 0, got {sampling_hz}")
+        if cutoff_hz >= sampling_hz / 2.0:
+            raise ConfigurationError(
+                f"cutoff {cutoff_hz} Hz must be below Nyquist "
+                f"({sampling_hz / 2.0} Hz)"
+            )
+        if order < 1:
+            raise ConfigurationError(f"order must be >= 1, got {order}")
+        self.cutoff_hz = float(cutoff_hz)
+        self.sampling_hz = float(sampling_hz)
+        self.order = int(order)
+        self._ba = _signal.butter(
+            self.order, self.cutoff_hz, btype="low", fs=self.sampling_hz
+        )
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        arr = np.asarray(data, dtype=np.float64)
+        if arr.shape[0] == 0:
+            return arr.copy()
+        b, a = self._ba
+        # filtfilt needs a minimum signal length; fall back to identity for
+        # very short inputs rather than erroring on edge cases.
+        min_len = 3 * max(len(a), len(b))
+        if arr.shape[0] <= min_len:
+            return arr.copy()
+        return _signal.filtfilt(b, a, arr, axis=0)
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "butterworth",
+            "cutoff_hz": self.cutoff_hz,
+            "sampling_hz": self.sampling_hz,
+            "order": self.order,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ButterworthLowpass":
+        return cls(
+            cutoff_hz=float(payload["cutoff_hz"]),
+            sampling_hz=float(payload["sampling_hz"]),
+            order=int(payload["order"]),
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ButterworthLowpass)
+            and other.cutoff_hz == self.cutoff_hz
+            and other.sampling_hz == self.sampling_hz
+            and other.order == self.order
+        )
+
+
+_FILTER_KINDS: Dict[str, Type] = {
+    "identity": IdentityFilter,
+    "moving_average": MovingAverageFilter,
+    "median": MedianFilter,
+    "butterworth": ButterworthLowpass,
+}
+
+
+def denoiser_from_dict(payload: Dict):
+    """Rebuild any denoiser from its ``to_dict`` payload."""
+    try:
+        kind = payload["kind"]
+    except (KeyError, TypeError):
+        raise SerializationError(f"invalid denoiser payload: {payload!r}") from None
+    try:
+        cls = _FILTER_KINDS[kind]
+    except KeyError:
+        raise SerializationError(f"unknown denoiser kind {kind!r}") from None
+    return cls.from_dict(payload)

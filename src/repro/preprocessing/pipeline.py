@@ -1,0 +1,222 @@
+"""The serializable pre-processing pipeline shipped from Cloud to Edge.
+
+The paper's transfer package item (1) is "the pre-processing function":
+denoising, segmentation, normalization and the statistical feature
+extractor.  :class:`PreprocessingPipeline` composes those stages behind two
+entry points:
+
+- :meth:`process_recording` — continuous raw recording -> feature matrix
+  (denoise once, then segment, then features, then normalize), used by both
+  the Cloud campaign processing and the Edge's recording flow;
+- :meth:`process_windows` — already-segmented raw windows -> features,
+  used on streamed one-second chunks.
+
+The normalizer is fitted exactly once (on the Cloud) via
+:meth:`fit_normalizer`; the fitted pipeline round-trips through
+``to_dict``/``from_dict`` and reports its transfer size.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError, SerializationError
+from ..sensors.device import Recording
+from .denoise import ButterworthLowpass, IdentityFilter, denoiser_from_dict
+from .features import FeatureConfig, FeatureExtractor
+from .normalization import ZScoreNormalizer, normalizer_from_dict
+from .segmentation import sliding_windows
+from .spectral import (
+    CombinedFeatureExtractor,
+    SpectralConfig,
+    SpectralFeatureExtractor,
+)
+
+
+def extractor_to_dict(extractor) -> Dict:
+    """Serialize any supported feature extractor to a plain dict."""
+    if isinstance(extractor, FeatureExtractor):
+        return {"kind": "statistical", "config": extractor.config.to_dict()}
+    if isinstance(extractor, SpectralFeatureExtractor):
+        return {"kind": "spectral", "config": extractor.config.to_dict()}
+    if isinstance(extractor, CombinedFeatureExtractor):
+        return {
+            "kind": "combined",
+            "parts": [extractor_to_dict(part) for part in extractor.extractors],
+        }
+    raise SerializationError(
+        f"cannot serialize extractor of type {type(extractor).__name__}"
+    )
+
+
+def extractor_from_dict(payload: Dict):
+    """Rebuild a feature extractor serialized by :func:`extractor_to_dict`."""
+    try:
+        kind = payload["kind"]
+    except (KeyError, TypeError):
+        raise SerializationError(f"invalid extractor payload: {payload!r}") from None
+    if kind == "statistical":
+        return FeatureExtractor(FeatureConfig.from_dict(payload["config"]))
+    if kind == "spectral":
+        return SpectralFeatureExtractor(
+            SpectralConfig.from_dict(payload["config"])
+        )
+    if kind == "combined":
+        return CombinedFeatureExtractor(
+            [extractor_from_dict(part) for part in payload["parts"]]
+        )
+    raise SerializationError(f"unknown extractor kind {kind!r}")
+
+
+class PreprocessingPipeline:
+    """Denoise -> segment -> extract features -> normalize.
+
+    Parameters
+    ----------
+    denoiser:
+        Any object with ``apply(data) -> data`` and ``to_dict``; defaults to
+        a 30 Hz Butterworth low-pass at 120 Hz sampling.
+    window_len:
+        Samples per window (120 = one second at the paper's rate).
+    stride:
+        Segmentation stride; defaults to ``window_len`` (non-overlapping).
+    feature_config:
+        The statistical feature grid; defaults to the paper's 80 features.
+        Ignored when ``extractor`` is given.
+    extractor:
+        Any feature extractor (statistical, spectral or combined) — the
+        paper's "more advanced feature extractors can be ... integrated"
+        hook.  Defaults to the statistical extractor built from
+        ``feature_config``.
+    normalizer:
+        A fit/transform normalizer; defaults to z-score.
+    """
+
+    def __init__(
+        self,
+        denoiser=None,
+        window_len: int = 120,
+        stride: Optional[int] = None,
+        feature_config: Optional[FeatureConfig] = None,
+        extractor=None,
+        normalizer=None,
+    ) -> None:
+        if window_len < 1:
+            raise ConfigurationError(f"window_len must be >= 1, got {window_len}")
+        if stride is not None and stride < 1:
+            raise ConfigurationError(f"stride must be >= 1, got {stride}")
+        if extractor is not None and feature_config is not None:
+            raise ConfigurationError(
+                "pass either feature_config or extractor, not both"
+            )
+        self.denoiser = denoiser if denoiser is not None else ButterworthLowpass()
+        self.window_len = int(window_len)
+        self.stride = int(stride) if stride is not None else self.window_len
+        self.extractor = (
+            extractor if extractor is not None else FeatureExtractor(feature_config)
+        )
+        self.normalizer = normalizer if normalizer is not None else ZScoreNormalizer()
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_features(self) -> int:
+        return self.extractor.n_features
+
+    @property
+    def is_fitted(self) -> bool:
+        return getattr(self.normalizer, "is_fitted", False)
+
+    # ------------------------------------------------------------------ #
+    # fitting (Cloud side)
+    # ------------------------------------------------------------------ #
+
+    def raw_features_of_windows(self, windows: np.ndarray) -> np.ndarray:
+        """Denoise each window independently and extract *unnormalized* features."""
+        arr = np.asarray(windows, dtype=np.float64)
+        denoised = np.stack([self.denoiser.apply(w) for w in arr], axis=0)
+        return self.extractor.extract(denoised)
+
+    def fit_normalizer(self, windows: np.ndarray) -> "PreprocessingPipeline":
+        """Fit the normalizer on raw windows (the Cloud campaign data)."""
+        self.normalizer.fit(self.raw_features_of_windows(windows))
+        return self
+
+    # ------------------------------------------------------------------ #
+    # processing (both sides)
+    # ------------------------------------------------------------------ #
+
+    def process_windows(self, windows: np.ndarray) -> np.ndarray:
+        """Raw windows ``(k, window_len, 22)`` -> normalized features ``(k, d)``."""
+        if not self.is_fitted:
+            raise NotFittedError(
+                "pipeline normalizer is not fitted; call fit_normalizer() "
+                "on the Cloud before processing"
+            )
+        return self.normalizer.transform(self.raw_features_of_windows(windows))
+
+    def process_window(self, window: np.ndarray) -> np.ndarray:
+        """One raw window -> one normalized feature vector ``(d,)``."""
+        return self.process_windows(np.asarray(window)[None, :, :])[0]
+
+    def process_recording(self, recording: Recording) -> np.ndarray:
+        """Continuous recording -> normalized feature matrix.
+
+        The denoiser runs once over the continuous signal (cheaper and
+        avoids per-window edge artifacts), then the result is segmented.
+        """
+        denoised = self.denoiser.apply(recording.data)
+        windows = sliding_windows(denoised, self.window_len, self.stride)
+        if windows.shape[0] == 0:
+            return np.empty((0, self.n_features))
+        if not self.is_fitted:
+            raise NotFittedError(
+                "pipeline normalizer is not fitted; call fit_normalizer() "
+                "on the Cloud before processing"
+            )
+        return self.normalizer.transform(self.extractor.extract(windows))
+
+    # ------------------------------------------------------------------ #
+    # serialization / footprint
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict:
+        if not self.is_fitted:
+            raise NotFittedError("cannot serialize an unfitted pipeline")
+        return {
+            "denoiser": self.denoiser.to_dict(),
+            "window_len": self.window_len,
+            "stride": self.stride,
+            "extractor": extractor_to_dict(self.extractor),
+            "normalizer": self.normalizer.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PreprocessingPipeline":
+        try:
+            if "extractor" in payload:
+                extractor = extractor_from_dict(payload["extractor"])
+            else:  # legacy payloads carried the statistical config directly
+                extractor = FeatureExtractor(
+                    FeatureConfig.from_dict(payload["feature_config"])
+                )
+            pipeline = cls(
+                denoiser=denoiser_from_dict(payload["denoiser"]),
+                window_len=int(payload["window_len"]),
+                stride=int(payload["stride"]),
+                extractor=extractor,
+                normalizer=normalizer_from_dict(payload["normalizer"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise SerializationError(f"invalid pipeline payload: {exc}") from exc
+        return pipeline
+
+    def size_bytes(self) -> int:
+        """Serialized size of the pipeline (JSON encoding), for footprint
+        accounting in the transfer package."""
+        return len(json.dumps(self.to_dict()).encode("utf-8"))

@@ -1,0 +1,75 @@
+"""Segmentation of continuous recordings into fixed windows.
+
+The paper splits the sensory stream into one-second windows of ~120
+measurements.  :func:`sliding_windows` implements the general (possibly
+overlapping) case; :func:`segment_recording` is the convenience wrapper for
+:class:`~repro.sensors.device.Recording` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DataShapeError
+from ..sensors.device import Recording
+
+
+def sliding_windows(
+    data: np.ndarray, window_len: int, stride: int = None
+) -> np.ndarray:
+    """Cut ``data`` of shape ``(n, c)`` into windows ``(k, window_len, c)``.
+
+    ``stride`` defaults to ``window_len`` (non-overlapping).  The tail
+    shorter than a full window is dropped.  Returns an empty
+    ``(0, window_len, c)`` array when the data is too short — callers can
+    treat "no complete window yet" uniformly.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DataShapeError(f"data must be 2-D (n, channels), got {arr.shape}")
+    if window_len < 1:
+        raise ConfigurationError(f"window_len must be >= 1, got {window_len}")
+    if stride is None:
+        stride = window_len
+    if stride < 1:
+        raise ConfigurationError(f"stride must be >= 1, got {stride}")
+
+    n, c = arr.shape
+    if n < window_len:
+        return np.empty((0, window_len, c))
+    n_windows = (n - window_len) // stride + 1
+    # Stride-tricks view, then copy so callers own their memory.
+    shape = (n_windows, window_len, c)
+    strides = (arr.strides[0] * stride, arr.strides[0], arr.strides[1])
+    view = np.lib.stride_tricks.as_strided(arr, shape=shape, strides=strides)
+    return view.copy()
+
+
+def segment_recording(
+    recording: Recording,
+    window_s: float = 1.0,
+    overlap: float = 0.0,
+) -> np.ndarray:
+    """Segment a :class:`Recording` into windows of ``window_s`` seconds.
+
+    ``overlap`` in ``[0, 1)`` is the fraction of each window shared with its
+    successor (0 = non-overlapping, 0.5 = half-overlap).
+    """
+    if window_s <= 0:
+        raise ConfigurationError(f"window_s must be > 0, got {window_s}")
+    if not 0.0 <= overlap < 1.0:
+        raise ConfigurationError(f"overlap must be in [0, 1), got {overlap}")
+    window_len = int(round(window_s * recording.sampling_hz))
+    stride = max(1, int(round(window_len * (1.0 - overlap))))
+    return sliding_windows(recording.data, window_len, stride)
+
+
+def window_count(n_samples: int, window_len: int, stride: int = None) -> int:
+    """Number of complete windows :func:`sliding_windows` would produce."""
+    if stride is None:
+        stride = window_len
+    if n_samples < window_len:
+        return 0
+    return (n_samples - window_len) // stride + 1

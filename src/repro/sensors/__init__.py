@@ -1,0 +1,84 @@
+"""Synthetic multi-sensor substrate.
+
+Replaces the paper's proprietary 100 GB sensor campaign with a
+deterministic, physics-inspired generator: 22 named channels, per-activity
+signal profiles (the paper's five demonstration activities plus custom
+gestures) and per-user style profiles that drive the personalization
+experiments.
+"""
+
+from .activities import (
+    BASE_ACTIVITIES,
+    GESTURE_ACTIVITIES,
+    ActivityProfile,
+    get_activity,
+    list_activities,
+    register_activity,
+    unregister_activity,
+)
+from .channels import (
+    CHANNEL_GROUPS,
+    CHANNEL_INDEX,
+    CHANNEL_NAMES,
+    DEFAULT_SAMPLING_HZ,
+    N_CHANNELS,
+    channel_index,
+    group_indices,
+)
+from .dataset import (
+    RawDataset,
+    concatenate_datasets,
+    generate_campaign,
+    generate_user_windows,
+)
+from .device import Recording, SensorDevice
+from .noise import (
+    CompositeNoise,
+    DriftNoise,
+    DropoutNoise,
+    GaussianNoise,
+    SpikeNoise,
+)
+from .stream import SensorStream, StreamChunk
+from .user import (
+    AVERAGE_USER,
+    UserProfile,
+    atypical_user,
+    sample_population,
+    sample_user,
+)
+
+__all__ = [
+    "ActivityProfile",
+    "AVERAGE_USER",
+    "BASE_ACTIVITIES",
+    "CHANNEL_GROUPS",
+    "CHANNEL_INDEX",
+    "CHANNEL_NAMES",
+    "CompositeNoise",
+    "DEFAULT_SAMPLING_HZ",
+    "DriftNoise",
+    "DropoutNoise",
+    "GaussianNoise",
+    "GESTURE_ACTIVITIES",
+    "N_CHANNELS",
+    "RawDataset",
+    "Recording",
+    "SensorDevice",
+    "SensorStream",
+    "SpikeNoise",
+    "StreamChunk",
+    "UserProfile",
+    "atypical_user",
+    "channel_index",
+    "concatenate_datasets",
+    "generate_campaign",
+    "generate_user_windows",
+    "get_activity",
+    "group_indices",
+    "list_activities",
+    "register_activity",
+    "sample_population",
+    "sample_user",
+    "unregister_activity",
+]

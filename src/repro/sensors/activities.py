@@ -1,0 +1,288 @@
+"""Activity signal profiles.
+
+Each human activity is modeled as an :class:`ActivityProfile`: a compact,
+physics-inspired parameterization of what the 22 sensor channels look like
+while the activity is performed.  The synthesis itself (profile + user style
+-> raw multichannel window) lives in :mod:`repro.sensors.device`; this
+module only declares *what distinguishes the activities*:
+
+- a dominant body-motion frequency with harmonics (steps, arm waves),
+- per-axis accelerometer / gyroscope amplitudes,
+- a vehicle-vibration component (frequency + amplitude) for Drive/E-scooter,
+- mean device tilt and orientation wobble (drives gravity & rotation vector),
+- environment levels (barometer, ambient light, proximity),
+- a heading-change rate (magnetometer rotation while turning),
+- a base noise scale.
+
+The five base activities are exactly the paper's demonstration set (Section
+4.1.2): *Drive, E-scooter, Run, Still, Walk*.  Additional gesture profiles
+(e.g. ``gesture_hi``, Figure 3c) exist for the incremental-learning
+scenarios.  New profiles can be registered at runtime with
+:func:`register_activity`, mirroring MAGNETO's "add a new custom activity"
+capability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+from ..exceptions import ConfigurationError, UnknownActivityError
+
+
+@dataclass(frozen=True)
+class ActivityProfile:
+    """Parametric description of one activity's sensor signature.
+
+    Amplitudes are in the channel's natural units (see
+    :mod:`repro.sensors.channels`); frequencies in Hz.
+    """
+
+    name: str
+    #: Dominant body-motion frequency (steps/strides/waves), 0 for none.
+    step_freq_hz: float = 0.0
+    #: Peak acceleration per axis (x, y, z) from body motion, m/s^2.
+    accel_amp: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    #: Relative harmonic content of the body motion (fundamental first).
+    harmonics: Tuple[float, ...] = (1.0, 0.45, 0.2)
+    #: Peak angular velocity per axis, rad/s.
+    gyro_amp: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    #: Vehicle/road vibration frequency (Hz) and amplitude (m/s^2).
+    vib_freq_hz: float = 0.0
+    vib_amp: float = 0.0
+    #: Mean device tilt (pitch, roll) in radians; rotates gravity.
+    tilt: Tuple[float, float] = (0.15, 0.05)
+    #: Amplitude of slow orientation wobble (radians).
+    orient_wobble: float = 0.02
+    #: Heading change rate, rad/s (turning; rotates the magnetometer field).
+    heading_rate: float = 0.0
+    #: Barometric pressure level (hPa) and per-second trend (hPa/s).
+    baro_level: float = 1013.0
+    baro_trend: float = 0.0
+    #: Ambient light level (lux) and proximity (cm).
+    light_level: float = 180.0
+    prox_level: float = 5.0
+    #: Base measurement-noise scale for motion channels.
+    noise_scale: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("activity name must be non-empty")
+        if self.step_freq_hz < 0 or self.vib_freq_hz < 0:
+            raise ConfigurationError(
+                f"frequencies must be >= 0 for activity {self.name!r}"
+            )
+        if self.noise_scale < 0:
+            raise ConfigurationError(
+                f"noise_scale must be >= 0 for activity {self.name!r}"
+            )
+        if len(self.harmonics) == 0:
+            raise ConfigurationError(
+                f"harmonics must be non-empty for activity {self.name!r}"
+            )
+
+    def with_name(self, name: str) -> "ActivityProfile":
+        """A copy of this profile under a different name."""
+        return replace(self, name=name)
+
+
+def _base_profiles() -> Dict[str, ActivityProfile]:
+    """The paper's five demonstration activities."""
+    return {
+        "still": ActivityProfile(
+            name="still",
+            step_freq_hz=0.0,
+            accel_amp=(0.02, 0.02, 0.03),
+            gyro_amp=(0.01, 0.01, 0.01),
+            tilt=(0.35, 0.05),
+            orient_wobble=0.005,
+            light_level=160.0,
+            prox_level=5.0,
+            noise_scale=0.02,
+        ),
+        "walk": ActivityProfile(
+            name="walk",
+            step_freq_hz=1.9,
+            accel_amp=(0.9, 1.6, 2.6),
+            harmonics=(1.0, 0.5, 0.22),
+            gyro_amp=(0.35, 0.45, 0.25),
+            tilt=(0.25, 0.08),
+            orient_wobble=0.06,
+            heading_rate=0.02,
+            light_level=420.0,
+            prox_level=5.0,
+            noise_scale=0.06,
+        ),
+        "run": ActivityProfile(
+            name="run",
+            step_freq_hz=2.8,
+            accel_amp=(3.2, 4.8, 8.5),
+            harmonics=(1.0, 0.6, 0.3, 0.12),
+            gyro_amp=(1.1, 1.4, 0.8),
+            tilt=(0.30, 0.10),
+            orient_wobble=0.12,
+            heading_rate=0.03,
+            light_level=800.0,
+            prox_level=5.0,
+            noise_scale=0.10,
+        ),
+        "drive": ActivityProfile(
+            name="drive",
+            step_freq_hz=0.0,
+            accel_amp=(0.05, 0.08, 0.05),
+            gyro_amp=(0.02, 0.02, 0.06),
+            vib_freq_hz=26.0,
+            vib_amp=0.28,
+            tilt=(0.55, 0.02),
+            orient_wobble=0.01,
+            heading_rate=0.05,
+            baro_trend=0.002,
+            light_level=90.0,
+            prox_level=5.0,
+            noise_scale=0.04,
+        ),
+        "escooter": ActivityProfile(
+            name="escooter",
+            step_freq_hz=0.0,
+            accel_amp=(0.10, 0.12, 0.15),
+            gyro_amp=(0.15, 0.20, 0.10),
+            vib_freq_hz=12.5,
+            vib_amp=0.65,
+            tilt=(0.10, 0.03),
+            orient_wobble=0.04,
+            heading_rate=0.08,
+            baro_trend=0.001,
+            light_level=650.0,
+            prox_level=5.0,
+            noise_scale=0.07,
+        ),
+    }
+
+
+def _gesture_profiles() -> Dict[str, ActivityProfile]:
+    """Custom activities used in the incremental-learning demonstrations."""
+    return {
+        "gesture_hi": ActivityProfile(
+            name="gesture_hi",
+            step_freq_hz=1.5,
+            accel_amp=(2.2, 1.0, 0.9),
+            harmonics=(1.0, 0.3),
+            gyro_amp=(0.6, 2.6, 0.7),
+            tilt=(0.05, 0.45),
+            orient_wobble=0.25,
+            light_level=300.0,
+            prox_level=5.0,
+            noise_scale=0.06,
+        ),
+        "gesture_circle": ActivityProfile(
+            name="gesture_circle",
+            step_freq_hz=1.0,
+            accel_amp=(1.6, 1.6, 0.6),
+            harmonics=(1.0, 0.15),
+            gyro_amp=(0.8, 0.8, 2.2),
+            tilt=(0.10, 0.10),
+            orient_wobble=0.30,
+            heading_rate=0.4,
+            light_level=300.0,
+            prox_level=5.0,
+            noise_scale=0.06,
+        ),
+        "jump": ActivityProfile(
+            name="jump",
+            step_freq_hz=1.2,
+            accel_amp=(1.5, 2.0, 12.0),
+            harmonics=(1.0, 0.7, 0.45, 0.2),
+            gyro_amp=(0.7, 0.6, 0.4),
+            tilt=(0.20, 0.05),
+            orient_wobble=0.10,
+            light_level=500.0,
+            prox_level=5.0,
+            noise_scale=0.12,
+        ),
+        "stairs_up": ActivityProfile(
+            name="stairs_up",
+            step_freq_hz=1.6,
+            accel_amp=(1.0, 1.4, 3.2),
+            harmonics=(1.0, 0.55, 0.25),
+            gyro_amp=(0.4, 0.5, 0.3),
+            tilt=(0.35, 0.06),
+            orient_wobble=0.08,
+            baro_trend=-0.012,
+            light_level=220.0,
+            prox_level=5.0,
+            noise_scale=0.07,
+        ),
+        "cycling": ActivityProfile(
+            name="cycling",
+            step_freq_hz=1.4,
+            accel_amp=(0.5, 0.7, 0.9),
+            harmonics=(1.0, 0.35),
+            gyro_amp=(0.25, 0.30, 0.20),
+            vib_freq_hz=7.0,
+            vib_amp=0.40,
+            tilt=(0.75, 0.02),
+            orient_wobble=0.05,
+            heading_rate=0.06,
+            light_level=900.0,
+            prox_level=5.0,
+            noise_scale=0.08,
+        ),
+    }
+
+
+#: Names of the paper's five pre-training activities, in label order.
+BASE_ACTIVITIES: Tuple[str, ...] = ("drive", "escooter", "run", "still", "walk")
+
+#: Names of the bundled custom/gesture activities.
+GESTURE_ACTIVITIES: Tuple[str, ...] = (
+    "gesture_hi",
+    "gesture_circle",
+    "jump",
+    "stairs_up",
+    "cycling",
+)
+
+_REGISTRY: Dict[str, ActivityProfile] = {}
+_REGISTRY.update(_base_profiles())
+_REGISTRY.update(_gesture_profiles())
+
+
+def get_activity(name: str) -> ActivityProfile:
+    """Look up a registered activity profile by name.
+
+    Raises :class:`UnknownActivityError` with the available names when the
+    activity is not registered.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownActivityError(
+            f"unknown activity {name!r}; registered: {known}"
+        ) from None
+
+
+def list_activities() -> List[str]:
+    """Sorted names of every registered activity."""
+    return sorted(_REGISTRY)
+
+
+def register_activity(profile: ActivityProfile, overwrite: bool = False) -> None:
+    """Register a custom activity profile.
+
+    Mirrors MAGNETO's user-defined activities: a user can invent a new
+    motion (e.g. a personal gesture) and the platform learns it.  Raises
+    :class:`ConfigurationError` if the name exists and ``overwrite`` is
+    false.
+    """
+    if profile.name in _REGISTRY and not overwrite:
+        raise ConfigurationError(
+            f"activity {profile.name!r} already registered; "
+            "pass overwrite=True to replace it"
+        )
+    _REGISTRY[profile.name] = profile
+
+
+def unregister_activity(name: str) -> None:
+    """Remove a previously registered custom activity (no-op if absent)."""
+    _REGISTRY.pop(name, None)

@@ -1,0 +1,76 @@
+"""Definition of the 22 mobile sensor channels MAGNETO reads.
+
+The paper (Section 4.1.2) describes one-second windows of "roughly 120
+sequential measurements from 22 mobile sensors, e.g., accelerometer,
+gyroscope, and magnetometer".  This module fixes a concrete, named 22-channel
+layout used consistently by the generator, the pre-processing pipeline and
+the feature extractor:
+
+====================  =====  =========================================
+Group                 Count  Channels
+====================  =====  =========================================
+accelerometer         3      ``accel_x accel_y accel_z``   (m/s^2)
+gyroscope             3      ``gyro_x gyro_y gyro_z``      (rad/s)
+magnetometer          3      ``mag_x mag_y mag_z``         (uT)
+linear acceleration   3      ``linacc_x linacc_y linacc_z``(m/s^2)
+gravity               3      ``grav_x grav_y grav_z``      (m/s^2)
+rotation vector       4      ``rot_w rot_x rot_y rot_z``   (unit quat.)
+barometer             1      ``baro``                      (hPa)
+ambient light         1      ``light``                     (lux)
+proximity             1      ``prox``                      (cm)
+====================  =====  =========================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Ordered channel names; the column order of every raw window array.
+CHANNEL_NAMES: Tuple[str, ...] = (
+    "accel_x", "accel_y", "accel_z",
+    "gyro_x", "gyro_y", "gyro_z",
+    "mag_x", "mag_y", "mag_z",
+    "linacc_x", "linacc_y", "linacc_z",
+    "grav_x", "grav_y", "grav_z",
+    "rot_w", "rot_x", "rot_y", "rot_z",
+    "baro", "light", "prox",
+)
+
+#: Number of sensor channels (matches the paper's "22 mobile sensors").
+N_CHANNELS: int = len(CHANNEL_NAMES)
+
+#: Channel-name -> column-index lookup.
+CHANNEL_INDEX: Dict[str, int] = {name: i for i, name in enumerate(CHANNEL_NAMES)}
+
+#: Logical sensor groups -> member channel names.
+CHANNEL_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "accelerometer": ("accel_x", "accel_y", "accel_z"),
+    "gyroscope": ("gyro_x", "gyro_y", "gyro_z"),
+    "magnetometer": ("mag_x", "mag_y", "mag_z"),
+    "linear_acceleration": ("linacc_x", "linacc_y", "linacc_z"),
+    "gravity": ("grav_x", "grav_y", "grav_z"),
+    "rotation_vector": ("rot_w", "rot_x", "rot_y", "rot_z"),
+    "barometer": ("baro",),
+    "light": ("light",),
+    "proximity": ("prox",),
+}
+
+#: Standard gravity used by the gravity/accelerometer synthesis (m/s^2).
+GRAVITY: float = 9.80665
+
+#: Default sampling rate; 120 Hz * 1 s windows = the paper's "~120
+#: sequential measurements" per window.
+DEFAULT_SAMPLING_HZ: float = 120.0
+
+
+def group_indices(group: str) -> List[int]:
+    """Column indices of the channels belonging to ``group``.
+
+    Raises ``KeyError`` for an unknown group name.
+    """
+    return [CHANNEL_INDEX[name] for name in CHANNEL_GROUPS[group]]
+
+
+def channel_index(name: str) -> int:
+    """Column index of channel ``name`` (raises ``KeyError`` if unknown)."""
+    return CHANNEL_INDEX[name]

@@ -1,0 +1,190 @@
+"""Campaign-scale raw dataset generation.
+
+The paper pre-trains on "data collection campaigns capturing an initial
+dataset of more than 100 GB", reduced to ~200k one-second records over five
+activities.  :func:`generate_campaign` is the simulated equivalent: it
+synthesizes recordings for a population of users across a set of activities
+and returns the raw windows with labels and user ids.
+
+Scale is a parameter — unit tests use dozens of windows, the pre-training
+benchmark uses tens of thousands — but the *structure* (many users, balanced
+activities, one-second 22-channel windows) matches the paper's campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils import RngLike, ensure_rng, spawn_rng
+from .activities import BASE_ACTIVITIES
+from .channels import DEFAULT_SAMPLING_HZ
+from .device import SensorDevice
+from .user import UserProfile, sample_population
+
+
+@dataclass
+class RawDataset:
+    """Raw windows with labels.
+
+    ``windows`` has shape ``(n_windows, window_len, 22)``; ``labels`` holds
+    integer class ids indexing into ``class_names``; ``user_ids`` records
+    which simulated user produced each window.
+    """
+
+    windows: np.ndarray
+    labels: np.ndarray
+    user_ids: np.ndarray
+    class_names: Tuple[str, ...]
+    sampling_hz: float = DEFAULT_SAMPLING_HZ
+
+    def __post_init__(self) -> None:
+        n = self.windows.shape[0]
+        if self.labels.shape[0] != n or self.user_ids.shape[0] != n:
+            raise ConfigurationError(
+                "windows, labels and user_ids must have equal first dimension"
+            )
+
+    @property
+    def n_windows(self) -> int:
+        return int(self.windows.shape[0])
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_names)
+
+    def label_of(self, class_name: str) -> int:
+        """Integer label of ``class_name`` (raises ``ValueError`` if absent)."""
+        return self.class_names.index(class_name)
+
+    def class_counts(self) -> Dict[str, int]:
+        """Number of windows per class name."""
+        counts = np.bincount(self.labels, minlength=self.n_classes)
+        return {name: int(counts[i]) for i, name in enumerate(self.class_names)}
+
+    def subset(self, mask: np.ndarray) -> "RawDataset":
+        """A new dataset containing only the windows where ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        return RawDataset(
+            windows=self.windows[mask],
+            labels=self.labels[mask],
+            user_ids=self.user_ids[mask],
+            class_names=self.class_names,
+            sampling_hz=self.sampling_hz,
+        )
+
+    def for_user(self, user_id: int) -> "RawDataset":
+        """Only the windows recorded by ``user_id``."""
+        return self.subset(self.user_ids == user_id)
+
+
+def generate_user_windows(
+    user: UserProfile,
+    activities: Sequence[str],
+    windows_per_activity: int,
+    sampling_hz: float = DEFAULT_SAMPLING_HZ,
+    window_s: float = 1.0,
+    rng: RngLike = None,
+) -> RawDataset:
+    """Synthesize ``windows_per_activity`` windows per activity for one user.
+
+    Each activity is recorded as a handful of continuous sessions which are
+    then cut into non-overlapping one-second windows, mimicking how a real
+    campaign records minutes of data per activity rather than isolated
+    seconds.
+    """
+    if windows_per_activity < 1:
+        raise ConfigurationError(
+            f"windows_per_activity must be >= 1, got {windows_per_activity}"
+        )
+    rng = ensure_rng(rng)
+    device = SensorDevice(user=user, sampling_hz=sampling_hz, rng=spawn_rng(rng))
+    window_len = int(round(window_s * sampling_hz))
+
+    all_windows: List[np.ndarray] = []
+    all_labels: List[int] = []
+    class_names = tuple(activities)
+    for label, activity in enumerate(class_names):
+        remaining = windows_per_activity
+        # Sessions of up to 30 windows each, like short recording bouts.
+        while remaining > 0:
+            session_windows = min(remaining, 30)
+            recording = device.record(activity, session_windows * window_s)
+            usable = recording.n_samples // window_len
+            take = min(usable, session_windows)
+            for i in range(take):
+                all_windows.append(
+                    recording.data[i * window_len : (i + 1) * window_len]
+                )
+                all_labels.append(label)
+            remaining -= take
+
+    windows = np.stack(all_windows, axis=0)
+    labels = np.asarray(all_labels, dtype=np.int64)
+    user_ids = np.full(windows.shape[0], user.user_id, dtype=np.int64)
+    return RawDataset(
+        windows=windows,
+        labels=labels,
+        user_ids=user_ids,
+        class_names=class_names,
+        sampling_hz=sampling_hz,
+    )
+
+
+def generate_campaign(
+    n_users: int = 8,
+    windows_per_user_per_activity: int = 40,
+    activities: Sequence[str] = BASE_ACTIVITIES,
+    sampling_hz: float = DEFAULT_SAMPLING_HZ,
+    window_s: float = 1.0,
+    spread: float = 0.08,
+    rng: RngLike = None,
+) -> RawDataset:
+    """Simulate the paper's data-collection campaign.
+
+    Draws ``n_users`` from the population and synthesizes a balanced raw
+    dataset across ``activities``.  Deterministic for a fixed seed.
+    """
+    if n_users < 1:
+        raise ConfigurationError(f"n_users must be >= 1, got {n_users}")
+    rng = ensure_rng(rng)
+    users = sample_population(n_users, rng=rng, spread=spread)
+    parts = [
+        generate_user_windows(
+            user,
+            activities=activities,
+            windows_per_activity=windows_per_user_per_activity,
+            sampling_hz=sampling_hz,
+            window_s=window_s,
+            rng=spawn_rng(rng),
+        )
+        for user in users
+    ]
+    return concatenate_datasets(parts)
+
+
+def concatenate_datasets(parts: Sequence[RawDataset]) -> RawDataset:
+    """Concatenate datasets that share class names and sampling rate."""
+    if not parts:
+        raise ConfigurationError("parts must be non-empty")
+    first = parts[0]
+    for other in parts[1:]:
+        if other.class_names != first.class_names:
+            raise ConfigurationError(
+                "cannot concatenate datasets with different class names: "
+                f"{first.class_names} vs {other.class_names}"
+            )
+        if other.sampling_hz != first.sampling_hz:
+            raise ConfigurationError(
+                "cannot concatenate datasets with different sampling rates"
+            )
+    return RawDataset(
+        windows=np.concatenate([p.windows for p in parts], axis=0),
+        labels=np.concatenate([p.labels for p in parts], axis=0),
+        user_ids=np.concatenate([p.user_ids for p in parts], axis=0),
+        class_names=first.class_names,
+        sampling_hz=first.sampling_hz,
+    )

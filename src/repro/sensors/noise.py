@@ -1,0 +1,179 @@
+"""Noise models applied to synthetic sensor signals.
+
+Real phone sensors exhibit several distinct noise processes on top of the
+motion signal: white measurement noise, slow bias drift, occasional spikes
+(mechanical shocks, ADC glitches) and short dropouts (sensor hiccups where
+the OS repeats/zeroes samples).  Each process is modeled as a small class
+with a uniform ``sample(rng, n) -> np.ndarray`` interface so they can be
+composed; :class:`CompositeNoise` sums an arbitrary set of them.
+
+The denoising stage of the pre-processing pipeline
+(:mod:`repro.preprocessing.denoise`) is evaluated against exactly these
+processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GaussianNoise:
+    """IID white Gaussian measurement noise with standard deviation ``scale``."""
+
+    scale: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.scale < 0:
+            raise ConfigurationError(f"noise scale must be >= 0, got {self.scale}")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.scale == 0.0:
+            return np.zeros(n)
+        return rng.normal(0.0, self.scale, size=n)
+
+
+@dataclass(frozen=True)
+class DriftNoise:
+    """Slow sensor bias drift modeled as a scaled random walk.
+
+    ``scale`` is the per-step standard deviation of the walk; the walk is
+    re-centered so a window's drift has zero mean (constant bias is part of
+    the activity profile, not the noise).
+    """
+
+    scale: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.scale < 0:
+            raise ConfigurationError(f"drift scale must be >= 0, got {self.scale}")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.scale == 0.0 or n == 0:
+            return np.zeros(n)
+        walk = np.cumsum(rng.normal(0.0, self.scale, size=n))
+        return walk - walk.mean()
+
+
+@dataclass(frozen=True)
+class SpikeNoise:
+    """Sparse large-magnitude spikes (shocks/glitches).
+
+    Each sample independently becomes a spike with probability ``rate``;
+    spike amplitudes are ``N(0, magnitude)``.
+    """
+
+    rate: float = 0.01
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(f"spike rate must be in [0, 1], got {self.rate}")
+        if self.magnitude < 0:
+            raise ConfigurationError(
+                f"spike magnitude must be >= 0, got {self.magnitude}"
+            )
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.rate == 0.0 or self.magnitude == 0.0:
+            return np.zeros(n)
+        mask = rng.random(n) < self.rate
+        spikes = np.zeros(n)
+        n_spikes = int(mask.sum())
+        if n_spikes:
+            spikes[mask] = rng.normal(0.0, self.magnitude, size=n_spikes)
+        return spikes
+
+
+@dataclass(frozen=True)
+class DropoutNoise:
+    """Short sensor dropouts: contiguous runs forced toward zero.
+
+    ``sample`` returns a *multiplicative mask minus one* contribution is not
+    composable with additive noise, so instead this class exposes
+    :meth:`apply` which zeroes runs in-place on a copy.  ``rate`` is the
+    probability that a window contains a dropout; ``max_length`` bounds the
+    run length in samples.
+    """
+
+    rate: float = 0.02
+    max_length: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(f"dropout rate must be in [0, 1], got {self.rate}")
+        if self.max_length < 1:
+            raise ConfigurationError(
+                f"dropout max_length must be >= 1, got {self.max_length}"
+            )
+
+    def apply(self, rng: np.random.Generator, signal: np.ndarray) -> np.ndarray:
+        out = np.array(signal, copy=True)
+        n = out.shape[0]
+        if n == 0 or rng.random() >= self.rate:
+            return out
+        length = int(rng.integers(1, min(self.max_length, n) + 1))
+        start = int(rng.integers(0, n - length + 1))
+        out[start : start + length] = 0.0
+        return out
+
+
+@dataclass
+class CompositeNoise:
+    """Sum of additive noise processes plus an optional dropout stage.
+
+    ``sample`` sums the additive components; :meth:`corrupt` applies them to
+    a clean signal and then applies dropout (if configured).
+    """
+
+    additive: List = field(default_factory=list)
+    dropout: DropoutNoise = None
+
+    @classmethod
+    def typical(cls, scale: float = 0.05) -> "CompositeNoise":
+        """A realistic default: white + drift + rare spikes, no dropout."""
+        return cls(
+            additive=[
+                GaussianNoise(scale=scale),
+                DriftNoise(scale=scale * 0.05),
+                SpikeNoise(rate=0.002, magnitude=scale * 8.0),
+            ]
+        )
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        total = np.zeros(n)
+        for component in self.additive:
+            total += component.sample(rng, n)
+        return total
+
+    def corrupt(self, rng: np.random.Generator, signal: np.ndarray) -> np.ndarray:
+        """Return ``signal`` with all noise processes applied."""
+        noisy = np.asarray(signal, dtype=np.float64) + self.sample(rng, len(signal))
+        if self.dropout is not None:
+            noisy = self.dropout.apply(rng, noisy)
+        return noisy
+
+
+def scaled(noise: CompositeNoise, factor: float) -> CompositeNoise:
+    """A copy of ``noise`` with every additive component's scale multiplied.
+
+    Used to express per-user noise levels (some phones are noisier).
+    """
+    components: List = []
+    for comp in noise.additive:
+        if isinstance(comp, GaussianNoise):
+            components.append(GaussianNoise(scale=comp.scale * factor))
+        elif isinstance(comp, DriftNoise):
+            components.append(DriftNoise(scale=comp.scale * factor))
+        elif isinstance(comp, SpikeNoise):
+            components.append(
+                SpikeNoise(rate=comp.rate, magnitude=comp.magnitude * factor)
+            )
+        else:  # pragma: no cover - future component types pass through
+            components.append(comp)
+    return CompositeNoise(additive=components, dropout=noise.dropout)

@@ -1,0 +1,97 @@
+"""Real-time sensor stream simulation.
+
+On a phone, MAGNETO consumes the sensors as a continuous stream and
+processes them window by window.  :class:`SensorStream` reproduces that
+consumption model on top of :class:`~repro.sensors.device.SensorDevice`:
+it yields fixed-size chunks (by default one-second windows) for a sequence
+of timed activity segments, exactly as the demo app sees data while the
+participant switches between *Still*, *Walk*, recording a gesture, etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .device import SensorDevice
+
+
+@dataclass(frozen=True)
+class StreamChunk:
+    """One chunk of streamed sensor data.
+
+    ``data`` has shape ``(chunk_len, 22)``; ``activity`` is the ground-truth
+    label of the segment the chunk was cut from (the app does not see it —
+    it exists for evaluation); ``t_start`` is the chunk's start time in
+    seconds since the stream began.
+    """
+
+    data: np.ndarray
+    activity: str
+    t_start: float
+
+
+class SensorStream:
+    """Streams timed activity segments as fixed-size chunks.
+
+    Parameters
+    ----------
+    device:
+        The simulated sensor device to read from.
+    segments:
+        Sequence of ``(activity_name, duration_s)`` pairs describing what
+        the user does, in order.
+    chunk_duration_s:
+        Size of each yielded chunk (1.0 s = the paper's window).
+
+    Chunks never straddle a segment boundary: the tail of a segment shorter
+    than a chunk is dropped, mirroring how the app discards partial windows
+    when the activity changes.
+    """
+
+    def __init__(
+        self,
+        device: SensorDevice,
+        segments: Sequence[Tuple[str, float]],
+        chunk_duration_s: float = 1.0,
+    ) -> None:
+        if chunk_duration_s <= 0:
+            raise ConfigurationError(
+                f"chunk_duration_s must be > 0, got {chunk_duration_s}"
+            )
+        if not segments:
+            raise ConfigurationError("segments must be non-empty")
+        for name, duration in segments:
+            if duration <= 0:
+                raise ConfigurationError(
+                    f"segment {name!r} has non-positive duration {duration}"
+                )
+        self.device = device
+        self.segments = list(segments)
+        self.chunk_duration_s = float(chunk_duration_s)
+
+    @property
+    def chunk_len(self) -> int:
+        return int(round(self.chunk_duration_s * self.device.sampling_hz))
+
+    def __iter__(self) -> Iterator[StreamChunk]:
+        t_cursor = 0.0
+        chunk_len = self.chunk_len
+        for activity, duration in self.segments:
+            recording = self.device.record(activity, duration)
+            n_chunks = recording.n_samples // chunk_len
+            for i in range(n_chunks):
+                sl = slice(i * chunk_len, (i + 1) * chunk_len)
+                yield StreamChunk(
+                    data=recording.data[sl],
+                    activity=activity,
+                    t_start=t_cursor + i * self.chunk_duration_s,
+                )
+            t_cursor += duration
+
+    def collect(self) -> List[StreamChunk]:
+        """Materialize the whole stream as a list (for tests/benches)."""
+        return list(self)

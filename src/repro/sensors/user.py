@@ -1,0 +1,171 @@
+"""Per-user style profiles — the source of personalization effects.
+
+MAGNETO's motivation (Definition 2) is that a population-level model fits an
+individual imperfectly: each person walks/runs/gestures with their own
+cadence, vigor and phone placement.  We model a user as a multiplicative /
+additive perturbation of every activity profile:
+
+- ``freq_scale``   — personal cadence (slower/faster stepper),
+- ``amp_scale``    — personal vigor (gentler/stronger motion),
+- ``tilt_offset``  — personal phone placement (pocket angle),
+- ``phase``        — arbitrary gait phase,
+- ``noise_scale``  — device quality (noisier/cleaner sensors),
+- ``axis_mix``     — a small random rotation of the device frame.
+
+:func:`sample_population` draws users near the population mean; an
+*atypical* user (large deviation) is what the calibration experiment (E6)
+uses: the Cloud model, pre-trained on the population, under-performs for
+such a user until their activity is re-calibrated with their own data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils import RngLike, ensure_rng, spawn_rng
+
+
+def _rotation_matrix(yaw: float, pitch: float, roll: float) -> np.ndarray:
+    """Intrinsic z-y-x rotation matrix from Euler angles (radians)."""
+    cz, sz = np.cos(yaw), np.sin(yaw)
+    cy, sy = np.cos(pitch), np.sin(pitch)
+    cx, sx = np.cos(roll), np.sin(roll)
+    rz = np.array([[cz, -sz, 0.0], [sz, cz, 0.0], [0.0, 0.0, 1.0]])
+    ry = np.array([[cy, 0.0, sy], [0.0, 1.0, 0.0], [-sy, 0.0, cy]])
+    rx = np.array([[1.0, 0.0, 0.0], [0.0, cx, -sx], [0.0, sx, cx]])
+    return rz @ ry @ rx
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One user's personal style, applied on top of any activity profile."""
+
+    user_id: int
+    freq_scale: float = 1.0
+    amp_scale: float = 1.0
+    tilt_offset: Tuple[float, float] = (0.0, 0.0)
+    phase: float = 0.0
+    noise_scale: float = 1.0
+    #: Euler angles (yaw, pitch, roll) of the personal device-frame rotation.
+    axis_angles: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.freq_scale <= 0:
+            raise ConfigurationError(
+                f"freq_scale must be > 0, got {self.freq_scale}"
+            )
+        if self.amp_scale <= 0:
+            raise ConfigurationError(f"amp_scale must be > 0, got {self.amp_scale}")
+        if self.noise_scale < 0:
+            raise ConfigurationError(
+                f"noise_scale must be >= 0, got {self.noise_scale}"
+            )
+
+    @property
+    def axis_mix(self) -> np.ndarray:
+        """3x3 rotation matrix of the personal device-frame rotation."""
+        return _rotation_matrix(*self.axis_angles)
+
+    def deviation(self) -> float:
+        """A scalar measure of how far this user sits from the population mean.
+
+        0 for the perfectly average user; grows with cadence/vigor/placement
+        deviation.  Useful to pick "atypical" users for calibration studies.
+        """
+        return float(
+            abs(np.log(self.freq_scale))
+            + abs(np.log(self.amp_scale))
+            + np.abs(self.tilt_offset).sum()
+            + np.abs(self.axis_angles).sum()
+        )
+
+
+#: The exactly-average user; synthesising with it reproduces the raw
+#: activity profiles unchanged.
+AVERAGE_USER = UserProfile(user_id=0)
+
+
+def sample_user(
+    user_id: int,
+    rng: RngLike = None,
+    spread: float = 0.08,
+) -> UserProfile:
+    """Draw one user near the population mean.
+
+    ``spread`` controls the log-normal std of cadence/vigor and the scale of
+    placement perturbations; the population default (0.08) yields mild
+    inter-user variation, matching a consumer population.
+    """
+    rng = ensure_rng(rng)
+    if spread < 0:
+        raise ConfigurationError(f"spread must be >= 0, got {spread}")
+    return UserProfile(
+        user_id=user_id,
+        freq_scale=float(np.exp(rng.normal(0.0, spread))),
+        amp_scale=float(np.exp(rng.normal(0.0, spread * 1.5))),
+        tilt_offset=(
+            float(rng.normal(0.0, spread)),
+            float(rng.normal(0.0, spread)),
+        ),
+        phase=float(rng.uniform(0.0, 2.0 * np.pi)),
+        noise_scale=float(np.exp(rng.normal(0.0, spread))),
+        axis_angles=(
+            float(rng.normal(0.0, spread * 0.6)),
+            float(rng.normal(0.0, spread * 0.6)),
+            float(rng.normal(0.0, spread * 0.6)),
+        ),
+    )
+
+
+def sample_population(
+    n_users: int,
+    rng: RngLike = None,
+    spread: float = 0.08,
+    first_id: int = 1,
+) -> List[UserProfile]:
+    """Draw ``n_users`` independent users from the population."""
+    if n_users < 0:
+        raise ConfigurationError(f"n_users must be >= 0, got {n_users}")
+    rng = ensure_rng(rng)
+    return [
+        sample_user(first_id + i, spawn_rng(rng), spread=spread)
+        for i in range(n_users)
+    ]
+
+
+def atypical_user(
+    user_id: int,
+    rng: RngLike = None,
+    severity: float = 0.45,
+) -> UserProfile:
+    """Draw a deliberately atypical user for calibration experiments.
+
+    ``severity`` plays the role of ``spread`` but much larger, and the
+    cadence/vigor deviations are biased away from 1.0 so the user is
+    guaranteed to differ from the population instead of landing near the
+    mean by chance.
+    """
+    rng = ensure_rng(rng)
+    if severity <= 0:
+        raise ConfigurationError(f"severity must be > 0, got {severity}")
+    sign = 1.0 if rng.random() < 0.5 else -1.0
+    return UserProfile(
+        user_id=user_id,
+        freq_scale=float(np.exp(sign * (severity + abs(rng.normal(0.0, 0.1))))),
+        amp_scale=float(np.exp(-sign * (severity + abs(rng.normal(0.0, 0.1))))),
+        tilt_offset=(
+            float(rng.normal(0.0, severity)),
+            float(rng.normal(0.0, severity)),
+        ),
+        phase=float(rng.uniform(0.0, 2.0 * np.pi)),
+        noise_scale=float(np.exp(abs(rng.normal(0.0, severity * 0.5)))),
+        axis_angles=(
+            float(rng.normal(0.0, severity * 0.8)),
+            float(rng.normal(0.0, severity * 0.8)),
+            float(rng.normal(0.0, severity * 0.8)),
+        ),
+    )

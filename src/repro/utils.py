@@ -1,0 +1,121 @@
+"""Small shared utilities: RNG handling, validation, timing.
+
+Every stochastic component in the library accepts either an integer seed or
+a :class:`numpy.random.Generator`; :func:`ensure_rng` normalizes both into a
+``Generator`` so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .exceptions import DataShapeError
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` yields a fresh non-deterministic generator, an ``int`` yields a
+    seeded generator, and an existing generator is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Used when a component needs to hand out sub-generators (e.g. one per
+    user) without coupling their streams.
+    """
+    return np.random.default_rng(rng.integers(0, 2**63 - 1))
+
+
+def check_2d(name: str, array: np.ndarray, n_cols: Optional[int] = None) -> np.ndarray:
+    """Validate that ``array`` is a 2-D float array, optionally with ``n_cols``.
+
+    Returns the array as ``float64`` (no copy when already float64).
+    Raises :class:`DataShapeError` on mismatch.
+    """
+    arr = np.asarray(array, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DataShapeError(f"{name} must be 2-D, got shape {arr.shape}")
+    if n_cols is not None and arr.shape[1] != n_cols:
+        raise DataShapeError(
+            f"{name} must have {n_cols} columns, got {arr.shape[1]}"
+        )
+    return arr
+
+
+def check_1d(name: str, array: np.ndarray, length: Optional[int] = None) -> np.ndarray:
+    """Validate that ``array`` is 1-D, optionally of ``length``."""
+    arr = np.asarray(array)
+    if arr.ndim != 1:
+        raise DataShapeError(f"{name} must be 1-D, got shape {arr.shape}")
+    if length is not None and arr.shape[0] != length:
+        raise DataShapeError(
+            f"{name} must have length {length}, got {arr.shape[0]}"
+        )
+    return arr
+
+
+def check_labels(name: str, labels: Sequence, n: Optional[int] = None) -> np.ndarray:
+    """Validate an integer label vector."""
+    arr = np.asarray(labels)
+    if arr.ndim != 1:
+        raise DataShapeError(f"{name} must be 1-D, got shape {arr.shape}")
+    if n is not None and arr.shape[0] != n:
+        raise DataShapeError(f"{name} must have length {n}, got {arr.shape[0]}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        if not np.all(arr == arr.astype(np.int64)):
+            raise DataShapeError(f"{name} must contain integer labels")
+        arr = arr.astype(np.int64)
+    return arr.astype(np.int64)
+
+
+class Timer:
+    """Context-manager wall-clock timer with millisecond readout.
+
+    Example::
+
+        with Timer() as t:
+            model.predict(x)
+        print(t.elapsed_ms)
+    """
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self.elapsed_s = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed_s = time.perf_counter() - self._start
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed_s * 1000.0
+
+
+def sizeof_array_bytes(array: np.ndarray, dtype=np.float32) -> int:
+    """Size in bytes of ``array`` if stored at ``dtype`` precision.
+
+    The paper quotes storage costs in 32-bit precision; this helper makes
+    footprint accounting explicit about the assumed precision.
+    """
+    return int(np.prod(array.shape)) * np.dtype(dtype).itemsize
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Human-readable byte count (e.g. ``'0.50 MB'``)."""
+    value = float(n_bytes)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024.0 or unit == "GB":
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    return f"{value:.2f} GB"

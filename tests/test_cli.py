@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def saved_package(request, tmp_path_factory):
+    """A small package saved to disk via the test scenario."""
+    scenario = request.getfixturevalue("scenario")
+    path = tmp_path_factory.mktemp("cli") / "package.npz"
+    scenario.package.save(path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_pretrain_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pretrain"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["pretrain", "--out", "x.npz"])
+        assert args.users == 5
+        assert args.windows == 30
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+
+class TestPretrainCommand:
+    def test_pretrain_saves_loadable_package(self, tmp_path, capsys):
+        out = tmp_path / "pkg.npz"
+        code = main([
+            "pretrain", "--out", str(out),
+            "--users", "2", "--windows", "6", "--epochs", "3",
+            "--support", "10", "--seed", "1",
+        ])
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "train accuracy" in captured
+
+        from repro.core import TransferPackage
+
+        package = TransferPackage.load(out)
+        assert package.support_set.n_classes == 5
+
+
+class TestInspectCommand:
+    def test_inspect_prints_classes_and_footprint(self, saved_package, capsys):
+        assert main(["inspect", saved_package]) == 0
+        out = capsys.readouterr().out
+        assert "drive" in out
+        assert "footprint" in out
+        assert "total" in out
+
+
+class TestInferCommand:
+    def test_infer_correct_activity_exits_zero(self, saved_package, capsys):
+        code = main([
+            "infer", saved_package,
+            "--activity", "still", "--seconds", "4",
+            "--user-seed", "3", "--seed", "5",
+        ])
+        out = capsys.readouterr().out
+        assert "majority verdict" in out
+        assert code == 0
+
+    def test_infer_unknown_activity_name_raises(self, saved_package):
+        from repro.exceptions import UnknownActivityError
+
+        with pytest.raises(UnknownActivityError):
+            main(["infer", saved_package, "--activity", "levitate"])
+
+
+class TestDemoCommand:
+    def test_demo_learns_and_reports(self, saved_package, capsys):
+        code = main([
+            "demo", saved_package,
+            "--new-activity", "gesture_hi",
+            "--user-seed", "3", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "new:gesture_hi" in out
+        assert "user bytes sent to Cloud: 0" in out

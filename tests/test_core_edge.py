@@ -1,0 +1,174 @@
+"""Unit tests for the Edge device: inference, incremental learning, privacy."""
+
+import numpy as np
+import pytest
+
+from repro.core import EdgeDevice, NetworkLink
+from repro.datasets import activity_windows, train_test_windows
+from repro.exceptions import (
+    DataShapeError,
+    NotFittedError,
+    PrivacyViolationError,
+)
+from repro.sensors import SensorDevice
+
+
+class TestInstallation:
+    def test_not_ready_before_install(self):
+        edge = EdgeDevice()
+        assert not edge.is_ready
+        with pytest.raises(NotFittedError):
+            edge.infer_window(np.zeros((120, 22)))
+
+    def test_install_makes_ready(self, edge):
+        assert edge.is_ready
+        assert edge.classes == ("drive", "escooter", "run", "still", "walk")
+
+    def test_install_records_cloud_to_edge_transfer(self, edge):
+        log = edge.guard.log
+        assert len(log) == 1
+        assert log[0].direction == "cloud->edge"
+        assert not log[0].contains_user_data
+
+    def test_install_over_link_costs_time(self, scenario):
+        link = NetworkLink(latency_ms=100.0, bandwidth_mbps=10.0, rng=0)
+        edge = scenario.fresh_edge(link=link)
+        assert edge.guard.log[0].simulated_ms >= 100.0
+
+
+class TestInference:
+    def test_window_prediction_fields(self, edge, scenario):
+        rec = scenario.sensor_device.record("walk", 1.0)
+        result = edge.infer_window(rec.data)
+        assert result.activity in edge.classes
+        assert 0.0 <= result.confidence <= 1.0
+        assert result.latency_ms > 0.0
+        assert set(result.distances) == set(edge.classes)
+
+    def test_top_k(self, edge, scenario):
+        rec = scenario.sensor_device.record("walk", 1.0)
+        result = edge.infer_window(rec.data)
+        top2 = result.top(2)
+        assert len(top2) == 2
+        assert top2[0][1] <= top2[1][1]
+        assert top2[0][0] == result.activity
+
+    def test_recognizes_base_activities(self, edge, scenario):
+        correct = 0
+        for activity in edge.classes:
+            rec = scenario.sensor_device.record(activity, 4.0)
+            majority, _ = edge.infer_recording(rec)
+            correct += majority == activity
+        assert correct >= 4  # at least 4/5 majority-vote correct
+
+    def test_infer_recording_per_window_names(self, edge, scenario):
+        rec = scenario.sensor_device.record("still", 3.0)
+        majority, names = edge.infer_recording(rec)
+        assert len(names) == 3
+        assert majority in names
+
+    def test_too_short_recording_rejected(self, edge, scenario):
+        rec = scenario.sensor_device.record("walk", 0.3)
+        with pytest.raises(DataShapeError):
+            edge.infer_recording(rec)
+
+    def test_non_2d_window_rejected(self, edge):
+        with pytest.raises(DataShapeError):
+            edge.infer_window(np.zeros(120))
+
+    def test_latency_is_milliseconds_scale(self, edge, scenario):
+        # E1's claim: prediction latency of a few ms on a laptop-scale model.
+        rec = scenario.sensor_device.record("walk", 1.0)
+        edge.infer_window(rec.data)  # warm up
+        latencies = [edge.infer_window(rec.data).latency_ms for _ in range(5)]
+        assert np.median(latencies) < 50.0
+
+
+class TestIncrementalLearning:
+    def test_learn_new_activity_from_recording(self, edge, scenario):
+        rec = scenario.sensor_device.record("gesture_hi", 20.0)
+        result = edge.learn_activity("gesture_hi", rec)
+        assert result.operation == "learn"
+        assert "gesture_hi" in edge.classes
+        assert edge.classes[:5] == ("drive", "escooter", "run", "still", "walk")
+
+    def test_new_activity_recognized_after_learning(self, edge, scenario):
+        train = scenario.sensor_device.record("gesture_hi", 20.0)
+        edge.learn_activity("gesture_hi", train)
+        test = scenario.sensor_device.record("gesture_hi", 4.0)
+        majority, _ = edge.infer_recording(test)
+        assert majority == "gesture_hi"
+
+    def test_old_classes_survive_update(self, edge, scenario):
+        """The headline no-catastrophic-forgetting property."""
+        feats = edge.pipeline.process_windows(scenario.base_test.windows)
+        before = edge.infer_features(feats)
+        acc_before = float(np.mean(before == scenario.base_test.labels))
+
+        rec = scenario.sensor_device.record("gesture_hi", 20.0)
+        edge.learn_activity("gesture_hi", rec)
+
+        after = edge.infer_features(feats)
+        acc_after = float(np.mean(after == scenario.base_test.labels))
+        assert acc_before > 0.8
+        assert acc_after > acc_before - 0.15
+
+    def test_learn_from_features_directly(self, edge, scenario):
+        windows = activity_windows(scenario.edge_user, "jump", 20, rng=9)
+        feats = edge.pipeline.process_windows(windows)
+        edge.learn_activity("jump", feats)
+        assert "jump" in edge.classes
+
+    def test_learning_grows_footprint(self, edge, scenario):
+        before = edge.footprint_bytes()
+        rec = scenario.sensor_device.record("gesture_hi", 20.0)
+        edge.learn_activity("gesture_hi", rec)
+        assert edge.footprint_bytes() > before
+
+    def test_reinforce_existing_activity(self, edge, scenario):
+        rec = scenario.sensor_device.record("walk", 10.0)
+        result = edge.reinforce_activity("walk", rec)
+        assert result.operation == "extend"
+        assert edge.classes == ("drive", "escooter", "run", "still", "walk")
+
+
+class TestCalibration:
+    def test_calibrate_replaces_and_retrains(self, edge, scenario):
+        rec = scenario.sensor_device.record("walk", 15.0)
+        n_classes_before = len(edge.classes)
+        result = edge.calibrate_activity("walk", rec)
+        assert result.operation == "calibrate"
+        assert len(edge.classes) == n_classes_before
+
+    def test_calibrated_class_still_recognized(self, edge, scenario):
+        rec = scenario.sensor_device.record("walk", 15.0)
+        edge.calibrate_activity("walk", rec)
+        test = scenario.sensor_device.record("walk", 4.0)
+        majority, _ = edge.infer_recording(test)
+        assert majority == "walk"
+
+
+class TestPrivacy:
+    def test_upload_of_recording_blocked(self, edge, scenario):
+        rec = scenario.sensor_device.record("walk", 2.0)
+        with pytest.raises(PrivacyViolationError):
+            edge.attempt_cloud_upload(rec)
+
+    def test_upload_of_features_blocked(self, edge, rng):
+        with pytest.raises(PrivacyViolationError):
+            edge.attempt_cloud_upload(rng.normal(size=(10, 80)))
+
+    def test_no_user_bytes_leak_even_after_learning(self, edge, scenario):
+        rec = scenario.sensor_device.record("gesture_hi", 20.0)
+        edge.learn_activity("gesture_hi", rec)
+        assert edge.guard.user_bytes_sent_to_cloud() == 0
+
+
+class TestFootprint:
+    def test_component_breakdown(self, edge):
+        sizes = edge.component_sizes()
+        assert set(sizes) == {"pipeline", "model", "support_set"}
+
+    def test_footprint_well_under_paper_budget(self, edge):
+        # Test-scale model; the full-size check lives in the benchmark.
+        assert edge.footprint_bytes() < 5 * 1024 * 1024

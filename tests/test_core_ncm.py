@@ -1,0 +1,148 @@
+"""Unit tests for the NCM classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core import NCMClassifier, SupportSet
+from repro.exceptions import (
+    DataShapeError,
+    NotFittedError,
+    UnknownActivityError,
+)
+from repro.nn import SiameseEmbedder, build_mlp
+
+
+@pytest.fixture
+def fitted(rng):
+    """An NCM fitted on two well-separated blobs."""
+    emb = np.concatenate([rng.normal(size=(10, 4)),
+                          rng.normal(size=(10, 4)) + 10.0])
+    labels = np.array([0] * 10 + [1] * 10)
+    return NCMClassifier().fit(emb, labels, ["near", "far"]), emb, labels
+
+
+class TestFit:
+    def test_prototypes_are_class_means(self, fitted):
+        ncm, emb, labels = fitted
+        assert np.allclose(ncm.prototypes_[0], emb[labels == 0].mean(axis=0))
+        assert np.allclose(ncm.prototypes_[1], emb[labels == 1].mean(axis=0))
+
+    def test_class_metadata(self, fitted):
+        ncm, *_ = fitted
+        assert ncm.class_names_ == ("near", "far")
+        assert ncm.n_classes == 2
+        assert ncm.is_fitted
+
+    def test_missing_class_rejected(self, rng):
+        emb = rng.normal(size=(5, 3))
+        with pytest.raises(DataShapeError, match="no embeddings"):
+            NCMClassifier().fit(emb, np.zeros(5, dtype=int), ["a", "b"])
+
+    def test_empty_class_names_rejected(self, rng):
+        with pytest.raises(DataShapeError):
+            NCMClassifier().fit(rng.normal(size=(2, 3)), np.zeros(2, dtype=int), [])
+
+    def test_label_shape_mismatch_rejected(self, rng):
+        with pytest.raises(DataShapeError):
+            NCMClassifier().fit(rng.normal(size=(3, 2)), np.zeros(2, dtype=int),
+                                ["a"])
+
+
+class TestPredict:
+    def test_training_points_classified_correctly(self, fitted):
+        ncm, emb, labels = fitted
+        assert np.array_equal(ncm.predict(emb), labels)
+
+    def test_predict_names(self, fitted, rng):
+        ncm, *_ = fitted
+        names = ncm.predict_names(np.array([[0.0, 0, 0, 0], [10.0, 10, 10, 10]]))
+        assert names == ["near", "far"]
+
+    def test_distances_shape_and_order(self, fitted):
+        ncm, emb, _ = fitted
+        dists = ncm.distances(emb[:3])
+        assert dists.shape == (3, 2)
+        assert np.all(dists >= 0.0)
+
+    def test_prediction_is_argmin_distance(self, fitted, rng):
+        ncm, *_ = fitted
+        x = rng.normal(size=(6, 4)) * 5
+        assert np.array_equal(
+            ncm.predict(x), np.argmin(ncm.distances(x), axis=1)
+        )
+
+    def test_proba_sums_to_one(self, fitted, rng):
+        ncm, *_ = fitted
+        probs = ncm.predict_proba(rng.normal(size=(4, 4)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_proba_favors_nearest(self, fitted):
+        ncm, *_ = fitted
+        probs = ncm.predict_proba(np.zeros((1, 4)))
+        assert probs[0, 0] > probs[0, 1]
+
+    def test_bad_temperature_rejected(self, fitted):
+        ncm, *_ = fitted
+        with pytest.raises(DataShapeError):
+            ncm.predict_proba(np.zeros((1, 4)), temperature=0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            NCMClassifier().predict(np.zeros((1, 3)))
+
+    def test_wrong_dim_rejected(self, fitted):
+        ncm, *_ = fitted
+        with pytest.raises(DataShapeError):
+            ncm.predict(np.zeros((2, 7)))
+
+
+class TestPrototypeAccess:
+    def test_prototype_of(self, fitted):
+        ncm, emb, labels = fitted
+        assert np.allclose(ncm.prototype_of("near"), emb[labels == 0].mean(0))
+
+    def test_unknown_name_rejected(self, fitted):
+        ncm, *_ = fitted
+        with pytest.raises(UnknownActivityError):
+            ncm.prototype_of("mystery")
+
+    def test_prototype_returns_copy(self, fitted):
+        ncm, *_ = fitted
+        p = ncm.prototype_of("near")
+        p[...] = 999.0
+        assert not np.allclose(ncm.prototype_of("near"), 999.0)
+
+
+class TestSupportSetIntegration:
+    def test_fit_from_support_set(self, rng):
+        embedder = SiameseEmbedder(
+            build_mlp(4, hidden_dims=(6,), output_dim=3, rng=1)
+        )
+        store = SupportSet(capacity_per_class=10, rng=2)
+        store.add_class("a", rng.normal(size=(5, 4)))
+        store.add_class("b", rng.normal(size=(5, 4)) + 8)
+        ncm = NCMClassifier().fit_from_support_set(embedder, store)
+        assert ncm.class_names_ == ("a", "b")
+        # Prototypes must equal the mean embedding of the stored exemplars.
+        za = embedder.embed(store.features_of("a"))
+        assert np.allclose(ncm.prototype_of("a"), za.mean(axis=0))
+
+
+class TestSerialization:
+    def test_roundtrip(self, fitted, rng):
+        ncm, *_ = fitted
+        rebuilt = NCMClassifier.from_arrays(ncm.to_arrays())
+        x = rng.normal(size=(5, 4))
+        assert np.array_equal(rebuilt.predict(x), ncm.predict(x))
+        assert rebuilt.class_names_ == ncm.class_names_
+
+    def test_unfitted_serialization_rejected(self):
+        with pytest.raises(NotFittedError):
+            NCMClassifier().to_arrays()
+
+    def test_corrupt_payload_rejected(self, fitted):
+        ncm, *_ = fitted
+        payload = ncm.to_arrays()
+        payload["class_names"] = np.asarray(["only_one"], dtype=object)
+        with pytest.raises(DataShapeError):
+            NCMClassifier.from_arrays(payload)

@@ -1,0 +1,203 @@
+"""Unit tests for open-set rejection and prediction smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HysteresisSmoother,
+    MajorityVoteSmoother,
+    OpenSetNCM,
+    UNKNOWN_LABEL,
+    UNKNOWN_NAME,
+    open_set_report,
+)
+from repro.datasets import activity_windows
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+@pytest.fixture
+def open_ncm(scenario):
+    edge = scenario.fresh_edge(rng=4)
+    open_ncm = OpenSetNCM().fit_from_support_set(
+        edge.embedder, edge.support_set
+    )
+    return open_ncm, edge
+
+
+class TestOpenSetNCM:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            OpenSetNCM().predict(np.zeros((1, 4)))
+
+    def test_thresholds_positive_per_class(self, open_ncm):
+        ncm, edge = open_ncm
+        assert ncm.thresholds_.shape == (5,)
+        assert np.all(ncm.thresholds_ > 0.0)
+        for name in ncm.class_names_:
+            assert ncm.threshold_of(name) > 0.0
+
+    def test_unknown_threshold_name_rejected(self, open_ncm):
+        ncm, _ = open_ncm
+        with pytest.raises(ConfigurationError):
+            ncm.threshold_of("teleport")
+
+    def test_known_activities_mostly_accepted(self, open_ncm, scenario):
+        ncm, edge = open_ncm
+        feats = edge.pipeline.process_windows(scenario.base_test.windows)
+        labels = ncm.predict(edge.embedder.embed(feats))
+        rejection = float(np.mean(labels == UNKNOWN_LABEL))
+        assert rejection < 0.3
+
+    def test_novel_activity_mostly_rejected(self, open_ncm, scenario):
+        ncm, edge = open_ncm
+        windows = activity_windows(scenario.edge_user, "gesture_hi", 15, rng=9)
+        feats = edge.pipeline.process_windows(windows)
+        rate = ncm.rejection_rate(edge.embedder.embed(feats))
+        assert rate > 0.6
+
+    def test_predict_names_uses_unknown(self, open_ncm, scenario):
+        ncm, edge = open_ncm
+        windows = activity_windows(scenario.edge_user, "jump", 8, rng=9)
+        feats = edge.pipeline.process_windows(windows)
+        names = ncm.predict_names(edge.embedder.embed(feats))
+        assert UNKNOWN_NAME in names
+
+    def test_accepted_labels_match_plain_ncm(self, open_ncm, scenario):
+        ncm, edge = open_ncm
+        feats = edge.pipeline.process_windows(scenario.base_test.windows)
+        emb = edge.embedder.embed(feats)
+        open_labels = ncm.predict(emb)
+        plain_labels = edge.ncm.predict(emb)
+        accepted = open_labels != UNKNOWN_LABEL
+        assert np.array_equal(open_labels[accepted], plain_labels[accepted])
+
+    def test_larger_slack_rejects_less(self, scenario):
+        edge = scenario.fresh_edge(rng=4)
+        windows = activity_windows(scenario.edge_user, "gesture_hi", 12, rng=9)
+        feats = edge.pipeline.process_windows(windows)
+        emb = edge.embedder.embed(feats)
+        tight = OpenSetNCM(quantile=0.9, slack=1.0).fit_from_support_set(
+            edge.embedder, edge.support_set
+        )
+        loose = OpenSetNCM(quantile=0.9, slack=10.0).fit_from_support_set(
+            edge.embedder, edge.support_set
+        )
+        assert tight.rejection_rate(emb) >= loose.rejection_rate(emb)
+
+    def test_refit_after_learning_accepts_new_class(self, open_ncm, scenario):
+        ncm, edge = open_ncm
+        train = activity_windows(scenario.edge_user, "gesture_hi", 20, rng=10)
+        edge.learn_activity("gesture_hi", edge.pipeline.process_windows(train))
+        refit = OpenSetNCM().fit_from_support_set(edge.embedder, edge.support_set)
+        test = activity_windows(scenario.edge_user, "gesture_hi", 10, rng=11)
+        emb = edge.embedder.embed(edge.pipeline.process_windows(test))
+        assert refit.rejection_rate(emb) < 0.4
+        assert "gesture_hi" in refit.class_names_
+
+    def test_report_keys_and_ranges(self, open_ncm, scenario):
+        ncm, edge = open_ncm
+        known = edge.pipeline.process_windows(scenario.base_test.windows)
+        unknown = edge.pipeline.process_windows(
+            activity_windows(scenario.edge_user, "gesture_circle", 10, rng=12)
+        )
+        report = open_set_report(
+            ncm, edge.embedder, known, scenario.base_test.labels, unknown
+        )
+        assert set(report) == {
+            "known_accuracy", "known_rejection_rate", "unknown_rejection_rate"
+        }
+        for value in report.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            OpenSetNCM(quantile=0.0)
+        with pytest.raises(ConfigurationError):
+            OpenSetNCM(slack=0.0)
+
+
+class TestMajorityVoteSmoother:
+    def test_suppresses_isolated_flicker(self):
+        smoother = MajorityVoteSmoother(window=5)
+        stream = ["walk"] * 4 + ["run"] + ["walk"] * 4
+        smoothed = smoother.apply(stream)
+        assert all(label == "walk" for label in smoothed)
+
+    def test_follows_sustained_change(self):
+        smoother = MajorityVoteSmoother(window=3)
+        smoothed = smoother.apply(["walk"] * 5 + ["run"] * 5)
+        assert smoothed[-1] == "run"
+        assert "run" in smoothed
+
+    def test_window_one_is_identity(self):
+        smoother = MajorityVoteSmoother(window=1)
+        stream = ["a", "b", "a", "c"]
+        assert smoother.apply(stream) == stream
+
+    def test_tie_resolves_to_most_recent(self):
+        smoother = MajorityVoteSmoother(window=4)
+        smoother.update("a")
+        smoother.update("a")
+        smoother.update("b")
+        assert smoother.update("b") == "b"
+
+    def test_apply_resets_state(self):
+        smoother = MajorityVoteSmoother(window=3)
+        smoother.apply(["x"] * 3)
+        assert smoother.apply(["y"]) == ["y"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MajorityVoteSmoother(window=0)
+
+
+class TestHysteresisSmoother:
+    def test_first_label_displayed_immediately(self):
+        smoother = HysteresisSmoother(switch_after=3)
+        assert smoother.update("walk") == "walk"
+
+    def test_requires_sustained_agreement_to_switch(self):
+        smoother = HysteresisSmoother(switch_after=3)
+        smoother.update("walk")
+        assert smoother.update("run") == "walk"
+        assert smoother.update("run") == "walk"
+        assert smoother.update("run") == "run"
+
+    def test_flicker_resets_candidate(self):
+        smoother = HysteresisSmoother(switch_after=2)
+        smoother.update("walk")
+        smoother.update("run")
+        smoother.update("walk")  # interrupts the run streak
+        assert smoother.update("run") == "walk"
+        assert smoother.update("run") == "run"
+
+    def test_switch_after_one_follows_input(self):
+        smoother = HysteresisSmoother(switch_after=1)
+        assert smoother.apply(["a", "b", "c"]) == ["a", "b", "c"]
+
+    def test_current_property(self):
+        smoother = HysteresisSmoother()
+        assert smoother.current is None
+        smoother.update("still")
+        assert smoother.current == "still"
+
+    def test_apply_resets(self):
+        smoother = HysteresisSmoother(switch_after=2)
+        smoother.apply(["a"] * 3)
+        assert smoother.apply(["b"])[0] == "b"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HysteresisSmoother(switch_after=0)
+
+    def test_stabilizes_noisy_stream(self, rng):
+        """A 10%-noise stream must display the true activity >95% of the time."""
+        truth = ["walk"] * 50 + ["run"] * 50
+        noisy = [
+            label if rng.random() > 0.1 else "still" for label in truth
+        ]
+        smoothed = HysteresisSmoother(switch_after=3).apply(noisy)
+        agreement = np.mean([s == t for s, t in zip(smoothed, truth)])
+        raw_agreement = np.mean([n == t for n, t in zip(noisy, truth)])
+        assert agreement > raw_agreement
+        assert agreement > 0.9

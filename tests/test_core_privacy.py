@@ -1,0 +1,137 @@
+"""Unit tests for the privacy guard and the network link."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CLOUD_TO_EDGE,
+    EDGE_TO_CLOUD,
+    NetworkLink,
+    PrivacyGuard,
+    TYPICAL_4G,
+    TYPICAL_WIFI,
+)
+from repro.exceptions import ConfigurationError, PrivacyViolationError
+
+
+class TestPrivacyGuardEnforcing:
+    def test_cloud_to_edge_always_allowed(self):
+        guard = PrivacyGuard(enforce=True)
+        rec = guard.record(CLOUD_TO_EDGE, "package", 1000, contains_user_data=False)
+        assert rec.allowed
+
+    def test_edge_to_cloud_without_user_data_allowed(self):
+        # E.g. anonymous telemetry counters — Definition 1 only covers user data.
+        guard = PrivacyGuard(enforce=True)
+        rec = guard.record(EDGE_TO_CLOUD, "heartbeat", 16, contains_user_data=False)
+        assert rec.allowed
+
+    def test_edge_to_cloud_user_data_blocked(self):
+        guard = PrivacyGuard(enforce=True)
+        with pytest.raises(PrivacyViolationError, match="Definition 1"):
+            guard.record(EDGE_TO_CLOUD, "raw_windows", 4096,
+                         contains_user_data=True)
+
+    def test_blocked_transfer_is_still_logged(self):
+        guard = PrivacyGuard(enforce=True)
+        with pytest.raises(PrivacyViolationError):
+            guard.record(EDGE_TO_CLOUD, "raw", 100, contains_user_data=True)
+        assert len(guard.log) == 1
+        assert not guard.log[0].allowed
+
+    def test_no_user_bytes_ever_leave(self):
+        guard = PrivacyGuard(enforce=True)
+        guard.record(CLOUD_TO_EDGE, "package", 5000, contains_user_data=False)
+        with pytest.raises(PrivacyViolationError):
+            guard.record(EDGE_TO_CLOUD, "raw", 100, contains_user_data=True)
+        assert guard.user_bytes_sent_to_cloud() == 0
+
+    def test_violations_listed(self):
+        guard = PrivacyGuard(enforce=True)
+        with pytest.raises(PrivacyViolationError):
+            guard.record(EDGE_TO_CLOUD, "raw", 100, contains_user_data=True)
+        assert len(guard.violations()) == 1
+
+
+class TestPrivacyGuardBaselineMode:
+    def test_violations_allowed_but_counted(self):
+        guard = PrivacyGuard(enforce=False)
+        rec = guard.record(EDGE_TO_CLOUD, "raw", 500, contains_user_data=True)
+        assert rec.allowed
+        assert guard.user_bytes_sent_to_cloud() == 500
+        assert len(guard.violations()) == 1
+
+    def test_accumulates_bytes(self):
+        guard = PrivacyGuard(enforce=False)
+        for _ in range(10):
+            guard.record(EDGE_TO_CLOUD, "raw", 100, contains_user_data=True)
+        assert guard.user_bytes_sent_to_cloud() == 1000
+
+
+class TestGuardBookkeeping:
+    def test_bytes_by_direction(self):
+        guard = PrivacyGuard(enforce=False)
+        guard.record(CLOUD_TO_EDGE, "pkg", 300, contains_user_data=False)
+        guard.record(EDGE_TO_CLOUD, "raw", 200, contains_user_data=True)
+        assert guard.bytes_by_direction(CLOUD_TO_EDGE) == 300
+        assert guard.bytes_by_direction(EDGE_TO_CLOUD) == 200
+
+    def test_reset(self):
+        guard = PrivacyGuard(enforce=False)
+        guard.record(CLOUD_TO_EDGE, "pkg", 300, contains_user_data=False)
+        guard.reset()
+        assert guard.log == []
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyGuard().record("sideways", "x", 1, contains_user_data=False)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyGuard().record(CLOUD_TO_EDGE, "x", -1, contains_user_data=False)
+
+
+class TestNetworkLink:
+    def test_latency_floor(self):
+        link = NetworkLink(latency_ms=50.0, bandwidth_mbps=10.0)
+        assert link.transfer_ms(0) == pytest.approx(50.0)
+
+    def test_bandwidth_term(self):
+        link = NetworkLink(latency_ms=0.0, bandwidth_mbps=8.0)
+        # 1 MB at 8 Mbit/s = 1 second.
+        assert link.transfer_ms(1_000_000) == pytest.approx(1000.0)
+
+    def test_monotone_in_size(self):
+        link = NetworkLink(latency_ms=10.0, bandwidth_mbps=20.0)
+        assert link.transfer_ms(10_000) < link.transfer_ms(1_000_000)
+
+    def test_round_trip_sums(self):
+        link = NetworkLink(latency_ms=10.0, bandwidth_mbps=20.0, jitter_ms=0.0)
+        assert link.round_trip_ms(1000, 100) == pytest.approx(
+            link.transfer_ms(1000) + link.transfer_ms(100)
+        )
+
+    def test_jitter_bounded(self):
+        link = NetworkLink(latency_ms=10.0, bandwidth_mbps=100.0,
+                           jitter_ms=5.0, rng=0)
+        for _ in range(50):
+            cost = link.transfer_ms(0)
+            assert 10.0 <= cost <= 15.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkLink().transfer_ms(-1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NetworkLink(latency_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            NetworkLink(bandwidth_mbps=0.0)
+
+    def test_profiles_sane(self):
+        wifi = NetworkLink(**TYPICAL_WIFI, rng=0)
+        lte = NetworkLink(**TYPICAL_4G, rng=0)
+        # Wi-Fi should beat 4G for the same payload, on average.
+        wifi_cost = np.mean([wifi.transfer_ms(100_000) for _ in range(30)])
+        lte_cost = np.mean([lte.transfer_ms(100_000) for _ in range(30)])
+        assert wifi_cost < lte_cost

@@ -1,0 +1,228 @@
+"""Unit tests for the support set and exemplar selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import SupportSet, herding_selection
+from repro.exceptions import (
+    ConfigurationError,
+    DataShapeError,
+    UnknownActivityError,
+)
+from repro.nn import SiameseEmbedder, build_mlp
+
+
+@pytest.fixture
+def store():
+    return SupportSet(capacity_per_class=5, selection="random", rng=3)
+
+
+@pytest.fixture
+def embedder():
+    return SiameseEmbedder(build_mlp(4, hidden_dims=(6,), output_dim=3, rng=1))
+
+
+class TestBasicOperations:
+    def test_add_and_query(self, store, rng):
+        store.add_class("walk", rng.normal(size=(4, 4)))
+        assert "walk" in store
+        assert store.n_classes == 1
+        assert store.counts() == {"walk": 4}
+
+    def test_label_order_is_insertion_order(self, store, rng):
+        store.add_class("b", rng.normal(size=(2, 4)))
+        store.add_class("a", rng.normal(size=(2, 4)))
+        assert store.class_names == ("b", "a")
+        assert store.label_of("b") == 0
+        assert store.label_of("a") == 1
+
+    def test_capacity_enforced(self, store, rng):
+        store.add_class("walk", rng.normal(size=(20, 4)))
+        assert store.counts()["walk"] == 5
+
+    def test_duplicate_add_rejected(self, store, rng):
+        store.add_class("walk", rng.normal(size=(2, 4)))
+        with pytest.raises(ConfigurationError, match="already"):
+            store.add_class("walk", rng.normal(size=(2, 4)))
+
+    def test_feature_width_locked(self, store, rng):
+        store.add_class("walk", rng.normal(size=(2, 4)))
+        with pytest.raises(DataShapeError):
+            store.add_class("run", rng.normal(size=(2, 5)))
+
+    def test_empty_class_rejected(self, store):
+        with pytest.raises(DataShapeError):
+            store.add_class("walk", np.zeros((0, 4)))
+
+    def test_unknown_class_queries_raise(self, store):
+        with pytest.raises(UnknownActivityError):
+            store.features_of("nope")
+        with pytest.raises(UnknownActivityError):
+            store.label_of("nope")
+
+    def test_features_of_returns_copy(self, store, rng):
+        store.add_class("walk", rng.normal(size=(3, 4)))
+        out = store.features_of("walk")
+        out[...] = 0.0
+        assert not np.allclose(store.features_of("walk"), 0.0)
+
+    def test_remove_class(self, store, rng):
+        store.add_class("a", rng.normal(size=(2, 4)))
+        store.add_class("b", rng.normal(size=(2, 4)))
+        store.remove_class("a")
+        assert store.class_names == ("b",)
+        assert store.label_of("b") == 0
+
+    def test_remove_last_class_resets_width(self, store, rng):
+        store.add_class("a", rng.normal(size=(2, 4)))
+        store.remove_class("a")
+        store.add_class("b", rng.normal(size=(2, 7)))  # new width accepted
+        assert store.n_features == 7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SupportSet(capacity_per_class=0)
+        with pytest.raises(ConfigurationError):
+            SupportSet(selection="magic")
+
+
+class TestUpdateOperations:
+    def test_replace_class(self, store, rng):
+        store.add_class("walk", rng.normal(size=(3, 4)))
+        new = rng.normal(size=(4, 4)) + 100.0
+        store.replace_class("walk", new)
+        assert np.allclose(store.features_of("walk"), new)
+
+    def test_replace_missing_rejected(self, store, rng):
+        with pytest.raises(UnknownActivityError):
+            store.replace_class("walk", rng.normal(size=(2, 4)))
+
+    def test_extend_class_merges(self, store, rng):
+        store.add_class("walk", rng.normal(size=(2, 4)))
+        store.extend_class("walk", rng.normal(size=(2, 4)))
+        assert store.counts()["walk"] == 4
+
+    def test_extend_respects_capacity(self, store, rng):
+        store.add_class("walk", rng.normal(size=(4, 4)))
+        store.extend_class("walk", rng.normal(size=(10, 4)))
+        assert store.counts()["walk"] == 5
+
+    def test_extend_missing_rejected(self, store, rng):
+        with pytest.raises(UnknownActivityError):
+            store.extend_class("walk", rng.normal(size=(2, 4)))
+
+
+class TestTrainingSet:
+    def test_labels_align_with_class_order(self, store, rng):
+        store.add_class("a", rng.normal(size=(2, 4)))
+        store.add_class("b", rng.normal(size=(3, 4)))
+        X, y = store.training_set()
+        assert X.shape == (5, 4)
+        assert list(y) == [0, 0, 1, 1, 1]
+
+    def test_empty_rejected(self, store):
+        with pytest.raises(DataShapeError):
+            store.training_set()
+
+    def test_adding_class_keeps_old_labels(self, store, rng):
+        store.add_class("a", rng.normal(size=(2, 4)))
+        _, y1 = store.training_set()
+        store.add_class("b", rng.normal(size=(2, 4)))
+        _, y2 = store.training_set()
+        assert list(y2[:2]) == list(y1)
+
+
+class TestFootprint:
+    def test_paper_sizing_claim(self):
+        # "200 observations per class cost roughly 0.5 MB in 32-bit
+        # precision" — for the 5-class base set with 80 features:
+        # 5 * 200 * 80 * 4 B = 320 kB  (~0.3 MB, same order).
+        store = SupportSet(capacity_per_class=200, rng=0)
+        rng = np.random.default_rng(0)
+        for name in ("drive", "escooter", "run", "still", "walk"):
+            store.add_class(name, rng.normal(size=(200, 80)))
+        size_mb = store.size_bytes() / (1024 * 1024)
+        assert 0.2 < size_mb < 0.5
+
+    def test_size_scales_with_samples(self, store, rng):
+        store.add_class("a", rng.normal(size=(2, 4)))
+        small = store.size_bytes()
+        store.add_class("b", rng.normal(size=(4, 4)))
+        assert store.size_bytes() == small * 3
+
+
+class TestSelectionStrategies:
+    def test_first_keeps_earliest(self, rng):
+        store = SupportSet(capacity_per_class=3, selection="first")
+        data = np.arange(24, dtype=float).reshape(6, 4)
+        store.add_class("a", data)
+        assert np.allclose(store.features_of("a"), data[:3])
+
+    def test_random_subsamples_rows(self, rng):
+        store = SupportSet(capacity_per_class=3, selection="random", rng=1)
+        data = rng.normal(size=(10, 4))
+        store.add_class("a", data)
+        kept = store.features_of("a")
+        # Every kept row must be one of the original rows.
+        for row in kept:
+            assert any(np.allclose(row, orig) for orig in data)
+
+    def test_herding_requires_embedder(self, rng):
+        store = SupportSet(capacity_per_class=3, selection="herding")
+        with pytest.raises(ConfigurationError, match="embedder"):
+            store.add_class("a", rng.normal(size=(10, 4)))
+
+    def test_herding_with_embedder(self, rng, embedder):
+        store = SupportSet(capacity_per_class=3, selection="herding")
+        store.add_class("a", rng.normal(size=(10, 4)), embedder=embedder)
+        assert store.counts()["a"] == 3
+
+    def test_herding_selection_tracks_mean(self, rng):
+        emb = rng.normal(size=(50, 8))
+        idx = herding_selection(emb, 10)
+        selected_mean = emb[idx].mean(axis=0)
+        true_mean = emb.mean(axis=0)
+        random_idx = rng.choice(50, size=10, replace=False)
+        random_mean = emb[random_idx].mean(axis=0)
+        assert np.linalg.norm(selected_mean - true_mean) <= np.linalg.norm(
+            random_mean - true_mean
+        )
+
+    def test_herding_under_capacity_returns_all(self, rng):
+        emb = rng.normal(size=(4, 3))
+        assert np.array_equal(herding_selection(emb, 10), np.arange(4))
+
+    def test_herding_indices_unique(self, rng):
+        idx = herding_selection(rng.normal(size=(30, 5)), 15)
+        assert len(set(idx.tolist())) == 15
+
+
+class TestSerializationAndClone:
+    def test_arrays_roundtrip(self, store, rng):
+        store.add_class("walk", rng.normal(size=(3, 4)))
+        store.add_class("run", rng.normal(size=(2, 4)))
+        rebuilt = SupportSet.from_arrays(
+            store.to_arrays(), capacity_per_class=5, selection="random"
+        )
+        assert rebuilt.class_names == store.class_names
+        assert np.allclose(rebuilt.features_of("walk"), store.features_of("walk"))
+
+    def test_roundtrip_preserves_order_with_many_classes(self, rng):
+        store = SupportSet(capacity_per_class=3, rng=0)
+        names = [f"c{i}" for i in range(12)]
+        for name in names:
+            store.add_class(name, rng.normal(size=(2, 4)))
+        rebuilt = SupportSet.from_arrays(store.to_arrays())
+        assert rebuilt.class_names == tuple(names)
+
+    def test_clone_is_deep(self, store, rng):
+        store.add_class("walk", rng.normal(size=(3, 4)))
+        twin = store.clone()
+        twin.replace_class("walk", rng.normal(size=(2, 4)) + 50)
+        assert not np.allclose(
+            store.features_of("walk").mean(), twin.features_of("walk").mean()
+        )
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SupportSet.from_arrays({"bogus_key": np.zeros((2, 2))})

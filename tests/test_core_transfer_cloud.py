@@ -1,0 +1,116 @@
+"""Unit tests for the transfer package and Cloud initialization."""
+
+import numpy as np
+import pytest
+
+from repro.core import CloudConfig, CloudInitializer, TransferPackage
+from repro.exceptions import ConfigurationError, SerializationError
+from repro.nn import TrainConfig
+
+
+class TestTransferPackage:
+    def test_component_sizes_present(self, scenario):
+        sizes = scenario.package.component_sizes()
+        assert set(sizes) == {"pipeline", "model", "support_set"}
+        assert all(v > 0 for v in sizes.values())
+
+    def test_total_is_sum(self, scenario):
+        package = scenario.package
+        assert package.size_bytes() == sum(package.component_sizes().values())
+
+    def test_describe_mentions_total(self, scenario):
+        text = scenario.package.describe()
+        assert "total" in text
+        assert "model" in text
+
+    def test_support_set_dominated_by_capacity(self, scenario):
+        sizes = scenario.package.component_sizes()
+        store = scenario.package.support_set
+        expected = store.total_samples * store.n_features * 4
+        assert sizes["support_set"] == expected
+
+    def test_save_load_roundtrip(self, scenario, tmp_path, rng):
+        package = scenario.package
+        path = tmp_path / "package.npz"
+        package.save(path)
+        loaded = TransferPackage.load(path)
+
+        x = rng.normal(size=(3, package.pipeline.n_features))
+        assert np.allclose(
+            loaded.embedder.embed(x), package.embedder.embed(x)
+        )
+        assert loaded.support_set.class_names == package.support_set.class_names
+        windows = rng.normal(size=(2, 120, 22))
+        assert np.allclose(
+            loaded.pipeline.process_windows(windows),
+            package.pipeline.process_windows(windows),
+        )
+
+    def test_load_garbage_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, x=np.zeros(3))
+        with pytest.raises(SerializationError):
+            TransferPackage.load(path)
+
+    def test_serialized_bytes_close_to_footprint(self, scenario):
+        package = scenario.package
+        wire = package.serialized_bytes()
+        logical = package.size_bytes()
+        # The wire format is float32 npz: same order of magnitude.
+        assert 0.5 * logical < wire < 3.0 * logical
+
+
+class TestCloudInitializer:
+    def test_pretrain_learns_base_activities(self, scenario):
+        report = scenario.pretrain_report
+        assert report.train_accuracy > 0.9
+        assert report.class_names == ("drive", "escooter", "run", "still", "walk")
+
+    def test_loss_decreased_during_pretraining(self, scenario):
+        history = scenario.pretrain_report.history
+        assert history.total[-1] < history.total[0]
+
+    def test_support_set_covers_all_classes(self, scenario):
+        store = scenario.package.support_set
+        assert store.class_names == scenario.pretrain_report.class_names
+        assert all(count > 0 for count in store.counts().values())
+
+    def test_support_capacity_respected(self, scenario):
+        store = scenario.package.support_set
+        assert max(store.counts().values()) <= store.capacity_per_class
+
+    def test_pipeline_fitted(self, scenario):
+        assert scenario.package.pipeline.is_fitted
+
+    def test_generates_campaign_when_none_given(self):
+        cloud = CloudInitializer(
+            CloudConfig(
+                backbone_dims=(32,),
+                embedding_dim=8,
+                train=TrainConfig(epochs=2, batch_pairs=16),
+                support_capacity=10,
+            ),
+            rng=3,
+        )
+        package, report = cloud.pretrain(
+            n_users=2, windows_per_user_per_activity=4
+        )
+        assert report.n_train_windows == 2 * 4 * 5
+        assert package.support_set.n_classes == 5
+
+    def test_empty_dataset_rejected(self, tiny_campaign):
+        cloud = CloudInitializer(rng=0)
+        empty = tiny_campaign.subset(np.zeros(tiny_campaign.n_windows, dtype=bool))
+        with pytest.raises(ConfigurationError):
+            cloud.pretrain(empty)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            CloudConfig(embedding_dim=0)
+        with pytest.raises(ConfigurationError):
+            CloudConfig(support_capacity=0)
+
+    def test_n_parameters_reported(self, scenario):
+        assert scenario.pretrain_report.n_parameters == (
+            scenario.package.embedder.n_parameters()
+        )

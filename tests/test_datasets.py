@@ -1,0 +1,178 @@
+"""Unit tests for dataset splits, loaders and scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BatchLoader,
+    activity_windows,
+    build_edge_scenario,
+    leave_users_out,
+    split_by_class,
+    stratified_split,
+    train_test_windows,
+)
+from repro.exceptions import ConfigurationError, DataShapeError
+
+
+class TestStratifiedSplit:
+    def test_proportions_preserved(self, tiny_campaign):
+        train, test = stratified_split(tiny_campaign, test_fraction=0.25, rng=0)
+        assert train.n_windows + test.n_windows == tiny_campaign.n_windows
+        for name, total in tiny_campaign.class_counts().items():
+            test_count = test.class_counts()[name]
+            assert test_count == pytest.approx(total * 0.25, abs=1)
+
+    def test_every_class_in_both_sides(self, tiny_campaign):
+        train, test = stratified_split(tiny_campaign, test_fraction=0.2, rng=0)
+        assert all(v > 0 for v in train.class_counts().values())
+        assert all(v > 0 for v in test.class_counts().values())
+
+    def test_no_overlap(self, tiny_campaign):
+        train, test = stratified_split(tiny_campaign, test_fraction=0.3, rng=0)
+        # Windows are unique arrays; compare via hashes of bytes.
+        train_keys = {w.tobytes() for w in train.windows}
+        test_keys = {w.tobytes() for w in test.windows}
+        assert not train_keys & test_keys
+
+    def test_deterministic(self, tiny_campaign):
+        a = stratified_split(tiny_campaign, rng=5)[1]
+        b = stratified_split(tiny_campaign, rng=5)[1]
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_bad_fraction_rejected(self, tiny_campaign):
+        with pytest.raises(ConfigurationError):
+            stratified_split(tiny_campaign, test_fraction=0.0)
+
+
+class TestLeaveUsersOut:
+    def test_held_out_user_absent_from_train(self, tiny_campaign):
+        uid = int(tiny_campaign.user_ids[0])
+        train, test = leave_users_out(tiny_campaign, [uid])
+        assert uid not in set(train.user_ids.tolist())
+        assert set(test.user_ids.tolist()) == {uid}
+
+    def test_missing_user_rejected(self, tiny_campaign):
+        with pytest.raises(DataShapeError):
+            leave_users_out(tiny_campaign, [99999])
+
+    def test_all_users_rejected(self, tiny_campaign):
+        all_users = np.unique(tiny_campaign.user_ids).tolist()
+        with pytest.raises(DataShapeError):
+            leave_users_out(tiny_campaign, all_users)
+
+    def test_empty_rejected(self, tiny_campaign):
+        with pytest.raises(ConfigurationError):
+            leave_users_out(tiny_campaign, [])
+
+
+class TestSplitByClass:
+    def test_partition(self, tiny_campaign):
+        selected, rest = split_by_class(tiny_campaign, ["walk", "run"])
+        assert selected.n_windows + rest.n_windows == tiny_campaign.n_windows
+        walk = tiny_campaign.label_of("walk")
+        run = tiny_campaign.label_of("run")
+        assert set(selected.labels.tolist()) == {walk, run}
+
+    def test_labels_stay_aligned(self, tiny_campaign):
+        selected, _ = split_by_class(tiny_campaign, ["walk"])
+        assert selected.class_names == tiny_campaign.class_names
+
+    def test_unknown_class_rejected(self, tiny_campaign):
+        with pytest.raises(ConfigurationError):
+            split_by_class(tiny_campaign, ["flying"])
+
+
+class TestBatchLoader:
+    def test_covers_all_samples(self, rng):
+        X = rng.normal(size=(25, 4))
+        y = rng.integers(0, 3, size=25)
+        loader = BatchLoader(X, y, batch_size=8, shuffle=False, rng=0)
+        seen = sum(batch_x.shape[0] for batch_x, _ in loader)
+        assert seen == 25
+        assert len(loader) == 4
+
+    def test_drop_last(self, rng):
+        X = rng.normal(size=(25, 4))
+        y = rng.integers(0, 3, size=25)
+        loader = BatchLoader(X, y, batch_size=8, drop_last=True, rng=0)
+        sizes = [bx.shape[0] for bx, _ in loader]
+        assert sizes == [8, 8, 8]
+        assert len(loader) == 3
+
+    def test_shuffle_changes_order_not_content(self, rng):
+        X = np.arange(40, dtype=float).reshape(20, 2)
+        y = np.arange(20)
+        loader = BatchLoader(X, y, batch_size=20, shuffle=True, rng=1)
+        (bx, by), = list(loader)
+        assert not np.array_equal(by, y)
+        assert sorted(by.tolist()) == y.tolist()
+
+    def test_labels_track_features(self, rng):
+        X = np.arange(20, dtype=float).reshape(10, 2)
+        y = np.arange(10)
+        loader = BatchLoader(X, y, batch_size=4, shuffle=True, rng=2)
+        for bx, by in loader:
+            assert np.allclose(bx[:, 0], 2 * by)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataShapeError):
+            BatchLoader(np.zeros((0, 3)), np.zeros(0, dtype=int))
+
+    def test_bad_batch_size_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            BatchLoader(rng.normal(size=(5, 2)), np.zeros(5, dtype=int),
+                        batch_size=0)
+
+
+class TestScenarios:
+    def test_scenario_edge_user_not_in_campaign(self, scenario):
+        assert scenario.edge_user.user_id not in set(
+            scenario.campaign.user_ids.tolist()
+        )
+
+    def test_base_test_recorded_by_edge_user(self, scenario):
+        assert set(scenario.base_test.user_ids.tolist()) == {
+            scenario.edge_user.user_id
+        }
+
+    def test_fresh_edges_are_independent(self, scenario):
+        a = scenario.fresh_edge(rng=1)
+        b = scenario.fresh_edge(rng=2)
+        rec_windows = activity_windows(scenario.edge_user, "gesture_hi", 10,
+                                       rng=3)
+        a.learn_activity("gesture_hi", a.pipeline.process_windows(rec_windows))
+        assert "gesture_hi" in a.classes
+        assert "gesture_hi" not in b.classes
+        assert "gesture_hi" not in scenario.package.support_set.class_names
+
+    def test_activity_windows_shape(self, scenario):
+        windows = activity_windows(scenario.edge_user, "jump", 7, rng=1)
+        assert windows.shape == (7, 120, 22)
+
+    def test_activity_windows_validation(self, scenario):
+        with pytest.raises(ConfigurationError):
+            activity_windows(scenario.edge_user, "jump", 0)
+
+    def test_train_test_windows_independent(self, scenario):
+        train, test = train_test_windows(
+            scenario.edge_user, "walk", n_train=4, n_test=3, rng=2
+        )
+        assert train.shape[0] == 4
+        assert test.shape[0] == 3
+        assert not np.allclose(train[:3], test)
+
+    def test_atypical_scenario_flag(self):
+        from tests.conftest import small_cloud_config
+
+        typical = build_edge_scenario(
+            cloud_config=small_cloud_config(), n_users=2,
+            windows_per_user_per_activity=6, base_test_windows_per_activity=4,
+            rng=31,
+        )
+        atypical = build_edge_scenario(
+            cloud_config=small_cloud_config(), n_users=2,
+            windows_per_user_per_activity=6, base_test_windows_per_activity=4,
+            edge_user_atypical=True, rng=31,
+        )
+        assert atypical.edge_user.deviation() > typical.edge_user.deviation()

@@ -1,0 +1,270 @@
+"""Unit tests for drift monitoring and federated aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core import DriftMonitor, NetworkLink
+from repro.exceptions import (
+    ConfigurationError,
+    DataShapeError,
+    NotFittedError,
+)
+from repro.federated import (
+    FederatedClient,
+    FederationServer,
+    apply_delta,
+    clip_delta_norm,
+    federated_average,
+    state_delta,
+    state_nbytes,
+)
+from repro.nn import TrainConfig, build_mlp
+
+
+class TestDriftMonitor:
+    def make_monitor(self, **kwargs):
+        defaults = dict(window=20, threshold=0.5, patience=3, min_samples=5)
+        defaults.update(kwargs)
+        return DriftMonitor(**defaults).set_standard_reference(8)
+
+    def test_no_score_until_min_samples(self, rng):
+        monitor = self.make_monitor()
+        for i in range(4):
+            assert monitor.observe(rng.normal(size=8)) is None
+        assert monitor.observe(rng.normal(size=8)) is not None
+
+    def test_in_distribution_data_not_flagged(self, rng):
+        monitor = self.make_monitor()
+        for _ in range(40):
+            monitor.observe(rng.normal(size=8))
+        assert not monitor.is_drifting()
+        assert not monitor.should_recalibrate()
+
+    def test_shifted_data_flagged(self, rng):
+        monitor = self.make_monitor()
+        for _ in range(40):
+            monitor.observe(rng.normal(size=8) + 2.0)
+        assert monitor.is_drifting()
+        assert monitor.should_recalibrate()
+
+    def test_patience_debounces(self, rng):
+        monitor = self.make_monitor(patience=5, window=5, min_samples=5)
+        for _ in range(5):
+            monitor.observe(rng.normal(size=8))
+        # Two drifting observations: flagged but not yet actionable.
+        monitor.observe(np.full(8, 5.0))
+        monitor.observe(np.full(8, 5.0))
+        assert not monitor.should_recalibrate()
+
+    def test_score_grows_with_shift(self, rng):
+        scores = []
+        for shift in (0.0, 1.0, 3.0):
+            monitor = self.make_monitor()
+            for _ in range(30):
+                monitor.observe(rng.normal(size=8) + shift)
+            scores.append(monitor.score())
+        assert scores[0] < scores[1] < scores[2]
+
+    def test_reset_after_recalibration(self, rng):
+        monitor = self.make_monitor()
+        for _ in range(30):
+            monitor.observe(np.full(8, 4.0))
+        assert monitor.should_recalibrate()
+        monitor.reset_after_recalibration()
+        assert monitor.score() is None
+        assert not monitor.should_recalibrate()
+
+    def test_fit_reference_from_features(self, rng):
+        data = rng.normal(5.0, 2.0, size=(100, 6))
+        monitor = DriftMonitor(window=20, min_samples=5).fit_reference(data)
+        for _ in range(20):
+            monitor.observe(rng.normal(5.0, 2.0, size=6))
+        assert not monitor.is_drifting()
+
+    def test_status_keys(self, rng):
+        monitor = self.make_monitor()
+        status = monitor.status()
+        assert {"samples_in_window", "score", "threshold", "flag_streak"} == set(
+            status
+        )
+
+    def test_unreferenced_observe_rejected(self, rng):
+        with pytest.raises(NotFittedError):
+            DriftMonitor().observe(rng.normal(size=4))
+
+    def test_wrong_width_rejected(self, rng):
+        monitor = self.make_monitor()
+        with pytest.raises(DataShapeError):
+            monitor.observe(rng.normal(size=9))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DriftMonitor(window=0)
+        with pytest.raises(ConfigurationError):
+            DriftMonitor(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            DriftMonitor(window=5, min_samples=6)
+        with pytest.raises(ConfigurationError):
+            DriftMonitor().set_reference(np.zeros(3), np.zeros(3))
+
+    def test_drift_detected_on_real_user_change(self, scenario):
+        """An atypical user's features must trip a monitor referenced on
+        the z-scored campaign distribution."""
+        from repro.datasets import activity_windows
+        from repro.sensors import atypical_user
+
+        edge = scenario.fresh_edge(rng=30)
+        monitor = DriftMonitor(
+            window=20, threshold=0.5, patience=3, min_samples=10
+        ).set_standard_reference(edge.pipeline.n_features)
+
+        outlier = atypical_user(7777, rng=8)
+        windows = activity_windows(outlier, "walk", 25, rng=9)
+        for feats in edge.pipeline.process_windows(windows):
+            monitor.observe(feats)
+        assert monitor.is_drifting()
+
+
+def tiny_states(rng, keys=("0.weight", "0.bias")):
+    def one():
+        return {k: rng.normal(size=(3, 2) if "weight" in k else (2,)) for k in keys}
+    return one(), one()
+
+
+class TestFedAvgMath:
+    def test_uniform_average(self, rng):
+        a, b = tiny_states(rng)
+        avg = federated_average([a, b])
+        for key in a:
+            assert np.allclose(avg[key], (a[key] + b[key]) / 2)
+
+    def test_weighted_average(self, rng):
+        a, b = tiny_states(rng)
+        avg = federated_average([a, b], weights=[3, 1])
+        for key in a:
+            assert np.allclose(avg[key], 0.75 * a[key] + 0.25 * b[key])
+
+    def test_single_state_identity(self, rng):
+        a, _ = tiny_states(rng)
+        avg = federated_average([a])
+        for key in a:
+            assert np.allclose(avg[key], a[key])
+
+    def test_incompatible_keys_rejected(self, rng):
+        a, _ = tiny_states(rng)
+        b = {"other": np.zeros(2)}
+        with pytest.raises(DataShapeError):
+            federated_average([a, b])
+
+    def test_incompatible_shapes_rejected(self, rng):
+        a, b = tiny_states(rng)
+        b["0.weight"] = np.zeros((4, 4))
+        with pytest.raises(DataShapeError):
+            federated_average([a, b])
+
+    def test_bad_weights_rejected(self, rng):
+        a, b = tiny_states(rng)
+        with pytest.raises(ConfigurationError):
+            federated_average([a, b], weights=[1.0])
+        with pytest.raises(ConfigurationError):
+            federated_average([a, b], weights=[1.0, 0.0])
+
+    def test_delta_and_apply_roundtrip(self, rng):
+        a, b = tiny_states(rng)
+        delta = state_delta(b, a)
+        rebuilt = apply_delta(a, delta)
+        for key in b:
+            assert np.allclose(rebuilt[key], b[key])
+
+    def test_clip_delta(self, rng):
+        a, b = tiny_states(rng)
+        delta = state_delta(b, a)
+        clipped = clip_delta_norm(delta, max_norm=0.1)
+        total = sum(float((v * v).sum()) for v in clipped.values())
+        assert np.sqrt(total) <= 0.1 + 1e-9
+
+    def test_clip_below_norm_is_copy(self, rng):
+        a, b = tiny_states(rng)
+        delta = state_delta(b, a)
+        same = clip_delta_norm(delta, max_norm=1e9)
+        for key in delta:
+            assert np.allclose(same[key], delta[key])
+            assert same[key] is not delta[key]
+
+    def test_state_nbytes(self, rng):
+        a, _ = tiny_states(rng)
+        assert state_nbytes(a) == (6 + 2) * 4  # float32
+
+
+class TestFederatedRound:
+    @pytest.fixture
+    def clients(self, scenario):
+        train = TrainConfig(epochs=2, batch_pairs=24, lr=3e-4,
+                            distill_weight=2.0)
+        return [
+            FederatedClient(scenario.fresh_edge(rng=40 + i),
+                            local_train=train, rng=50 + i)
+            for i in range(3)
+        ]
+
+    def test_round_updates_global_state(self, scenario, clients):
+        server = FederationServer(
+            scenario.package.embedder.network.state_dict()
+        )
+        before = {k: v.copy() for k, v in server.global_state.items()}
+        stats = server.run_round(clients)
+        assert stats["round"] == 1.0
+        changed = any(
+            not np.allclose(before[k], server.global_state[k])
+            for k in before
+        )
+        assert changed
+
+    def test_no_user_data_crosses_the_link(self, scenario, clients):
+        server = FederationServer(
+            scenario.package.embedder.network.state_dict()
+        )
+        link = NetworkLink(latency_ms=20.0, bandwidth_mbps=50.0, rng=0)
+        server.run_round(clients, link=link)
+        for client in clients:
+            guard = client.edge.guard
+            assert guard.user_bytes_sent_to_cloud() == 0
+            uploads = [
+                rec for rec in guard.log
+                if rec.direction == "edge->cloud"
+            ]
+            assert uploads  # the delta did go up...
+            assert all(not rec.contains_user_data for rec in uploads)  # ...but carried no user data
+
+    def test_global_model_stays_accurate_after_round(self, scenario, clients):
+        server = FederationServer(
+            scenario.package.embedder.network.state_dict()
+        )
+        server.run_round(clients)
+        probe = scenario.fresh_edge(rng=60)
+        probe.embedder.network.load_state_dict(server.global_state)
+        probe._rebuild_classifier()
+        feats = probe.pipeline.process_windows(scenario.base_test.windows)
+        accuracy = float(
+            np.mean(probe.infer_features(feats) == scenario.base_test.labels)
+        )
+        assert accuracy > 0.8
+
+    def test_unprovisioned_client_rejected(self):
+        from repro.core import EdgeDevice
+
+        with pytest.raises(NotFittedError):
+            FederatedClient(EdgeDevice())
+
+    def test_empty_round_rejected(self, scenario):
+        server = FederationServer(
+            scenario.package.embedder.network.state_dict()
+        )
+        with pytest.raises(ConfigurationError):
+            server.run_round([])
+
+    def test_server_validation(self, scenario):
+        with pytest.raises(ConfigurationError):
+            FederationServer(
+                scenario.package.embedder.network.state_dict(), server_lr=0.0
+            )

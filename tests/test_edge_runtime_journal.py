@@ -1,0 +1,122 @@
+"""Unit tests for the activity journal (result visualization)."""
+
+import numpy as np
+import pytest
+
+from repro.edge_runtime import MagnetoApp
+from repro.edge_runtime.journal import ActivityJournal, ActivitySegment
+from repro.exceptions import ConfigurationError
+
+
+class TestActivitySegment:
+    def test_duration(self):
+        seg = ActivitySegment("walk", 10.0, 25.0)
+        assert seg.duration_s == 15.0
+
+    def test_backwards_segment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActivitySegment("walk", 10.0, 5.0)
+
+
+class TestJournalSegmentation:
+    def test_single_activity_single_segment(self):
+        journal = ActivityJournal(switch_after=1)
+        for _ in range(10):
+            journal.add_prediction("walk")
+        segments = journal.segments()
+        assert len(segments) == 1
+        assert segments[0].activity == "walk"
+        assert segments[0].duration_s == pytest.approx(10.0)
+
+    def test_transition_creates_two_segments(self):
+        journal = ActivityJournal(switch_after=1)
+        for _ in range(5):
+            journal.add_prediction("walk")
+        for _ in range(5):
+            journal.add_prediction("run")
+        segments = journal.segments()
+        assert [s.activity for s in segments] == ["walk", "run"]
+        assert segments[0].duration_s == pytest.approx(5.0)
+        assert segments[1].duration_s == pytest.approx(5.0)
+
+    def test_flicker_absorbed_by_hysteresis(self):
+        journal = ActivityJournal(switch_after=3)
+        stream = ["walk"] * 5 + ["run"] + ["walk"] * 5
+        for label in stream:
+            journal.add_prediction(label)
+        assert [s.activity for s in journal.segments()] == ["walk"]
+        assert journal.total_duration_s == pytest.approx(11.0) or (
+            journal.total_duration_s() == pytest.approx(11.0)
+        )
+
+    def test_sustained_change_switches_with_debounce_lag(self):
+        journal = ActivityJournal(switch_after=2)
+        for label in ["walk"] * 4 + ["run"] * 4:
+            journal.add_prediction(label)
+        names = [s.activity for s in journal.segments()]
+        assert names == ["walk", "run"]
+        # The switch fires after the debounce, so walk absorbs one run window.
+        assert journal.segments()[0].duration_s == pytest.approx(5.0)
+
+    def test_explicit_timestamps(self):
+        journal = ActivityJournal(window_s=2.0, switch_after=1)
+        journal.add_prediction("walk", t_start=100.0)
+        journal.add_prediction("walk", t_start=102.0)
+        seg = journal.segments()[0]
+        assert seg.t_start == 100.0
+        assert seg.t_end == 104.0
+
+    def test_empty_journal(self):
+        journal = ActivityJournal()
+        assert journal.segments() == []
+        assert journal.totals() == {}
+        assert journal.dominant_activity() is None
+        assert journal.total_duration_s() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ActivityJournal(window_s=0.0)
+
+
+class TestJournalSummaries:
+    @pytest.fixture
+    def journal(self):
+        journal = ActivityJournal(switch_after=1)
+        for label in ["walk"] * 6 + ["run"] * 3 + ["walk"] * 2:
+            journal.add_prediction(label)
+        return journal
+
+    def test_totals(self, journal):
+        totals = journal.totals()
+        assert totals["walk"] == pytest.approx(8.0)
+        assert totals["run"] == pytest.approx(3.0)
+
+    def test_dominant(self, journal):
+        assert journal.dominant_activity() == "walk"
+
+    def test_timeline_lines(self, journal):
+        timeline = journal.render_timeline()
+        assert len(timeline.splitlines()) == 3
+        assert "walk" in timeline and "run" in timeline
+
+    def test_summary_ordered_longest_first(self, journal):
+        lines = journal.render_summary().splitlines()
+        assert lines[0].startswith("walk")
+        assert lines[1].startswith("run")
+
+    def test_reset(self, journal):
+        journal.reset()
+        assert journal.segments() == []
+
+
+class TestJournalWithApp:
+    def test_journal_from_live_session(self, edge, scenario):
+        app = MagnetoApp(edge, scenario.sensor_device)
+        journal = ActivityJournal(switch_after=2)
+        for activity, seconds in (("still", 5.0), ("walk", 5.0)):
+            journal.add_frames(app.infer_live(activity, seconds))
+        totals = journal.totals()
+        assert journal.total_duration_s() == pytest.approx(10.0)
+        # The two performed activities dominate the journal.
+        top_two = sorted(totals.values(), reverse=True)[:2]
+        assert sum(top_two) >= 8.0

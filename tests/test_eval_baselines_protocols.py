@@ -1,0 +1,186 @@
+"""Unit tests for baseline strategies, the Cloud classifier and the protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import NetworkLink, PrivacyGuard
+from repro.datasets import train_test_windows
+from repro.eval import (
+    ClassData,
+    CloudClassifier,
+    FrozenPrototypeStrategy,
+    MagnetoStrategy,
+    NaiveFineTuneStrategy,
+    ReplayOnlyStrategy,
+    ScratchRetrainStrategy,
+    run_incremental_protocol,
+)
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def increments(request):
+    """Train/test feature sets for one new gesture, per module."""
+    scenario = request.getfixturevalue("scenario")
+    pipeline = scenario.package.pipeline
+    train_w, test_w = train_test_windows(
+        scenario.edge_user, "gesture_hi", n_train=15, n_test=10, rng=21
+    )
+    return [
+        ClassData(
+            name="gesture_hi",
+            train_features=pipeline.process_windows(train_w),
+            test_features=pipeline.process_windows(test_w),
+        )
+    ]
+
+
+@pytest.fixture(scope="module")
+def base_test_sets(request):
+    scenario = request.getfixturevalue("scenario")
+    pipeline = scenario.package.pipeline
+    sets = {}
+    for label, name in enumerate(scenario.base_test.class_names):
+        mask = scenario.base_test.labels == label
+        sets[name] = pipeline.process_windows(scenario.base_test.windows[mask])
+    return sets
+
+
+class TestStrategyMechanics:
+    def test_unprepared_strategy_raises(self):
+        strategy = MagnetoStrategy(rng=0)
+        with pytest.raises(NotFittedError):
+            strategy.classify(np.zeros((1, 80)))
+
+    def test_prepare_isolates_state(self, scenario):
+        a = MagnetoStrategy(rng=0)
+        b = FrozenPrototypeStrategy(rng=0)
+        a.prepare(scenario.package)
+        b.prepare(scenario.package)
+        # Mutating one must not affect the other or the scenario package.
+        a.support_set.remove_class("walk")
+        assert "walk" in b.support_set.class_names
+        assert "walk" in scenario.package.support_set.class_names
+
+    def test_magneto_requires_positive_weight(self):
+        with pytest.raises(ConfigurationError):
+            MagnetoStrategy(distill_weight=0.0)
+
+    def test_frozen_prototype_never_changes_weights(self, scenario, increments):
+        strategy = FrozenPrototypeStrategy(rng=0)
+        strategy.prepare(scenario.package)
+        w_before = strategy.embedder.network.layers[0].weight.data.copy()
+        strategy.add_class("gesture_hi", increments[0].train_features)
+        assert np.allclose(
+            strategy.embedder.network.layers[0].weight.data, w_before
+        )
+
+    def test_scratch_retrain_reinitializes(self, scenario, increments):
+        strategy = ScratchRetrainStrategy(epochs=2, rng=0)
+        strategy.prepare(scenario.package)
+        w_before = strategy.embedder.network.layers[0].weight.data.copy()
+        strategy.add_class("gesture_hi", increments[0].train_features)
+        assert not np.allclose(
+            strategy.embedder.network.layers[0].weight.data, w_before
+        )
+
+
+class TestProtocol:
+    def test_base_step_recorded_first(self, scenario, base_test_sets, increments):
+        strategy = FrozenPrototypeStrategy(rng=0)
+        strategy.prepare(scenario.package)
+        result = run_incremental_protocol(strategy, base_test_sets, increments)
+        assert result.steps[0].step == 0
+        assert result.steps[0].learned_class == ""
+        assert result.steps[0].forgetting == 0.0
+        assert np.isnan(result.steps[0].new_class_accuracy)
+
+    def test_step_one_reports_new_class(self, scenario, base_test_sets, increments):
+        strategy = FrozenPrototypeStrategy(rng=0)
+        strategy.prepare(scenario.package)
+        result = run_incremental_protocol(strategy, base_test_sets, increments)
+        assert result.steps[1].learned_class == "gesture_hi"
+        assert "gesture_hi" in result.steps[1].per_class_accuracy
+
+    def test_magneto_learns_without_forgetting(
+        self, scenario, base_test_sets, increments
+    ):
+        strategy = MagnetoStrategy(rng=1)
+        strategy.prepare(scenario.package)
+        result = run_incremental_protocol(strategy, base_test_sets, increments)
+        final = result.steps[-1]
+        assert final.new_class_accuracy > 0.7
+        assert final.forgetting < 0.2
+        assert result.final_overall() > 0.7
+
+    def test_naive_finetune_forgets_more_than_magneto(
+        self, scenario, base_test_sets, increments
+    ):
+        """The core comparative claim behind MAGNETO's design."""
+        magneto = MagnetoStrategy(rng=1)
+        naive = NaiveFineTuneStrategy(rng=1)
+        magneto.prepare(scenario.package)
+        naive.prepare(scenario.package)
+        res_m = run_incremental_protocol(magneto, base_test_sets, increments)
+        res_n = run_incremental_protocol(naive, base_test_sets, increments)
+        assert res_n.mean_forgetting() > res_m.mean_forgetting()
+        assert res_m.final_overall() > res_n.final_overall()
+
+    def test_mean_forgetting_requires_steps(self):
+        from repro.eval import ProtocolResult, StepRecord
+
+        result = ProtocolResult(strategy="x")
+        result.steps.append(
+            StepRecord(0, "", 1.0, float("nan"), {"a": 1.0}, 0.0)
+        )
+        with pytest.raises(Exception):
+            result.mean_forgetting()
+
+    def test_unknown_base_class_rejected(self, scenario, increments):
+        strategy = FrozenPrototypeStrategy(rng=0)
+        strategy.prepare(scenario.package)
+        with pytest.raises(ConfigurationError):
+            run_incremental_protocol(
+                strategy, {"not_a_class": np.zeros((2, 80))}, increments
+            )
+
+
+class TestCloudClassifier:
+    def test_trains_and_predicts(self, scenario, campaign_features):
+        X, y = campaign_features
+        clf = CloudClassifier(hidden_dims=(32,), epochs=30, rng=0)
+        losses = clf.train(X, y, scenario.package.support_set.class_names)
+        assert losses[-1] < losses[0]
+        acc = float(np.mean(clf.predict(X) == y))
+        assert acc > 0.8
+
+    def test_remote_inference_records_violation_and_latency(
+        self, scenario, campaign_features
+    ):
+        X, y = campaign_features
+        clf = CloudClassifier(hidden_dims=(32,), epochs=5, rng=0)
+        clf.train(X, y, scenario.package.support_set.class_names)
+
+        guard = PrivacyGuard(enforce=False)
+        link = NetworkLink(latency_ms=40.0, bandwidth_mbps=20.0, rng=0)
+        window = scenario.base_test.windows[0]
+        features = scenario.package.pipeline.process_window(window)
+        result = clf.infer_remote(window, features, link, guard)
+        assert result.network_ms >= 80.0  # two latency legs
+        assert result.total_ms == result.network_ms + result.compute_ms
+        assert guard.user_bytes_sent_to_cloud() > 0
+
+    def test_untrained_predict_rejected(self, rng):
+        with pytest.raises(NotFittedError):
+            CloudClassifier().predict(rng.normal(size=(2, 4)))
+
+    def test_label_range_checked(self, rng):
+        clf = CloudClassifier(epochs=1, rng=0)
+        with pytest.raises(ConfigurationError):
+            clf.train(rng.normal(size=(4, 3)), np.array([0, 1, 2, 3]), ["a", "b"])
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            CloudClassifier(epochs=0)
+        with pytest.raises(ConfigurationError):
+            CloudClassifier(compute_ms=-1.0)

@@ -1,0 +1,113 @@
+"""Unit tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    accuracy,
+    accuracy_by_class_name,
+    average_forgetting,
+    backward_transfer,
+    confusion_matrix,
+    forgetting_per_class,
+    macro_f1,
+    per_class_accuracy,
+)
+from repro.exceptions import DataShapeError
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_half(self):
+        assert accuracy([0, 1, 0, 1], [0, 1, 1, 0]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataShapeError):
+            accuracy([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataShapeError):
+            accuracy([0, 1], [0])
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        m = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1], n_classes=2)
+        assert np.array_equal(m, [[1, 1], [0, 2]])
+
+    def test_rows_are_true_classes(self):
+        m = confusion_matrix([0, 0, 0], [1, 1, 1], n_classes=2)
+        assert m[0, 1] == 3
+        assert m.sum() == 3
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DataShapeError):
+            confusion_matrix([0, 2], [0, 1], n_classes=2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(DataShapeError):
+            confusion_matrix([0, -1], [0, 1], n_classes=2)
+
+
+class TestPerClassAccuracy:
+    def test_values(self):
+        acc = per_class_accuracy([0, 0, 1, 1], [0, 1, 1, 1], n_classes=2)
+        assert acc[0] == 0.5
+        assert acc[1] == 1.0
+
+    def test_absent_class_is_nan(self):
+        acc = per_class_accuracy([0, 0], [0, 0], n_classes=2)
+        assert np.isnan(acc[1])
+
+    def test_by_name_drops_absent(self):
+        named = accuracy_by_class_name([0, 0], [0, 1], ["a", "b"])
+        assert named == {"a": 0.5}
+
+
+class TestMacroF1:
+    def test_perfect(self):
+        assert macro_f1([0, 1, 0, 1], [0, 1, 0, 1], 2) == 1.0
+
+    def test_worst(self):
+        assert macro_f1([0, 0], [1, 1], 2) == 0.0
+
+    def test_imbalance_weighting(self):
+        # Macro-F1 punishes failure on the rare class more than accuracy does.
+        y_true = [0] * 98 + [1] * 2
+        y_pred = [0] * 100
+        assert accuracy(y_true, y_pred) == 0.98
+        assert macro_f1(y_true, y_pred, 2) < 0.6
+
+    def test_no_support_rejected(self):
+        with pytest.raises(DataShapeError):
+            macro_f1(np.array([], dtype=int), np.array([], dtype=int), 2)
+
+
+class TestForgetting:
+    def test_per_class_drop(self):
+        before = {"walk": 0.9, "run": 0.8}
+        after = {"walk": 0.7, "run": 0.8, "jump": 0.95}
+        drops = forgetting_per_class(before, after)
+        assert drops == {"walk": pytest.approx(0.2), "run": pytest.approx(0.0)}
+
+    def test_average(self):
+        before = {"a": 1.0, "b": 0.8}
+        after = {"a": 0.8, "b": 0.8}
+        assert average_forgetting(before, after) == pytest.approx(0.1)
+
+    def test_backward_transfer_is_negated_forgetting(self):
+        before = {"a": 0.8}
+        after = {"a": 0.9}
+        assert backward_transfer(before, after) == pytest.approx(0.1)
+        assert average_forgetting(before, after) == pytest.approx(-0.1)
+
+    def test_new_classes_ignored(self):
+        before = {"a": 1.0}
+        after = {"a": 1.0, "new": 0.1}
+        assert average_forgetting(before, after) == 0.0
+
+    def test_no_overlap_rejected(self):
+        with pytest.raises(DataShapeError):
+            average_forgetting({"a": 1.0}, {"b": 1.0})

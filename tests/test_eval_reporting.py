@@ -1,0 +1,50 @@
+"""Unit tests for the table renderer."""
+
+import pytest
+
+from repro.eval import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(0.123456, precision=3) == "0.123"
+
+    def test_nan_dash(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_cell("walk") == "walk"
+
+    def test_bool(self):
+        assert format_cell(True) == "True"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(
+            ["name", "value"],
+            [["walk", 0.5], ["a_long_activity_name", 1.0]],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        # All lines equal width given ljust alignment of the longest cell.
+        assert lines[0].index("value") == lines[2].index("0.500")
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_rule_under_header(self):
+        text = render_table(["ab"], [["x"]])
+        assert set(text.splitlines()[1]) == {"-"}
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_precision_forwarded(self):
+        text = render_table(["x"], [[0.123456]], precision=5)
+        assert "0.12346" in text

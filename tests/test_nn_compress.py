@@ -1,0 +1,227 @@
+"""Unit tests for model compression (quantization, pruning, low-rank)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataShapeError
+from repro.nn import (
+    Linear,
+    QuantizedNetwork,
+    ReLU,
+    Sequential,
+    build_mlp,
+    factorize_linear,
+    factorize_network,
+    prune_network,
+    quantize_network,
+    quantize_tensor,
+    reconstruction_error,
+    sparse_size_bytes,
+    sparsity_of,
+)
+
+
+@pytest.fixture
+def net(rng):
+    return build_mlp(16, hidden_dims=(64, 64), output_dim=8, rng=3)
+
+
+class TestQuantizeTensor:
+    def test_roundtrip_error_bounded_by_half_step(self, rng):
+        arr = rng.normal(size=(50, 30))
+        qt = quantize_tensor(arr)
+        step = qt.scale
+        assert np.abs(qt.dequantize() - arr).max() <= step / 2 + 1e-12
+
+    def test_int8_storage(self, rng):
+        arr = rng.normal(size=(100, 10))
+        qt = quantize_tensor(arr)
+        assert qt.values.dtype == np.int8
+        assert qt.nbytes == 1000
+
+    def test_constant_tensor(self):
+        qt = quantize_tensor(np.full((4, 4), 7.0))
+        assert np.allclose(qt.dequantize(), 7.0)
+
+    def test_extremes_representable(self):
+        arr = np.array([[-3.0, 5.0]])
+        deq = quantize_tensor(arr).dequantize()
+        assert deq.min() == pytest.approx(-3.0, abs=0.05)
+        assert deq.max() == pytest.approx(5.0, abs=0.05)
+
+
+class TestQuantizedNetwork:
+    def test_output_close_to_float_network(self, net, rng):
+        quant = quantize_network(net)
+        x = rng.normal(size=(10, 16))
+        err = np.abs(quant.forward(x) - net.forward(x)).mean()
+        scale = np.abs(net.forward(x)).mean()
+        assert err < 0.05 * (scale + 1.0)
+
+    def test_storage_roughly_quartered(self, net):
+        quant = quantize_network(net)
+        assert quant.size_bytes() < 0.3 * net.size_bytes(dtype=np.float32) * 4 / 3
+        assert quant.size_bytes() < net.size_bytes(dtype=np.float32)
+
+    def test_original_untouched(self, net, rng):
+        x = rng.normal(size=(4, 16))
+        before = net.forward(x)
+        quantize_network(net)
+        assert np.allclose(net.forward(x), before)
+
+    def test_training_forward_rejected(self, net, rng):
+        quant = quantize_network(net)
+        with pytest.raises(ConfigurationError):
+            quant.forward(rng.normal(size=(2, 16)), training=True)
+
+    def test_weight_error_bound_reported(self, net):
+        quant = quantize_network(net)
+        assert quant.max_abs_weight_error() > 0.0
+
+    def test_parameter_count_preserved(self, net):
+        assert quantize_network(net).n_parameters() == net.n_parameters()
+
+
+class TestPruning:
+    def test_target_sparsity_reached(self, net):
+        pruned = prune_network(net, sparsity=0.5)
+        assert sparsity_of(pruned) == pytest.approx(0.5, abs=0.02)
+
+    def test_zero_sparsity_is_copy(self, net, rng):
+        pruned = prune_network(net, sparsity=0.0)
+        x = rng.normal(size=(3, 16))
+        assert np.allclose(pruned.forward(x), net.forward(x))
+
+    def test_original_untouched(self, net):
+        prune_network(net, sparsity=0.9)
+        assert sparsity_of(net) < 0.05
+
+    def test_small_weights_removed_first(self, net):
+        pruned = prune_network(net, sparsity=0.3)
+        for orig, new in zip(net.layers, pruned.layers):
+            if isinstance(orig, Linear):
+                removed = (new.weight.data == 0.0) & (orig.weight.data != 0.0)
+                kept = new.weight.data != 0.0
+                if removed.any() and kept.any():
+                    assert (
+                        np.abs(orig.weight.data[removed]).max()
+                        <= np.abs(new.weight.data[kept]).min() + 1e-12
+                    )
+
+    def test_mild_pruning_preserves_function(self, net, rng):
+        pruned = prune_network(net, sparsity=0.2)
+        x = rng.normal(size=(8, 16))
+        err = reconstruction_error(net, pruned, x)
+        scale = np.abs(net.forward(x)).mean()
+        assert err < 0.25 * (scale + 1.0)
+
+    def test_sparse_encoding_shrinks_with_sparsity(self, net):
+        mild = sparse_size_bytes(prune_network(net, 0.3))
+        heavy = sparse_size_bytes(prune_network(net, 0.9))
+        assert heavy < mild
+
+    def test_invalid_sparsity_rejected(self, net):
+        with pytest.raises(ConfigurationError):
+            prune_network(net, sparsity=1.0)
+        with pytest.raises(ConfigurationError):
+            prune_network(net, sparsity=-0.1)
+
+    def test_no_linear_layers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            prune_network(Sequential([ReLU()]), 0.5)
+
+
+class TestLowRank:
+    def test_factorize_linear_reconstructs_at_full_rank(self, rng):
+        layer = Linear(20, 12, rng=rng)
+        first, second = factorize_linear(layer, rank=12)
+        combined = first.weight.data @ second.weight.data
+        assert np.allclose(combined, layer.weight.data, atol=1e-10)
+
+    def test_truncated_rank_is_best_approximation_direction(self, rng):
+        layer = Linear(20, 12, rng=rng)
+        lo = factorize_linear(layer, rank=2)
+        hi = factorize_linear(layer, rank=8)
+
+        def err(pair):
+            return np.linalg.norm(
+                pair[0].weight.data @ pair[1].weight.data - layer.weight.data
+            )
+
+        assert err(hi) < err(lo)
+
+    def test_bias_preserved(self, rng):
+        layer = Linear(10, 6, rng=rng)
+        layer.bias.data = rng.normal(size=6)
+        first, second = factorize_linear(layer, rank=3)
+        assert np.allclose(second.bias.data, layer.bias.data)
+        assert np.allclose(first.bias.data, 0.0)
+
+    def test_invalid_rank_rejected(self, rng):
+        layer = Linear(10, 6, rng=rng)
+        with pytest.raises(ConfigurationError):
+            factorize_linear(layer, rank=0)
+        with pytest.raises(ConfigurationError):
+            factorize_linear(layer, rank=7)
+
+    def test_factorize_network_shrinks_parameters(self):
+        wide = build_mlp(80, hidden_dims=(512, 256), output_dim=64, rng=1)
+        compact = factorize_network(wide, rank_fraction=0.25)
+        assert compact.n_parameters() < wide.n_parameters()
+
+    def test_factorize_network_output_reasonable(self, rng):
+        wide = build_mlp(16, hidden_dims=(128,), output_dim=8, rng=1)
+        compact = factorize_network(wide, rank_fraction=0.9, min_features=8)
+        x = rng.normal(size=(6, 16))
+        err = reconstruction_error(wide, compact, x)
+        scale = np.abs(wide.forward(x)).mean()
+        assert err < 0.3 * (scale + 1.0)
+
+    def test_small_layers_kept_dense(self):
+        tiny = build_mlp(8, hidden_dims=(16,), output_dim=4, rng=1)
+        same = factorize_network(tiny, rank_fraction=0.5, min_features=64)
+        assert same.n_parameters() == tiny.n_parameters()
+
+    def test_never_grows_parameters(self):
+        net = build_mlp(80, hidden_dims=(256, 64), output_dim=32, rng=1)
+        for fraction in (0.1, 0.5, 0.9, 1.0):
+            compact = factorize_network(net, rank_fraction=fraction,
+                                        min_features=32)
+            assert compact.n_parameters() <= net.n_parameters()
+
+    def test_invalid_fraction_rejected(self, net):
+        with pytest.raises(ConfigurationError):
+            factorize_network(net, rank_fraction=0.0)
+
+
+class TestReconstructionError:
+    def test_zero_for_identical(self, net, rng):
+        assert reconstruction_error(net, net, rng.normal(size=(3, 16))) == 0.0
+
+    def test_probe_shape_checked(self, net):
+        with pytest.raises(DataShapeError):
+            reconstruction_error(net, net, np.zeros(16))
+
+
+class TestCompressionOnTrainedModel:
+    """Compression must preserve the *classifier*, not just the weights."""
+
+    def test_quantized_edge_model_keeps_accuracy(self, scenario):
+        from repro.core import NCMClassifier
+
+        edge = scenario.fresh_edge(rng=20)
+        feats = edge.pipeline.process_windows(scenario.base_test.windows)
+        baseline = edge.infer_features(feats)
+
+        quant = quantize_network(edge.embedder.network)
+
+        class _QuantEmbedder:
+            def embed(self, features):
+                return quant.forward(np.asarray(features, dtype=np.float64))
+
+        ncm = NCMClassifier().fit_from_support_set(
+            _QuantEmbedder(), scenario.package.support_set
+        )
+        quant_pred = ncm.predict(_QuantEmbedder().embed(feats))
+        agreement = float(np.mean(quant_pred == baseline))
+        assert agreement > 0.9

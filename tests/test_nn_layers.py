@@ -1,0 +1,253 @@
+"""Unit tests for NN layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataShapeError
+from repro.nn import (
+    BatchNorm1d,
+    Dropout,
+    Linear,
+    Parameter,
+    ReLU,
+    Tanh,
+    layer_from_config,
+)
+
+
+def numerical_grad_wrt_input(layer, x, grad_out, eps=1e-6):
+    """Finite-difference gradient of sum(forward(x) * grad_out) w.r.t. x."""
+    grad = np.zeros_like(x)
+    for idx in np.ndindex(*x.shape):
+        x_plus = x.copy()
+        x_plus[idx] += eps
+        x_minus = x.copy()
+        x_minus[idx] -= eps
+        f_plus = float((layer.forward(x_plus, training=True) * grad_out).sum())
+        f_minus = float((layer.forward(x_minus, training=True) * grad_out).sum())
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+def numerical_grad_wrt_param(layer, param, x, grad_out, eps=1e-6):
+    """Finite-difference gradient w.r.t. one Parameter's data."""
+    grad = np.zeros_like(param.data)
+    for idx in np.ndindex(*param.data.shape):
+        original = param.data[idx]
+        param.data[idx] = original + eps
+        f_plus = float((layer.forward(x, training=True) * grad_out).sum())
+        param.data[idx] = original - eps
+        f_minus = float((layer.forward(x, training=True) * grad_out).sum())
+        param.data[idx] = original
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+class TestParameter:
+    def test_grad_initialized_to_zero(self):
+        p = Parameter("w", np.ones((2, 3)))
+        assert np.all(p.grad == 0.0)
+
+    def test_zero_grad(self):
+        p = Parameter("w", np.ones(3))
+        p.grad += 5.0
+        p.zero_grad()
+        assert np.all(p.grad == 0.0)
+
+
+class TestLinear:
+    def test_forward_matches_matmul(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        out = layer.forward(x)
+        assert np.allclose(out, x @ layer.weight.data + layer.bias.data)
+
+    def test_input_gradient_check(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(2, 4))
+        grad_out = rng.normal(size=(2, 3))
+        layer.forward(x, training=True)
+        analytic = layer.backward(grad_out)
+        numeric = numerical_grad_wrt_input(layer, x, grad_out)
+        assert np.allclose(analytic, numeric, atol=1e-6)
+
+    def test_weight_gradient_check(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        grad_out = rng.normal(size=(4, 2))
+        layer.forward(x, training=True)
+        layer.weight.zero_grad()
+        layer.backward(grad_out)
+        numeric = numerical_grad_wrt_param(layer, layer.weight, x, grad_out)
+        assert np.allclose(layer.weight.grad, numeric, atol=1e-6)
+
+    def test_bias_gradient_check(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        grad_out = rng.normal(size=(4, 2))
+        layer.forward(x, training=True)
+        layer.bias.zero_grad()
+        layer.backward(grad_out)
+        numeric = numerical_grad_wrt_param(layer, layer.bias, x, grad_out)
+        assert np.allclose(layer.bias.grad, numeric, atol=1e-6)
+
+    def test_gradient_accumulation(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        grad_out = rng.normal(size=(4, 2))
+        layer.forward(x, training=True)
+        layer.backward(grad_out)
+        once = layer.weight.grad.copy()
+        layer.backward(grad_out)
+        assert np.allclose(layer.weight.grad, 2 * once)
+
+    def test_wrong_input_width_rejected(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        with pytest.raises(DataShapeError):
+            layer.forward(rng.normal(size=(3, 5)))
+
+    def test_backward_before_forward_rejected(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_inference_forward_does_not_enable_backward(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        layer.forward(rng.normal(size=(1, 2)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Linear(0, 3)
+
+    def test_config_roundtrip(self, rng):
+        layer = Linear(4, 3, init="xavier_uniform", rng=rng)
+        rebuilt = layer_from_config(layer.to_config(), rng=rng)
+        assert isinstance(rebuilt, Linear)
+        assert rebuilt.in_features == 4
+        assert rebuilt.out_features == 3
+
+
+class TestActivations:
+    @pytest.mark.parametrize("layer_cls", [ReLU, Tanh])
+    def test_gradient_check(self, layer_cls, rng):
+        layer = layer_cls()
+        x = rng.normal(size=(3, 4)) + 0.1  # avoid the ReLU kink at 0
+        grad_out = rng.normal(size=(3, 4))
+        layer.forward(x, training=True)
+        analytic = layer.backward(grad_out)
+        numeric = numerical_grad_wrt_input(layer, x, grad_out)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_relu_clamps_negative(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        assert np.array_equal(out, [[0.0, 2.0]])
+
+    def test_relu_blocks_gradient_at_negative(self, rng):
+        layer = ReLU()
+        x = np.array([[-1.0, 1.0]])
+        layer.forward(x, training=True)
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        assert np.array_equal(grad, [[0.0, 5.0]])
+
+    def test_tanh_range(self, rng):
+        out = Tanh().forward(rng.normal(size=(10, 3)) * 10)
+        assert np.all(np.abs(out) <= 1.0)
+
+
+class TestDropout:
+    def test_inference_is_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = rng.normal(size=(10, 4))
+        assert np.allclose(layer.forward(x, training=False), x)
+
+    def test_training_zeroes_some_units(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((100, 10))
+        out = layer.forward(x, training=True)
+        dropped = np.mean(out == 0.0)
+        assert 0.3 < dropped < 0.7
+
+    def test_inverted_scaling_preserves_expectation(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((2000, 50))
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((10, 10))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        assert np.array_equal(grad == 0.0, out == 0.0)
+
+    def test_rate_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.0)
+
+    def test_zero_rate_is_identity_in_training(self, rng):
+        layer = Dropout(0.0)
+        x = rng.normal(size=(5, 3))
+        assert np.allclose(layer.forward(x, training=True), x)
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self, rng):
+        layer = BatchNorm1d(4)
+        x = rng.normal(3.0, 5.0, size=(200, 4))
+        out = layer.forward(x, training=True)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_converge(self, rng):
+        layer = BatchNorm1d(2, momentum=0.5)
+        for _ in range(30):
+            layer.forward(rng.normal(5.0, 2.0, size=(100, 2)), training=True)
+        assert np.allclose(layer.running_mean, 5.0, atol=0.5)
+        assert np.allclose(np.sqrt(layer.running_var), 2.0, atol=0.5)
+
+    def test_inference_uses_running_stats(self, rng):
+        layer = BatchNorm1d(2)
+        for _ in range(20):
+            layer.forward(rng.normal(0.0, 1.0, size=(50, 2)), training=True)
+        x = rng.normal(size=(5, 2))
+        out1 = layer.forward(x, training=False)
+        out2 = layer.forward(x, training=False)
+        assert np.allclose(out1, out2)
+
+    def test_input_gradient_check(self, rng):
+        layer = BatchNorm1d(3)
+        x = rng.normal(size=(6, 3))
+        grad_out = rng.normal(size=(6, 3))
+        layer.forward(x, training=True)
+        analytic = layer.backward(grad_out)
+        numeric = numerical_grad_wrt_input(layer, x, grad_out)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_gamma_beta_gradient_check(self, rng):
+        layer = BatchNorm1d(3)
+        x = rng.normal(size=(5, 3))
+        grad_out = rng.normal(size=(5, 3))
+        layer.forward(x, training=True)
+        layer.gamma.zero_grad()
+        layer.beta.zero_grad()
+        layer.backward(grad_out)
+        num_gamma = numerical_grad_wrt_param(layer, layer.gamma, x, grad_out)
+        num_beta = numerical_grad_wrt_param(layer, layer.beta, x, grad_out)
+        assert np.allclose(layer.gamma.grad, num_gamma, atol=1e-5)
+        assert np.allclose(layer.beta.grad, num_beta, atol=1e-5)
+
+    def test_bad_momentum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchNorm1d(3, momentum=1.0)
+
+
+class TestLayerFromConfig:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            layer_from_config({"kind": "conv3d"})
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            layer_from_config({})

@@ -1,0 +1,187 @@
+"""Unit tests for loss functions, with numerical gradient verification."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataShapeError
+from repro.nn import (
+    contrastive_loss,
+    distillation_loss,
+    mse_loss,
+    softmax,
+    softmax_cross_entropy,
+)
+
+
+def finite_diff(fn, x, eps=1e-6):
+    """Central-difference gradient of scalar fn w.r.t. array x."""
+    grad = np.zeros_like(x)
+    for idx in np.ndindex(*x.shape):
+        xp = x.copy()
+        xp[idx] += eps
+        xm = x.copy()
+        xm[idx] -= eps
+        grad[idx] = (fn(xp) - fn(xm)) / (2 * eps)
+    return grad
+
+
+class TestContrastiveLoss:
+    def test_zero_for_identical_positives(self, rng):
+        z = rng.normal(size=(4, 8))
+        loss, ga, gb = contrastive_loss(z, z.copy(), np.ones(4))
+        assert loss == pytest.approx(0.0, abs=1e-8)
+
+    def test_zero_for_distant_negatives(self, rng):
+        za = rng.normal(size=(3, 4))
+        zb = za + 100.0
+        loss, ga, gb = contrastive_loss(za, zb, np.zeros(3), margin=1.0)
+        assert loss == pytest.approx(0.0, abs=1e-8)
+        assert np.allclose(ga, 0.0)
+
+    def test_positive_pairs_penalized_by_distance(self, rng):
+        za = rng.normal(size=(2, 4))
+        near = za + 0.1
+        far = za + 5.0
+        loss_near, *_ = contrastive_loss(za, near, np.ones(2))
+        loss_far, *_ = contrastive_loss(za, far, np.ones(2))
+        assert loss_far > loss_near
+
+    def test_negatives_inside_margin_penalized(self, rng):
+        za = rng.normal(size=(2, 4))
+        zb = za + 0.01
+        loss, *_ = contrastive_loss(za, zb, np.zeros(2), margin=1.0)
+        assert loss > 0.5  # nearly the full margin^2
+
+    def test_gradient_check_za(self, rng):
+        za = rng.normal(size=(4, 3))
+        zb = rng.normal(size=(4, 3))
+        same = np.array([1, 0, 1, 0])
+
+        analytic = contrastive_loss(za, zb, same)[1]
+        numeric = finite_diff(
+            lambda z: contrastive_loss(z, zb, same)[0], za
+        )
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_gradient_check_zb(self, rng):
+        za = rng.normal(size=(4, 3))
+        zb = rng.normal(size=(4, 3))
+        same = np.array([0, 1, 0, 1])
+        analytic = contrastive_loss(za, zb, same)[2]
+        numeric = finite_diff(
+            lambda z: contrastive_loss(za, z, same)[0], zb
+        )
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_grad_antisymmetry(self, rng):
+        za, zb = rng.normal(size=(5, 4)), rng.normal(size=(5, 4))
+        same = rng.integers(0, 2, size=5)
+        _, ga, gb = contrastive_loss(za, zb, same)
+        assert np.allclose(ga, -gb)
+
+    def test_empty_batch(self):
+        loss, ga, gb = contrastive_loss(
+            np.zeros((0, 4)), np.zeros((0, 4)), np.zeros(0)
+        )
+        assert loss == 0.0
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(DataShapeError):
+            contrastive_loss(rng.normal(size=(2, 3)), rng.normal(size=(2, 4)),
+                             np.ones(2))
+
+    def test_same_length_mismatch_rejected(self, rng):
+        with pytest.raises(DataShapeError):
+            contrastive_loss(rng.normal(size=(2, 3)), rng.normal(size=(2, 3)),
+                             np.ones(3))
+
+    def test_bad_margin_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            contrastive_loss(np.ones((1, 2)), np.ones((1, 2)), np.ones(1),
+                             margin=0.0)
+
+
+class TestDistillationLoss:
+    def test_zero_when_matching(self, rng):
+        z = rng.normal(size=(3, 5))
+        loss, grad = distillation_loss(z, z.copy())
+        assert loss == 0.0
+        assert np.allclose(grad, 0.0)
+
+    def test_gradient_check(self, rng):
+        zs = rng.normal(size=(3, 4))
+        zt = rng.normal(size=(3, 4))
+        analytic = distillation_loss(zs, zt)[1]
+        numeric = finite_diff(lambda z: distillation_loss(z, zt)[0], zs)
+        assert np.allclose(analytic, numeric, atol=1e-6)
+
+    def test_loss_is_mse(self, rng):
+        zs = rng.normal(size=(2, 3))
+        zt = rng.normal(size=(2, 3))
+        loss, _ = distillation_loss(zs, zt)
+        assert loss == pytest.approx(float(np.mean((zs - zt) ** 2)))
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(DataShapeError):
+            distillation_loss(rng.normal(size=(2, 3)), rng.normal(size=(3, 3)))
+
+    def test_empty(self):
+        loss, grad = distillation_loss(np.zeros((0, 4)), np.zeros((0, 4)))
+        assert loss == 0.0
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(6, 4)) * 10)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_stability_with_huge_logits(self):
+        probs = softmax(np.array([[1000.0, 1001.0]]))
+        assert np.all(np.isfinite(probs))
+        assert probs[0, 1] > probs[0, 0]
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_prediction_log_c(self):
+        logits = np.zeros((4, 3))
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert loss == pytest.approx(np.log(3), rel=1e-6)
+
+    def test_gradient_check(self, rng):
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([0, 2, 3])
+        analytic = softmax_cross_entropy(logits, labels)[1]
+        numeric = finite_diff(
+            lambda l: softmax_cross_entropy(l, labels)[0], logits
+        )
+        assert np.allclose(analytic, numeric, atol=1e-6)
+
+    def test_out_of_range_labels_rejected(self, rng):
+        with pytest.raises(DataShapeError):
+            softmax_cross_entropy(rng.normal(size=(2, 3)), np.array([0, 3]))
+
+    def test_label_length_mismatch_rejected(self, rng):
+        with pytest.raises(DataShapeError):
+            softmax_cross_entropy(rng.normal(size=(2, 3)), np.array([0]))
+
+
+class TestMSELoss:
+    def test_gradient_check(self, rng):
+        pred = rng.normal(size=(3, 4))
+        target = rng.normal(size=(3, 4))
+        analytic = mse_loss(pred, target)[1]
+        numeric = finite_diff(lambda p: mse_loss(p, target)[0], pred)
+        assert np.allclose(analytic, numeric, atol=1e-6)
+
+    def test_zero_at_target(self, rng):
+        x = rng.normal(size=(2, 2))
+        assert mse_loss(x, x.copy())[0] == 0.0
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(DataShapeError):
+            mse_loss(np.zeros((2, 2)), np.zeros((2, 3)))

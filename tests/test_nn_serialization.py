@@ -1,0 +1,60 @@
+"""Unit tests for network disk (de)serialization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.nn import (
+    build_mlp,
+    load_network,
+    network_bundle_bytes,
+    save_network,
+)
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_outputs(self, rng, tmp_path):
+        net = build_mlp(6, hidden_dims=(12, 8), output_dim=4, rng=1)
+        path = tmp_path / "model.npz"
+        save_network(net, path)
+        twin = load_network(path)
+        x = rng.normal(size=(5, 6))
+        assert np.allclose(net.forward(x), twin.forward(x))
+
+    def test_roundtrip_preserves_architecture(self, tmp_path):
+        net = build_mlp(6, hidden_dims=(12,), output_dim=4, dropout=0.1,
+                        batchnorm=True, rng=1)
+        path = tmp_path / "model.npz"
+        save_network(net, path)
+        twin = load_network(path)
+        assert twin.to_config() == net.to_config()
+
+    def test_load_garbage_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"not an npz at all")
+        with pytest.raises(SerializationError):
+            load_network(path)
+
+    def test_load_wrong_npz_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(SerializationError, match="missing config"):
+            load_network(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_network(tmp_path / "absent.npz")
+
+
+class TestBundleBytes:
+    def test_positive_and_tracks_model_size(self):
+        small = build_mlp(6, hidden_dims=(8,), output_dim=4, rng=1)
+        large = build_mlp(6, hidden_dims=(128, 64), output_dim=32, rng=1)
+        assert 0 < network_bundle_bytes(small) < network_bundle_bytes(large)
+
+    def test_roughly_float32_parameter_cost(self):
+        net = build_mlp(10, hidden_dims=(64,), output_dim=16, rng=1)
+        n_bytes = network_bundle_bytes(net)
+        raw = net.n_parameters() * 4
+        # npz adds headers but should stay within 2x of raw float32 cost.
+        assert raw <= n_bytes < 2 * raw + 4096

@@ -1,0 +1,218 @@
+"""Unit tests for pair sampling, the Siamese embedder and its trainer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataShapeError
+from repro.nn import (
+    SiameseEmbedder,
+    SiameseTrainer,
+    TrainConfig,
+    all_pairs,
+    build_mlp,
+    sample_pairs,
+)
+
+
+@pytest.fixture
+def labels():
+    return np.array([0, 0, 0, 1, 1, 2, 2, 2, 2])
+
+
+class TestSamplePairs:
+    def test_balanced_fractions(self, labels, rng):
+        ia, ib, same = sample_pairs(labels, 200, rng=rng)
+        assert same.mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_positive_pairs_share_class(self, labels, rng):
+        ia, ib, same = sample_pairs(labels, 100, rng=rng)
+        assert np.all(labels[ia[same]] == labels[ib[same]])
+
+    def test_negative_pairs_differ(self, labels, rng):
+        ia, ib, same = sample_pairs(labels, 100, rng=rng)
+        assert np.all(labels[ia[~same]] != labels[ib[~same]])
+
+    def test_positive_pairs_are_distinct_samples(self, labels, rng):
+        ia, ib, same = sample_pairs(labels, 100, rng=rng)
+        assert np.all(ia[same] != ib[same])
+
+    def test_rare_class_is_represented(self, rng):
+        # Class 1 has only 2 of 102 samples; uniform-over-classes positives
+        # must still include it.
+        labels = np.array([0] * 100 + [1] * 2)
+        ia, ib, same = sample_pairs(labels, 400, rng=rng)
+        positive_classes = labels[ia[same]]
+        assert (positive_classes == 1).sum() > 50
+
+    def test_single_class_all_positive(self, rng):
+        ia, ib, same = sample_pairs(np.zeros(5, dtype=int), 20, rng=rng)
+        assert np.all(same)
+
+    def test_singleton_classes_all_negative(self, rng):
+        ia, ib, same = sample_pairs(np.array([0, 1, 2]), 20, rng=rng)
+        assert not np.any(same)
+
+    def test_single_sample_rejected(self, rng):
+        with pytest.raises(DataShapeError):
+            sample_pairs(np.array([0]), 5, rng=rng)
+
+    def test_bad_n_pairs_rejected(self, labels):
+        with pytest.raises(ConfigurationError):
+            sample_pairs(labels, 0)
+
+    def test_bad_fraction_rejected(self, labels):
+        with pytest.raises(ConfigurationError):
+            sample_pairs(labels, 10, positive_fraction=1.5)
+
+    def test_deterministic_given_seed(self, labels):
+        a = sample_pairs(labels, 50, rng=3)
+        b = sample_pairs(labels, 50, rng=3)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+
+class TestAllPairs:
+    def test_count(self):
+        ia, ib, same = all_pairs(np.array([0, 0, 1]))
+        assert len(ia) == 3
+
+    def test_same_flags(self):
+        ia, ib, same = all_pairs(np.array([0, 0, 1]))
+        lookup = {(int(a), int(b)): bool(s) for a, b, s in zip(ia, ib, same)}
+        assert lookup[(0, 1)] is True
+        assert lookup[(0, 2)] is False
+
+
+class TestSiameseEmbedder:
+    def test_dims_inferred(self, rng):
+        net = build_mlp(10, hidden_dims=(8,), output_dim=4, rng=rng)
+        emb = SiameseEmbedder(net)
+        assert emb.input_dim == 10
+        assert emb.embedding_dim == 4
+
+    def test_embed_shape(self, rng):
+        emb = SiameseEmbedder(build_mlp(6, hidden_dims=(8,), output_dim=3, rng=rng))
+        out = emb.embed(rng.normal(size=(7, 6)))
+        assert out.shape == (7, 3)
+
+    def test_embed_one(self, rng):
+        emb = SiameseEmbedder(build_mlp(6, hidden_dims=(8,), output_dim=3, rng=rng))
+        x = rng.normal(size=6)
+        single = emb.embed_one(x)
+        assert single.shape == (3,)
+        assert np.allclose(single, emb.embed(x[None, :])[0])
+
+    def test_embed_wrong_width_rejected(self, rng):
+        emb = SiameseEmbedder(build_mlp(6, hidden_dims=(8,), output_dim=3, rng=rng))
+        with pytest.raises(DataShapeError):
+            emb.embed(rng.normal(size=(2, 5)))
+
+    def test_clone_frozen_while_original_trains(self, rng):
+        emb = SiameseEmbedder(build_mlp(4, hidden_dims=(6,), output_dim=2, rng=rng))
+        frozen = emb.clone()
+        x = rng.normal(size=(3, 4))
+        before = frozen.embed(x)
+        emb.network.layers[0].weight.data += 1.0
+        assert np.allclose(frozen.embed(x), before)
+        assert not np.allclose(emb.embed(x), before)
+
+
+def two_blob_data(rng, n_per=20, d=6, sep=4.0):
+    """Two well-separated Gaussian blobs."""
+    a = rng.normal(size=(n_per, d))
+    b = rng.normal(size=(n_per, d)) + sep
+    X = np.concatenate([a, b])
+    y = np.concatenate([np.zeros(n_per, dtype=int), np.ones(n_per, dtype=int)])
+    return X, y
+
+
+class TestSiameseTrainer:
+    def test_loss_decreases(self, rng):
+        X, y = two_blob_data(rng)
+        emb = SiameseEmbedder(build_mlp(6, hidden_dims=(16,), output_dim=4, rng=1))
+        history = SiameseTrainer(
+            TrainConfig(epochs=15, batch_pairs=32, lr=1e-3), rng=2
+        ).train(emb, X, y)
+        assert history.n_epochs == 15
+        assert history.total[-1] < history.total[0]
+
+    def test_embedding_space_separates_classes(self, rng):
+        X, y = two_blob_data(rng)
+        emb = SiameseEmbedder(build_mlp(6, hidden_dims=(16,), output_dim=4, rng=1))
+        SiameseTrainer(TrainConfig(epochs=20, batch_pairs=32, lr=1e-3), rng=2).train(
+            emb, X, y
+        )
+        Z = emb.embed(X)
+        center0, center1 = Z[y == 0].mean(0), Z[y == 1].mean(0)
+        within = np.linalg.norm(Z[y == 0] - center0, axis=1).mean()
+        between = np.linalg.norm(center0 - center1)
+        assert between > 2.0 * within
+
+    def test_distillation_keeps_student_near_teacher(self, rng):
+        X, y = two_blob_data(rng)
+        emb = SiameseEmbedder(build_mlp(6, hidden_dims=(16,), output_dim=4, rng=1))
+        SiameseTrainer(TrainConfig(epochs=10, batch_pairs=32), rng=2).train(emb, X, y)
+        teacher = emb.clone()
+
+        anchored = emb.clone()
+        free = emb.clone()
+        cfg_anchored = TrainConfig(epochs=10, batch_pairs=32, lr=1e-3,
+                                   distill_weight=50.0)
+        cfg_free = TrainConfig(epochs=10, batch_pairs=32, lr=1e-3,
+                               distill_weight=0.0)
+        SiameseTrainer(cfg_anchored, rng=3).train(anchored, X, y, teacher=teacher)
+        SiameseTrainer(cfg_free, rng=3).train(free, X, y, teacher=teacher)
+
+        drift_anchored = np.abs(anchored.embed(X) - teacher.embed(X)).mean()
+        drift_free = np.abs(free.embed(X) - teacher.embed(X)).mean()
+        assert drift_anchored < drift_free
+
+    def test_distillation_history_recorded(self, rng):
+        X, y = two_blob_data(rng, n_per=10)
+        emb = SiameseEmbedder(build_mlp(6, hidden_dims=(8,), output_dim=3, rng=1))
+        teacher = emb.clone()
+        history = SiameseTrainer(
+            TrainConfig(epochs=3, batch_pairs=16, distill_weight=1.0), rng=2
+        ).train(emb, X, y, teacher=teacher)
+        assert len(history.distillation) == 3
+        assert all(v >= 0.0 for v in history.distillation)
+
+    def test_no_teacher_means_zero_distill_trace(self, rng):
+        X, y = two_blob_data(rng, n_per=8)
+        emb = SiameseEmbedder(build_mlp(6, hidden_dims=(8,), output_dim=3, rng=1))
+        history = SiameseTrainer(
+            TrainConfig(epochs=2, batch_pairs=8), rng=2
+        ).train(emb, X, y)
+        assert all(v == 0.0 for v in history.distillation)
+
+    def test_too_few_samples_rejected(self, rng):
+        emb = SiameseEmbedder(build_mlp(4, hidden_dims=(4,), output_dim=2, rng=1))
+        with pytest.raises(DataShapeError):
+            SiameseTrainer(TrainConfig(epochs=1), rng=0).train(
+                emb, rng.normal(size=(1, 4)), np.array([0])
+            )
+
+    def test_history_final_loss(self, rng):
+        X, y = two_blob_data(rng, n_per=8)
+        emb = SiameseEmbedder(build_mlp(6, hidden_dims=(8,), output_dim=3, rng=1))
+        history = SiameseTrainer(TrainConfig(epochs=2, batch_pairs=8), rng=2).train(
+            emb, X, y
+        )
+        assert history.final_loss() == history.total[-1]
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrainConfig(epochs=0)
+        with pytest.raises(ConfigurationError):
+            TrainConfig(optimizer="rmsprop")
+        with pytest.raises(ConfigurationError):
+            TrainConfig(distill_weight=-1.0)
+
+    def test_sgd_optimizer_path(self, rng):
+        X, y = two_blob_data(rng, n_per=10)
+        emb = SiameseEmbedder(build_mlp(6, hidden_dims=(8,), output_dim=3, rng=1))
+        history = SiameseTrainer(
+            TrainConfig(epochs=5, batch_pairs=16, optimizer="sgd", lr=1e-2),
+            rng=2,
+        ).train(emb, X, y)
+        assert history.total[-1] <= history.total[0]

@@ -1,0 +1,144 @@
+"""Unit tests for denoising filters."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SerializationError
+from repro.preprocessing import (
+    ButterworthLowpass,
+    IdentityFilter,
+    MedianFilter,
+    MovingAverageFilter,
+    denoiser_from_dict,
+)
+
+
+def noisy_sine(rng, n=480, freq=2.0, noise=0.3):
+    t = np.arange(n) / 120.0
+    clean = np.sin(2 * np.pi * freq * t)
+    return clean, clean + rng.normal(0, noise, n)
+
+
+class TestIdentityFilter:
+    def test_passthrough(self, rng):
+        data = rng.normal(size=(50, 3))
+        assert np.allclose(IdentityFilter().apply(data), data)
+
+    def test_roundtrip(self):
+        f = denoiser_from_dict(IdentityFilter().to_dict())
+        assert isinstance(f, IdentityFilter)
+
+
+class TestMovingAverage:
+    def test_reduces_noise(self, rng):
+        clean, noisy = noisy_sine(rng)
+        smoothed = MovingAverageFilter(size=5).apply(noisy)
+        assert np.abs(smoothed - clean).mean() < np.abs(noisy - clean).mean()
+
+    def test_preserves_shape_2d(self, rng):
+        data = rng.normal(size=(100, 4))
+        assert MovingAverageFilter(size=7).apply(data).shape == (100, 4)
+
+    def test_constant_signal_unchanged(self):
+        data = np.full((50, 2), 3.0)
+        assert np.allclose(MovingAverageFilter(size=5).apply(data), 3.0)
+
+    def test_size_one_is_identity(self, rng):
+        data = rng.normal(size=(30, 2))
+        assert np.allclose(MovingAverageFilter(size=1).apply(data), data)
+
+    def test_even_size_rejected(self):
+        with pytest.raises(ConfigurationError, match="odd"):
+            MovingAverageFilter(size=4)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MovingAverageFilter(size=0)
+
+    def test_empty_input(self):
+        out = MovingAverageFilter(size=3).apply(np.zeros((0, 2)))
+        assert out.shape == (0, 2)
+
+    def test_serialization_roundtrip(self):
+        f = denoiser_from_dict(MovingAverageFilter(size=9).to_dict())
+        assert f == MovingAverageFilter(size=9)
+
+
+class TestMedianFilter:
+    def test_removes_spikes(self, rng):
+        clean, _ = noisy_sine(rng, noise=0.0)
+        spiked = clean.copy()
+        spiked[[50, 150, 300]] += 10.0
+        filtered = MedianFilter(size=5).apply(spiked)
+        assert np.abs(filtered - clean).max() < 1.0
+
+    def test_better_than_moving_average_on_spikes(self, rng):
+        clean, _ = noisy_sine(rng, noise=0.0)
+        spiked = clean.copy()
+        spiked[100] += 20.0
+        med = MedianFilter(size=5).apply(spiked)
+        avg = MovingAverageFilter(size=5).apply(spiked)
+        assert np.abs(med - clean).max() < np.abs(avg - clean).max()
+
+    def test_2d_column_independence(self, rng):
+        data = rng.normal(size=(60, 2))
+        out = MedianFilter(size=3).apply(data)
+        col0 = MedianFilter(size=3).apply(data[:, 0])
+        assert np.allclose(out[:, 0], col0)
+
+    def test_even_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MedianFilter(size=2)
+
+    def test_serialization_roundtrip(self):
+        f = denoiser_from_dict(MedianFilter(size=7).to_dict())
+        assert f == MedianFilter(size=7)
+
+
+class TestButterworth:
+    def test_attenuates_high_frequency(self, rng):
+        t = np.arange(480) / 120.0
+        low = np.sin(2 * np.pi * 2.0 * t)
+        high = np.sin(2 * np.pi * 50.0 * t)
+        filtered = ButterworthLowpass(cutoff_hz=10.0).apply(low + high)
+        # The low-frequency component must survive, the 50 Hz one must die.
+        assert np.abs(filtered - low).std() < 0.1
+
+    def test_zero_phase(self, rng):
+        # filtfilt must not shift the signal in time.
+        t = np.arange(480) / 120.0
+        low = np.sin(2 * np.pi * 2.0 * t)
+        filtered = ButterworthLowpass(cutoff_hz=20.0).apply(low)
+        lag = np.argmax(np.correlate(filtered, low, mode="full")) - (len(low) - 1)
+        assert lag == 0
+
+    def test_cutoff_above_nyquist_rejected(self):
+        with pytest.raises(ConfigurationError, match="Nyquist"):
+            ButterworthLowpass(cutoff_hz=60.0, sampling_hz=120.0)
+
+    def test_short_input_falls_back_to_identity(self, rng):
+        data = rng.normal(size=(5, 3))
+        assert np.allclose(ButterworthLowpass().apply(data), data)
+
+    def test_2d_shape_preserved(self, rng):
+        data = rng.normal(size=(200, 22))
+        assert ButterworthLowpass().apply(data).shape == (200, 22)
+
+    def test_serialization_roundtrip(self):
+        original = ButterworthLowpass(cutoff_hz=15.0, sampling_hz=100.0, order=3)
+        rebuilt = denoiser_from_dict(original.to_dict())
+        assert rebuilt == original
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ButterworthLowpass(order=0)
+
+
+class TestDenoiserFromDict:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError, match="unknown"):
+            denoiser_from_dict({"kind": "quantum"})
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(SerializationError):
+            denoiser_from_dict({"no_kind": 1})

@@ -1,0 +1,110 @@
+"""Unit tests for feature normalizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataShapeError, NotFittedError, SerializationError
+from repro.preprocessing import (
+    MinMaxNormalizer,
+    ZScoreNormalizer,
+    normalizer_from_dict,
+)
+
+
+class TestZScore:
+    def test_standardizes(self, rng):
+        data = rng.normal(5.0, 3.0, size=(500, 4))
+        out = ZScoreNormalizer().fit_transform(data)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_maps_to_zero(self, rng):
+        data = rng.normal(size=(50, 3))
+        data[:, 1] = 7.0
+        out = ZScoreNormalizer().fit_transform(data)
+        assert np.allclose(out[:, 1], 0.0)
+
+    def test_transform_uses_fitted_stats(self, rng):
+        train = rng.normal(0.0, 1.0, size=(100, 2))
+        shifted = train + 10.0
+        norm = ZScoreNormalizer().fit(train)
+        out = norm.transform(shifted)
+        assert out.mean() == pytest.approx(10.0, abs=0.5)
+
+    def test_inverse_roundtrip(self, rng):
+        data = rng.normal(3.0, 2.0, size=(60, 5))
+        norm = ZScoreNormalizer().fit(data)
+        assert np.allclose(norm.inverse_transform(norm.transform(data)), data)
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            ZScoreNormalizer().transform(rng.normal(size=(3, 2)))
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(DataShapeError):
+            ZScoreNormalizer().fit(np.zeros((0, 4)))
+
+    def test_wrong_width_rejected(self, rng):
+        norm = ZScoreNormalizer().fit(rng.normal(size=(10, 4)))
+        with pytest.raises(DataShapeError):
+            norm.transform(rng.normal(size=(5, 3)))
+
+    def test_serialization_roundtrip(self, rng):
+        data = rng.normal(size=(30, 4))
+        norm = ZScoreNormalizer().fit(data)
+        rebuilt = normalizer_from_dict(norm.to_dict())
+        assert np.allclose(rebuilt.transform(data), norm.transform(data))
+
+    def test_serialize_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            ZScoreNormalizer().to_dict()
+
+
+class TestMinMax:
+    def test_maps_to_unit_interval(self, rng):
+        data = rng.uniform(-5, 5, size=(200, 3))
+        out = MinMaxNormalizer().fit_transform(data)
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_constant_feature_maps_to_zero(self, rng):
+        data = rng.normal(size=(50, 2))
+        data[:, 0] = -3.0
+        out = MinMaxNormalizer().fit_transform(data)
+        assert np.allclose(out[:, 0], 0.0)
+
+    def test_out_of_range_not_clipped_by_default(self, rng):
+        train = rng.uniform(0, 1, size=(100, 1))
+        norm = MinMaxNormalizer().fit(train)
+        out = norm.transform(np.array([[5.0]]))
+        assert out[0, 0] > 1.0
+
+    def test_clip_option(self, rng):
+        train = rng.uniform(0, 1, size=(100, 1))
+        norm = MinMaxNormalizer(clip=True).fit(train)
+        assert norm.transform(np.array([[5.0]]))[0, 0] == 1.0
+        assert norm.transform(np.array([[-5.0]]))[0, 0] == 0.0
+
+    def test_inverse_roundtrip(self, rng):
+        data = rng.uniform(-2, 3, size=(40, 4))
+        norm = MinMaxNormalizer().fit(data)
+        assert np.allclose(norm.inverse_transform(norm.transform(data)), data)
+
+    def test_serialization_roundtrip_preserves_clip(self, rng):
+        norm = MinMaxNormalizer(clip=True).fit(rng.normal(size=(20, 2)))
+        rebuilt = normalizer_from_dict(norm.to_dict())
+        assert rebuilt.clip is True
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MinMaxNormalizer().transform(np.zeros((2, 2)))
+
+
+class TestNormalizerFromDict:
+    def test_unknown_kind(self):
+        with pytest.raises(SerializationError):
+            normalizer_from_dict({"kind": "rank"})
+
+    def test_malformed(self):
+        with pytest.raises(SerializationError):
+            normalizer_from_dict({})

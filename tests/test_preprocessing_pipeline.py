@@ -1,0 +1,110 @@
+"""Unit tests for the composed pre-processing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError, SerializationError
+from repro.preprocessing import (
+    FeatureConfig,
+    IdentityFilter,
+    MinMaxNormalizer,
+    PreprocessingPipeline,
+)
+from repro.sensors import SensorDevice
+
+
+class TestFitAndProcess:
+    def test_unfitted_pipeline_refuses_to_process(self, tiny_campaign):
+        pipeline = PreprocessingPipeline()
+        with pytest.raises(NotFittedError):
+            pipeline.process_windows(tiny_campaign.windows[:2])
+
+    def test_fit_then_process_shape(self, fitted_pipeline, tiny_campaign):
+        out = fitted_pipeline.process_windows(tiny_campaign.windows[:5])
+        assert out.shape == (5, 80)
+
+    def test_features_standardized_on_fit_data(self, fitted_pipeline, tiny_campaign):
+        out = fitted_pipeline.process_windows(tiny_campaign.windows)
+        assert abs(out.mean()) < 0.1
+        # Mean per-feature std near 1 (constant features map to 0).
+        assert 0.5 < out.std() < 1.5
+
+    def test_process_window_matches_batch(self, fitted_pipeline, tiny_campaign):
+        w = tiny_campaign.windows[3]
+        single = fitted_pipeline.process_window(w)
+        batch = fitted_pipeline.process_windows(tiny_campaign.windows[3:4])[0]
+        assert np.allclose(single, batch)
+
+    def test_process_recording(self, fitted_pipeline):
+        rec = SensorDevice(rng=4).record("walk", 3.0)
+        out = fitted_pipeline.process_recording(rec)
+        assert out.shape == (3, 80)
+
+    def test_short_recording_yields_empty(self, fitted_pipeline):
+        rec = SensorDevice(rng=4).record("walk", 0.5)
+        out = fitted_pipeline.process_recording(rec)
+        assert out.shape == (0, 80)
+
+    def test_n_features_property(self, fitted_pipeline):
+        assert fitted_pipeline.n_features == 80
+
+    def test_custom_feature_config(self, tiny_campaign):
+        cfg = FeatureConfig(signals=("accel_mag",), stats=("mean", "std"))
+        pipeline = PreprocessingPipeline(feature_config=cfg)
+        pipeline.fit_normalizer(tiny_campaign.windows[:10])
+        out = pipeline.process_windows(tiny_campaign.windows[:3])
+        assert out.shape == (3, 2)
+
+    def test_invalid_window_len_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PreprocessingPipeline(window_len=0)
+
+    def test_invalid_stride_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PreprocessingPipeline(stride=0)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_output(self, fitted_pipeline, tiny_campaign):
+        rebuilt = PreprocessingPipeline.from_dict(fitted_pipeline.to_dict())
+        a = fitted_pipeline.process_windows(tiny_campaign.windows[:4])
+        b = rebuilt.process_windows(tiny_campaign.windows[:4])
+        assert np.allclose(a, b)
+
+    def test_roundtrip_with_custom_components(self, tiny_campaign):
+        pipeline = PreprocessingPipeline(
+            denoiser=IdentityFilter(),
+            window_len=60,
+            stride=30,
+            normalizer=MinMaxNormalizer(clip=True),
+        )
+        pipeline.fit_normalizer(tiny_campaign.windows[:10, :60, :])
+        rebuilt = PreprocessingPipeline.from_dict(pipeline.to_dict())
+        assert rebuilt.window_len == 60
+        assert rebuilt.stride == 30
+        assert isinstance(rebuilt.denoiser, IdentityFilter)
+        assert isinstance(rebuilt.normalizer, MinMaxNormalizer)
+        assert rebuilt.normalizer.clip is True
+
+    def test_unfitted_cannot_serialize(self):
+        with pytest.raises(NotFittedError):
+            PreprocessingPipeline().to_dict()
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(SerializationError):
+            PreprocessingPipeline.from_dict({"denoiser": {"kind": "identity"}})
+
+    def test_size_bytes_positive_and_modest(self, fitted_pipeline):
+        size = fitted_pipeline.size_bytes()
+        assert 0 < size < 100_000  # the pipeline is a few kB of JSON
+
+
+class TestDenoiserIntegration:
+    def test_denoising_changes_features(self, tiny_campaign):
+        with_filter = PreprocessingPipeline()
+        without = PreprocessingPipeline(denoiser=IdentityFilter())
+        with_filter.fit_normalizer(tiny_campaign.windows[:10])
+        without.fit_normalizer(tiny_campaign.windows[:10])
+        a = with_filter.process_windows(tiny_campaign.windows[:3])
+        b = without.process_windows(tiny_campaign.windows[:3])
+        assert not np.allclose(a, b)

@@ -1,0 +1,89 @@
+"""Unit tests for segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataShapeError
+from repro.preprocessing import segment_recording, sliding_windows, window_count
+from repro.sensors import SensorDevice
+
+
+class TestSlidingWindows:
+    def test_nonoverlapping_count(self, rng):
+        data = rng.normal(size=(360, 4))
+        windows = sliding_windows(data, window_len=120)
+        assert windows.shape == (3, 120, 4)
+
+    def test_tail_dropped(self, rng):
+        data = rng.normal(size=(350, 4))
+        assert sliding_windows(data, 120).shape[0] == 2
+
+    def test_window_contents_match_source(self, rng):
+        data = rng.normal(size=(240, 2))
+        windows = sliding_windows(data, 120)
+        assert np.allclose(windows[0], data[:120])
+        assert np.allclose(windows[1], data[120:240])
+
+    def test_overlapping_stride(self, rng):
+        data = rng.normal(size=(120, 2))
+        windows = sliding_windows(data, 60, stride=30)
+        assert windows.shape == (3, 60, 2)
+        assert np.allclose(windows[1], data[30:90])
+
+    def test_short_input_gives_empty(self, rng):
+        windows = sliding_windows(rng.normal(size=(50, 3)), 120)
+        assert windows.shape == (0, 120, 3)
+
+    def test_windows_own_their_memory(self, rng):
+        data = rng.normal(size=(240, 2))
+        windows = sliding_windows(data, 120)
+        windows[0, 0, 0] = 999.0
+        assert data[0, 0] != 999.0
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(DataShapeError):
+            sliding_windows(np.zeros(100), 10)
+
+    def test_bad_window_len_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sliding_windows(np.zeros((10, 2)), 0)
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sliding_windows(np.zeros((10, 2)), 5, stride=0)
+
+    def test_exact_fit(self, rng):
+        data = rng.normal(size=(120, 2))
+        assert sliding_windows(data, 120).shape[0] == 1
+
+
+class TestSegmentRecording:
+    def test_one_second_windows(self):
+        rec = SensorDevice(rng=1).record("walk", 3.0)
+        windows = segment_recording(rec, window_s=1.0)
+        assert windows.shape == (3, 120, 22)
+
+    def test_half_overlap(self):
+        rec = SensorDevice(rng=1).record("walk", 2.0)
+        windows = segment_recording(rec, window_s=1.0, overlap=0.5)
+        assert windows.shape[0] == 3  # strides of 60 over 240 samples
+
+    def test_invalid_overlap_rejected(self):
+        rec = SensorDevice(rng=1).record("walk", 1.0)
+        with pytest.raises(ConfigurationError):
+            segment_recording(rec, overlap=1.0)
+
+    def test_invalid_window_rejected(self):
+        rec = SensorDevice(rng=1).record("walk", 1.0)
+        with pytest.raises(ConfigurationError):
+            segment_recording(rec, window_s=0.0)
+
+
+class TestWindowCount:
+    def test_matches_sliding_windows(self, rng):
+        for n, w, s in [(360, 120, 120), (350, 120, 120), (120, 60, 30), (59, 60, 60)]:
+            data = rng.normal(size=(n, 2))
+            assert window_count(n, w, s) == sliding_windows(data, w, s).shape[0]
+
+    def test_default_stride(self):
+        assert window_count(240, 120) == 2

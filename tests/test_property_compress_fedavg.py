@@ -1,0 +1,152 @@
+"""Property-based tests for compression and federated-averaging algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.federated import (
+    apply_delta,
+    clip_delta_norm,
+    federated_average,
+    state_delta,
+)
+from repro.nn import (
+    build_mlp,
+    prune_network,
+    quantize_tensor,
+    sparsity_of,
+)
+
+bounded_floats = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+
+
+def tensor_strategy(max_rows=6, max_cols=6):
+    return st.tuples(st.integers(1, max_rows), st.integers(1, max_cols)).flatmap(
+        lambda shape: arrays(np.float64, shape, elements=bounded_floats)
+    )
+
+
+def state_strategy(n_states=1):
+    """Strategy producing lists of compatible state dicts."""
+    return st.tuples(
+        st.integers(1, 4), st.integers(1, 4), st.integers(0, 10_000)
+    ).map(
+        lambda args: [
+            {
+                "w": np.random.default_rng(args[2] + i).normal(
+                    size=(args[0], args[1])
+                ),
+                "b": np.random.default_rng(args[2] + 100 + i).normal(
+                    size=(args[1],)
+                ),
+            }
+            for i in range(n_states)
+        ]
+    )
+
+
+class TestQuantizationProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(arr=tensor_strategy())
+    def test_error_bounded_by_half_step(self, arr):
+        qt = quantize_tensor(arr)
+        assert np.abs(qt.dequantize() - arr).max() <= qt.scale / 2 + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(arr=tensor_strategy())
+    def test_int8_range(self, arr):
+        qt = quantize_tensor(arr)
+        assert qt.values.dtype == np.int8
+        assert qt.values.min() >= -128
+        assert qt.values.max() <= 127
+
+    @settings(max_examples=50, deadline=None)
+    @given(arr=tensor_strategy())
+    def test_dequantize_preserves_order_of_extremes(self, arr):
+        qt = quantize_tensor(arr)
+        deq = qt.dequantize()
+        # argmax/argmin may shift among near-ties, but values agree closely.
+        assert deq.max() == pytest.approx(arr.max(), abs=qt.scale)
+        assert deq.min() == pytest.approx(arr.min(), abs=qt.scale)
+
+
+class TestPruningProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        sparsity=st.floats(0.0, 0.95),
+        seed=st.integers(0, 1000),
+    )
+    def test_sparsity_close_to_target(self, sparsity, seed):
+        net = build_mlp(8, hidden_dims=(16,), output_dim=4, rng=seed)
+        pruned = prune_network(net, sparsity)
+        assert sparsity_of(pruned) == pytest.approx(sparsity, abs=0.08)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_pruning_monotone_in_sparsity(self, seed):
+        net = build_mlp(8, hidden_dims=(16,), output_dim=4, rng=seed)
+        levels = [sparsity_of(prune_network(net, s)) for s in (0.2, 0.5, 0.8)]
+        assert levels[0] <= levels[1] <= levels[2]
+
+
+class TestFedAvgProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(states=state_strategy(n_states=3))
+    def test_average_of_identical_is_identity(self, states):
+        same = [states[0]] * 3
+        avg = federated_average(same)
+        for key in states[0]:
+            assert np.allclose(avg[key], states[0][key])
+
+    @settings(max_examples=40, deadline=None)
+    @given(states=state_strategy(n_states=3))
+    def test_average_within_componentwise_bounds(self, states):
+        avg = federated_average(states)
+        for key in states[0]:
+            stack = np.stack([s[key] for s in states])
+            assert np.all(avg[key] >= stack.min(axis=0) - 1e-12)
+            assert np.all(avg[key] <= stack.max(axis=0) + 1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(states=state_strategy(n_states=2))
+    def test_delta_apply_inverse(self, states):
+        a, b = states
+        rebuilt = apply_delta(a, state_delta(b, a))
+        for key in b:
+            assert np.allclose(rebuilt[key], b[key])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        states=state_strategy(n_states=2),
+        max_norm=st.floats(0.01, 10.0),
+    )
+    def test_clip_never_exceeds_norm(self, states, max_norm):
+        delta = state_delta(states[1], states[0])
+        clipped = clip_delta_norm(delta, max_norm)
+        total = sum(float((v * v).sum()) for v in clipped.values())
+        assert np.sqrt(total) <= max_norm + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(states=state_strategy(n_states=2))
+    def test_clip_preserves_direction(self, states):
+        delta = state_delta(states[1], states[0])
+        clipped = clip_delta_norm(delta, 0.01)
+        for key in delta:
+            # Sign pattern preserved (pure scaling).
+            assert np.all(np.sign(clipped[key]) == np.sign(delta[key]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        states=state_strategy(n_states=2),
+        w=st.floats(0.1, 10.0),
+    )
+    def test_weight_scale_invariance(self, states, w):
+        """Scaling all weights by a constant leaves the average unchanged."""
+        a = federated_average(states, weights=[1.0, 2.0])
+        b = federated_average(states, weights=[w, 2.0 * w])
+        for key in a:
+            assert np.allclose(a[key], b[key])

@@ -1,0 +1,210 @@
+"""Property-based tests for the NN substrate and core data structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import NCMClassifier, SupportSet, herding_selection
+from repro.nn import (
+    contrastive_loss,
+    distillation_loss,
+    sample_pairs,
+    softmax,
+    softmax_cross_entropy,
+)
+
+unit_floats = st.floats(
+    min_value=-10, max_value=10, allow_nan=False, allow_infinity=False
+)
+
+
+def embedding_pairs(max_n=12, max_d=6):
+    return st.tuples(st.integers(1, max_n), st.integers(1, max_d)).flatmap(
+        lambda nd: st.tuples(
+            arrays(np.float64, nd, elements=unit_floats),
+            arrays(np.float64, nd, elements=unit_floats),
+            arrays(np.bool_, (nd[0],)),
+        )
+    )
+
+
+class TestLossProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(data=embedding_pairs())
+    def test_contrastive_nonnegative(self, data):
+        za, zb, same = data
+        loss, ga, gb = contrastive_loss(za, zb, same)
+        assert loss >= 0.0
+        assert np.all(np.isfinite(ga))
+        assert np.all(np.isfinite(gb))
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=embedding_pairs())
+    def test_contrastive_grads_antisymmetric(self, data):
+        za, zb, same = data
+        _, ga, gb = contrastive_loss(za, zb, same)
+        assert np.allclose(ga, -gb)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=embedding_pairs())
+    def test_contrastive_symmetric_in_pair_order(self, data):
+        za, zb, same = data
+        loss_ab, *_ = contrastive_loss(za, zb, same)
+        loss_ba, *_ = contrastive_loss(zb, za, same)
+        assert loss_ab == pytest.approx(loss_ba)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=embedding_pairs())
+    def test_distillation_nonnegative_and_zero_iff_equal(self, data):
+        za, zb, _ = data
+        loss, _ = distillation_loss(za, zb)
+        assert loss >= 0.0
+        self_loss, grad = distillation_loss(za, za.copy())
+        assert self_loss == 0.0
+        assert np.all(grad == 0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        logits=st.tuples(st.integers(1, 8), st.integers(2, 6)).flatmap(
+            lambda nd: arrays(np.float64, nd, elements=unit_floats)
+        )
+    )
+    def test_softmax_is_distribution(self, logits):
+        probs = softmax(logits)
+        assert np.all(probs >= 0.0)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        logits=st.tuples(st.integers(1, 8), st.integers(2, 6)).flatmap(
+            lambda nd: arrays(np.float64, nd, elements=unit_floats)
+        ),
+        seed=st.integers(0, 1000),
+    )
+    def test_cross_entropy_nonnegative_grad_sums_zero(self, logits, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, logits.shape[1], size=logits.shape[0])
+        loss, grad = softmax_cross_entropy(logits, labels)
+        assert loss >= 0.0
+        # Softmax-CE gradient rows sum to zero.
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-9)
+
+
+class TestPairSamplingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        class_sizes=st.lists(st.integers(1, 10), min_size=2, max_size=5),
+        n_pairs=st.integers(1, 80),
+        seed=st.integers(0, 10_000),
+    )
+    def test_pair_invariants(self, class_sizes, n_pairs, seed):
+        labels = np.concatenate(
+            [np.full(size, c) for c, size in enumerate(class_sizes)]
+        )
+        ia, ib, same = sample_pairs(labels, n_pairs, rng=seed)
+        assert len(ia) == len(ib) == len(same) == n_pairs
+        assert ia.min() >= 0 and ia.max() < len(labels)
+        # same flag always matches the labels.
+        assert np.array_equal(same, labels[ia] == labels[ib])
+        # positive pairs never reuse one sample twice.
+        assert np.all(ia[same] != ib[same])
+
+
+class TestSupportSetProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        counts=st.lists(st.integers(1, 20), min_size=1, max_size=6),
+        capacity=st.integers(1, 15),
+        seed=st.integers(0, 1000),
+    )
+    def test_capacity_and_label_invariants(self, counts, capacity, seed):
+        rng = np.random.default_rng(seed)
+        store = SupportSet(capacity_per_class=capacity, rng=seed)
+        for i, count in enumerate(counts):
+            store.add_class(f"c{i}", rng.normal(size=(count, 5)))
+
+        assert store.n_classes == len(counts)
+        for i, count in enumerate(counts):
+            assert store.counts()[f"c{i}"] == min(count, capacity)
+            assert store.label_of(f"c{i}") == i
+
+        X, y = store.training_set()
+        assert X.shape[0] == store.total_samples
+        assert np.array_equal(np.unique(y), np.arange(len(counts)))
+        assert store.size_bytes() == store.total_samples * 5 * 4
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        counts=st.lists(st.integers(1, 8), min_size=1, max_size=5),
+        seed=st.integers(0, 1000),
+    )
+    def test_arrays_roundtrip_property(self, counts, seed):
+        rng = np.random.default_rng(seed)
+        store = SupportSet(capacity_per_class=10, rng=seed)
+        for i, count in enumerate(counts):
+            store.add_class(f"c{i}", rng.normal(size=(count, 4)))
+        rebuilt = SupportSet.from_arrays(store.to_arrays())
+        assert rebuilt.class_names == store.class_names
+        for name in store.class_names:
+            assert np.allclose(
+                rebuilt.features_of(name), store.features_of(name)
+            )
+
+
+class TestHerdingProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(2, 30),
+        d=st.integers(1, 6),
+        capacity=st.integers(1, 30),
+        seed=st.integers(0, 1000),
+    )
+    def test_herding_index_invariants(self, n, d, capacity, seed):
+        emb = np.random.default_rng(seed).normal(size=(n, d))
+        idx = herding_selection(emb, capacity)
+        assert len(idx) == min(n, capacity)
+        assert len(set(idx.tolist())) == len(idx)
+        assert idx.min() >= 0 and idx.max() < n
+
+
+class TestNCMProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_classes=st.integers(2, 5),
+        per_class=st.integers(1, 8),
+        d=st.integers(1, 6),
+        seed=st.integers(0, 1000),
+    )
+    def test_prototypes_classified_as_their_class(
+        self, n_classes, per_class, d, seed
+    ):
+        rng = np.random.default_rng(seed)
+        # Spread class centers far apart so prototypes are unambiguous.
+        emb = np.concatenate(
+            [rng.normal(size=(per_class, d)) + 100.0 * c
+             for c in range(n_classes)]
+        )
+        labels = np.repeat(np.arange(n_classes), per_class)
+        names = [f"c{i}" for i in range(n_classes)]
+        ncm = NCMClassifier().fit(emb, labels, names)
+        pred = ncm.predict(ncm.prototypes_)
+        assert np.array_equal(pred, np.arange(n_classes))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        d=st.integers(1, 6),
+        shift=st.floats(-5, 5),
+        seed=st.integers(0, 1000),
+    )
+    def test_translation_invariance_of_prediction(self, d, shift, seed):
+        """Shifting every embedding and prototype together preserves labels."""
+        rng = np.random.default_rng(seed)
+        emb = np.concatenate([rng.normal(size=(4, d)),
+                              rng.normal(size=(4, d)) + 10.0])
+        labels = np.array([0] * 4 + [1] * 4)
+        ncm = NCMClassifier().fit(emb, labels, ["a", "b"])
+        shifted = NCMClassifier().fit(emb + shift, labels, ["a", "b"])
+        x = rng.normal(size=(6, d))
+        assert np.array_equal(ncm.predict(x), shifted.predict(x + shift))

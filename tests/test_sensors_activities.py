@@ -1,0 +1,110 @@
+"""Unit tests for activity profiles and the registry."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, UnknownActivityError
+from repro.sensors import (
+    BASE_ACTIVITIES,
+    GESTURE_ACTIVITIES,
+    ActivityProfile,
+    get_activity,
+    list_activities,
+    register_activity,
+    unregister_activity,
+)
+
+
+class TestBaseActivities:
+    def test_paper_demonstration_set(self):
+        # Section 4.1.2: Drive, E-scooter, Run, Still, Walk.
+        assert BASE_ACTIVITIES == ("drive", "escooter", "run", "still", "walk")
+
+    def test_all_base_registered(self):
+        for name in BASE_ACTIVITIES:
+            assert get_activity(name).name == name
+
+    def test_gestures_registered(self):
+        for name in GESTURE_ACTIVITIES:
+            assert get_activity(name).name == name
+
+    def test_still_is_quietest(self):
+        still = get_activity("still")
+        walk = get_activity("walk")
+        assert sum(still.accel_amp) < sum(walk.accel_amp)
+        assert still.step_freq_hz == 0.0
+
+    def test_run_faster_and_stronger_than_walk(self):
+        walk, run = get_activity("walk"), get_activity("run")
+        assert run.step_freq_hz > walk.step_freq_hz
+        assert sum(run.accel_amp) > sum(walk.accel_amp)
+
+    def test_vehicles_have_vibration(self):
+        for name in ("drive", "escooter"):
+            profile = get_activity(name)
+            assert profile.vib_freq_hz > 0
+            assert profile.vib_amp > 0
+
+    def test_walking_has_no_vehicle_vibration(self):
+        assert get_activity("walk").vib_amp == 0.0
+
+    def test_stairs_have_barometric_trend(self):
+        assert get_activity("stairs_up").baro_trend != 0.0
+
+
+class TestProfileValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActivityProfile(name="")
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActivityProfile(name="x", step_freq_hz=-1.0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActivityProfile(name="x", noise_scale=-0.1)
+
+    def test_empty_harmonics_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActivityProfile(name="x", harmonics=())
+
+    def test_with_name_copies(self):
+        walk = get_activity("walk")
+        renamed = walk.with_name("my_walk")
+        assert renamed.name == "my_walk"
+        assert renamed.step_freq_hz == walk.step_freq_hz
+
+
+class TestRegistry:
+    def test_unknown_activity_raises_with_listing(self):
+        with pytest.raises(UnknownActivityError, match="registered:"):
+            get_activity("teleport")
+
+    def test_list_is_sorted(self):
+        names = list_activities()
+        assert names == sorted(names)
+
+    def test_register_and_unregister_custom(self):
+        profile = ActivityProfile(name="test_custom_xyz", step_freq_hz=1.0)
+        register_activity(profile)
+        try:
+            assert get_activity("test_custom_xyz").step_freq_hz == 1.0
+        finally:
+            unregister_activity("test_custom_xyz")
+        with pytest.raises(UnknownActivityError):
+            get_activity("test_custom_xyz")
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_activity(get_activity("walk"))
+
+    def test_register_overwrite_allowed(self):
+        original = get_activity("walk")
+        try:
+            register_activity(original.with_name("walk"), overwrite=True)
+            assert get_activity("walk").step_freq_hz == original.step_freq_hz
+        finally:
+            register_activity(original, overwrite=True)
+
+    def test_unregister_missing_is_noop(self):
+        unregister_activity("never_was_registered")

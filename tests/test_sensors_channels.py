@@ -1,0 +1,59 @@
+"""Unit tests for the 22-channel layout."""
+
+import pytest
+
+from repro.sensors import (
+    CHANNEL_GROUPS,
+    CHANNEL_INDEX,
+    CHANNEL_NAMES,
+    N_CHANNELS,
+    channel_index,
+    group_indices,
+)
+
+
+class TestChannelLayout:
+    def test_exactly_22_channels(self):
+        # The paper's "22 mobile sensors".
+        assert N_CHANNELS == 22
+        assert len(CHANNEL_NAMES) == 22
+
+    def test_names_unique(self):
+        assert len(set(CHANNEL_NAMES)) == len(CHANNEL_NAMES)
+
+    def test_index_matches_order(self):
+        for i, name in enumerate(CHANNEL_NAMES):
+            assert CHANNEL_INDEX[name] == i
+
+    def test_groups_cover_all_channels(self):
+        members = [name for group in CHANNEL_GROUPS.values() for name in group]
+        assert sorted(members) == sorted(CHANNEL_NAMES)
+
+    def test_groups_are_disjoint(self):
+        members = [name for group in CHANNEL_GROUPS.values() for name in group]
+        assert len(members) == len(set(members))
+
+    def test_triaxial_groups_have_three_axes(self):
+        for group in ("accelerometer", "gyroscope", "magnetometer",
+                      "linear_acceleration", "gravity"):
+            assert len(CHANNEL_GROUPS[group]) == 3
+
+    def test_rotation_vector_is_quaternion(self):
+        assert len(CHANNEL_GROUPS["rotation_vector"]) == 4
+
+
+class TestLookups:
+    def test_group_indices_contiguous_accel(self):
+        assert group_indices("accelerometer") == [0, 1, 2]
+
+    def test_group_indices_unknown_raises(self):
+        with pytest.raises(KeyError):
+            group_indices("thermometer")
+
+    def test_channel_index(self):
+        assert channel_index("accel_x") == 0
+        assert channel_index("prox") == 21
+
+    def test_channel_index_unknown_raises(self):
+        with pytest.raises(KeyError):
+            channel_index("bogus")

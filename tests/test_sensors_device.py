@@ -1,0 +1,177 @@
+"""Unit tests for the synthetic sensor device."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sensors import (
+    AVERAGE_USER,
+    N_CHANNELS,
+    SensorDevice,
+    UserProfile,
+    channel_index,
+    get_activity,
+    group_indices,
+    sample_user,
+)
+from repro.sensors.channels import GRAVITY
+
+
+@pytest.fixture
+def device():
+    return SensorDevice(rng=42)
+
+
+class TestRecordingBasics:
+    def test_shape_matches_paper(self, device):
+        # One second at 120 Hz = "roughly 120 sequential measurements from
+        # 22 mobile sensors".
+        rec = device.record("walk", 1.0)
+        assert rec.data.shape == (120, N_CHANNELS)
+
+    def test_duration_and_metadata(self, device):
+        rec = device.record("run", 2.5)
+        assert rec.n_samples == 300
+        assert rec.duration_s == pytest.approx(2.5)
+        assert rec.activity == "run"
+        assert rec.user_id == AVERAGE_USER.user_id
+
+    def test_channel_accessor(self, device):
+        rec = device.record("still", 1.0)
+        assert np.array_equal(rec.channel("baro"), rec.data[:, 19])
+
+    def test_profile_object_accepted(self, device):
+        rec = device.record(get_activity("walk"), 1.0)
+        assert rec.activity == "walk"
+
+    def test_invalid_duration_rejected(self, device):
+        with pytest.raises(ConfigurationError):
+            device.record("walk", 0.0)
+
+    def test_invalid_sampling_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorDevice(sampling_hz=0.0)
+
+    def test_custom_sampling_rate(self):
+        rec = SensorDevice(sampling_hz=50.0, rng=0).record("walk", 2.0)
+        assert rec.n_samples == 100
+
+    def test_finite_values(self, device):
+        rec = device.record("run", 3.0)
+        assert np.all(np.isfinite(rec.data))
+
+
+class TestPhysicalPlausibility:
+    def test_accel_magnitude_near_gravity_when_still(self, device):
+        rec = device.record("still", 3.0)
+        accel = rec.data[:, group_indices("accelerometer")]
+        magnitude = np.linalg.norm(accel, axis=1)
+        assert abs(magnitude.mean() - GRAVITY) < 1.0
+
+    def test_gravity_channel_has_g_norm(self, device):
+        rec = device.record("walk", 2.0)
+        grav = rec.data[:, group_indices("gravity")]
+        norms = np.linalg.norm(grav, axis=1)
+        assert norms.mean() == pytest.approx(GRAVITY, rel=0.05)
+
+    def test_rotation_vector_is_unit_quaternion(self, device):
+        rec = device.record("walk", 2.0)
+        quat = rec.data[:, group_indices("rotation_vector")]
+        norms = np.linalg.norm(quat, axis=1)
+        assert np.allclose(norms, 1.0, atol=0.1)
+
+    def test_light_and_prox_nonnegative(self, device):
+        rec = device.record("drive", 3.0)
+        assert np.all(rec.channel("light") >= 0.0)
+        assert np.all(rec.channel("prox") >= 0.0)
+
+    def test_baro_near_profile_level(self, device):
+        rec = device.record("still", 2.0)
+        assert rec.channel("baro").mean() == pytest.approx(1013.0, abs=2.0)
+
+
+class TestActivitySignatures:
+    def _motion_energy(self, device, activity):
+        rec = device.record(activity, 4.0)
+        linacc = rec.data[:, group_indices("linear_acceleration")]
+        return float(np.linalg.norm(linacc, axis=1).std())
+
+    def test_run_more_energetic_than_walk_than_still(self, device):
+        still = self._motion_energy(device, "still")
+        walk = self._motion_energy(device, "walk")
+        run = self._motion_energy(device, "run")
+        assert still < walk < run
+
+    def test_walk_has_step_periodicity(self, device):
+        # Dominant frequency of the linear-acceleration magnitude should sit
+        # near the profile's step frequency (or a harmonic).
+        rec = device.record("walk", 8.0)
+        linacc = rec.data[:, group_indices("linear_acceleration")]
+        signal = np.linalg.norm(linacc, axis=1)
+        signal = signal - signal.mean()
+        spectrum = np.abs(np.fft.rfft(signal))
+        freqs = np.fft.rfftfreq(len(signal), d=1.0 / 120.0)
+        dominant = freqs[np.argmax(spectrum)]
+        step = get_activity("walk").step_freq_hz
+        harmonics = [step * k for k in (1, 2, 3)]
+        assert min(abs(dominant - h) for h in harmonics) < 0.5
+
+    def test_vehicle_vibration_band(self, device):
+        # Drive's accelerometer spectrum must carry energy near the engine
+        # vibration frequency that Still lacks.
+        def band_energy(activity):
+            rec = device.record(activity, 4.0)
+            z = rec.channel("accel_z")
+            z = z - z.mean()
+            spectrum = np.abs(np.fft.rfft(z)) ** 2
+            freqs = np.fft.rfftfreq(len(z), d=1.0 / 120.0)
+            band = (freqs > 20.0) & (freqs < 32.0)
+            return float(spectrum[band].sum())
+
+        assert band_energy("drive") > 10.0 * band_energy("still")
+
+
+class TestUserStyleEffects:
+    def test_user_cadence_shifts_dominant_frequency(self):
+        slow = UserProfile(user_id=1, freq_scale=0.7)
+        fast = UserProfile(user_id=2, freq_scale=1.3)
+
+        def dominant(user):
+            rec = SensorDevice(user=user, rng=3).record("walk", 8.0)
+            sig = np.linalg.norm(
+                rec.data[:, group_indices("linear_acceleration")], axis=1
+            )
+            sig = sig - sig.mean()
+            spectrum = np.abs(np.fft.rfft(sig))
+            freqs = np.fft.rfftfreq(len(sig), d=1.0 / 120.0)
+            # Only look below 5 Hz to find the fundamental.
+            mask = freqs < 5.0
+            return freqs[mask][np.argmax(spectrum[mask])]
+
+        assert dominant(slow) < dominant(fast)
+
+    def test_user_vigor_scales_amplitude(self):
+        gentle = UserProfile(user_id=1, amp_scale=0.5)
+        strong = UserProfile(user_id=2, amp_scale=2.0)
+
+        def energy(user):
+            rec = SensorDevice(user=user, rng=3).record("walk", 4.0)
+            linacc = rec.data[:, group_indices("linear_acceleration")]
+            return float(np.linalg.norm(linacc, axis=1).std())
+
+        assert energy(strong) > 2.0 * energy(gentle)
+
+    def test_same_seed_same_recording(self):
+        a = SensorDevice(rng=5).record("walk", 2.0)
+        b = SensorDevice(rng=5).record("walk", 2.0)
+        assert np.allclose(a.data, b.data)
+
+    def test_different_seed_different_recording(self):
+        a = SensorDevice(rng=5).record("walk", 2.0)
+        b = SensorDevice(rng=6).record("walk", 2.0)
+        assert not np.allclose(a.data, b.data)
+
+    def test_user_id_propagates(self):
+        user = sample_user(17, rng=1)
+        rec = SensorDevice(user=user, rng=2).record("still", 1.0)
+        assert rec.user_id == 17

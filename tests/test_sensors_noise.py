@@ -1,0 +1,136 @@
+"""Unit tests for the sensor noise models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sensors import (
+    CompositeNoise,
+    DriftNoise,
+    DropoutNoise,
+    GaussianNoise,
+    SpikeNoise,
+)
+from repro.sensors.noise import scaled
+
+
+class TestGaussianNoise:
+    def test_scale_controls_std(self, rng):
+        small = GaussianNoise(scale=0.01).sample(rng, 5000)
+        large = GaussianNoise(scale=1.0).sample(rng, 5000)
+        assert small.std() < large.std()
+        assert large.std() == pytest.approx(1.0, rel=0.1)
+
+    def test_zero_scale_is_silent(self, rng):
+        assert np.all(GaussianNoise(scale=0.0).sample(rng, 100) == 0.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GaussianNoise(scale=-0.1)
+
+    def test_sample_length(self, rng):
+        assert GaussianNoise().sample(rng, 37).shape == (37,)
+
+
+class TestDriftNoise:
+    def test_zero_mean_per_window(self, rng):
+        drift = DriftNoise(scale=0.1).sample(rng, 500)
+        assert abs(drift.mean()) < 1e-10
+
+    def test_drift_is_smooth_relative_to_white(self, rng):
+        # Successive-difference energy of a random walk is far below that of
+        # white noise at equal sample variance.
+        drift = DriftNoise(scale=0.1).sample(rng, 2000)
+        white = GaussianNoise(scale=drift.std()).sample(rng, 2000)
+        assert np.abs(np.diff(drift)).mean() < np.abs(np.diff(white)).mean()
+
+    def test_zero_scale(self, rng):
+        assert np.all(DriftNoise(scale=0.0).sample(rng, 50) == 0.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DriftNoise(scale=-1.0)
+
+    def test_empty_sample(self, rng):
+        assert DriftNoise().sample(rng, 0).shape == (0,)
+
+
+class TestSpikeNoise:
+    def test_spikes_are_sparse(self, rng):
+        spikes = SpikeNoise(rate=0.01, magnitude=5.0).sample(rng, 10000)
+        frac = np.mean(spikes != 0.0)
+        assert 0.001 < frac < 0.05
+
+    def test_zero_rate_silent(self, rng):
+        assert np.all(SpikeNoise(rate=0.0).sample(rng, 100) == 0.0)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpikeNoise(rate=1.5)
+
+    def test_negative_magnitude_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpikeNoise(magnitude=-1.0)
+
+
+class TestDropoutNoise:
+    def test_dropout_zeroes_contiguous_run(self):
+        rng = np.random.default_rng(0)
+        noise = DropoutNoise(rate=1.0, max_length=5)
+        signal = np.ones(100)
+        out = noise.apply(rng, signal)
+        zeros = np.flatnonzero(out == 0.0)
+        assert 1 <= zeros.size <= 5
+        # Contiguity of the zeroed run.
+        assert np.all(np.diff(zeros) == 1)
+
+    def test_original_untouched(self):
+        rng = np.random.default_rng(0)
+        signal = np.ones(50)
+        DropoutNoise(rate=1.0).apply(rng, signal)
+        assert np.all(signal == 1.0)
+
+    def test_zero_rate_never_drops(self):
+        rng = np.random.default_rng(0)
+        out = DropoutNoise(rate=0.0).apply(rng, np.ones(50))
+        assert np.all(out == 1.0)
+
+    def test_bad_max_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DropoutNoise(max_length=0)
+
+
+class TestCompositeNoise:
+    def test_typical_has_three_components(self):
+        assert len(CompositeNoise.typical().additive) == 3
+
+    def test_sample_sums_components(self, rng):
+        composite = CompositeNoise(additive=[GaussianNoise(0.0), DriftNoise(0.0)])
+        assert np.all(composite.sample(rng, 20) == 0.0)
+
+    def test_corrupt_preserves_shape_and_changes_values(self, rng):
+        signal = np.sin(np.linspace(0, 10, 200))
+        noisy = CompositeNoise.typical(scale=0.1).corrupt(rng, signal)
+        assert noisy.shape == signal.shape
+        assert not np.allclose(noisy, signal)
+
+    def test_corrupt_with_dropout(self):
+        rng = np.random.default_rng(3)
+        composite = CompositeNoise(
+            additive=[], dropout=DropoutNoise(rate=1.0, max_length=3)
+        )
+        out = composite.corrupt(rng, np.ones(50))
+        assert np.any(out == 0.0)
+
+    def test_scaled_multiplies_gaussian(self):
+        base = CompositeNoise.typical(scale=0.1)
+        doubled = scaled(base, 2.0)
+        assert doubled.additive[0].scale == pytest.approx(0.2)
+
+    def test_scaled_preserves_spike_rate(self):
+        base = CompositeNoise.typical(scale=0.1)
+        doubled = scaled(base, 2.0)
+        assert doubled.additive[2].rate == base.additive[2].rate
+        assert doubled.additive[2].magnitude == pytest.approx(
+            base.additive[2].magnitude * 2.0
+        )

@@ -1,0 +1,169 @@
+"""Unit tests for the sensor stream and campaign dataset generation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sensors import (
+    BASE_ACTIVITIES,
+    RawDataset,
+    SensorDevice,
+    SensorStream,
+    concatenate_datasets,
+    generate_campaign,
+    generate_user_windows,
+    sample_user,
+)
+
+
+@pytest.fixture
+def device():
+    return SensorDevice(rng=7)
+
+
+class TestSensorStream:
+    def test_chunk_shapes(self, device):
+        stream = SensorStream(device, [("walk", 3.0)], chunk_duration_s=1.0)
+        chunks = stream.collect()
+        assert len(chunks) == 3
+        for chunk in chunks:
+            assert chunk.data.shape == (120, 22)
+            assert chunk.activity == "walk"
+
+    def test_chunks_do_not_straddle_segments(self, device):
+        stream = SensorStream(
+            device, [("walk", 2.5), ("still", 1.6)], chunk_duration_s=1.0
+        )
+        chunks = stream.collect()
+        # 2 full walk windows (0.5 s tail dropped) + 1 still window.
+        activities = [c.activity for c in chunks]
+        assert activities == ["walk", "walk", "still"]
+
+    def test_t_start_progression(self, device):
+        stream = SensorStream(device, [("walk", 2.0), ("run", 2.0)])
+        starts = [c.t_start for c in stream]
+        assert starts == [0.0, 1.0, 2.0, 3.0]
+
+    def test_empty_segments_rejected(self, device):
+        with pytest.raises(ConfigurationError):
+            SensorStream(device, [])
+
+    def test_nonpositive_duration_rejected(self, device):
+        with pytest.raises(ConfigurationError):
+            SensorStream(device, [("walk", 0.0)])
+
+    def test_nonpositive_chunk_rejected(self, device):
+        with pytest.raises(ConfigurationError):
+            SensorStream(device, [("walk", 1.0)], chunk_duration_s=0.0)
+
+    def test_half_second_chunks(self, device):
+        stream = SensorStream(device, [("walk", 2.0)], chunk_duration_s=0.5)
+        chunks = stream.collect()
+        assert len(chunks) == 4
+        assert chunks[0].data.shape == (60, 22)
+
+
+class TestGenerateUserWindows:
+    def test_balanced_counts(self):
+        user = sample_user(1, rng=0)
+        ds = generate_user_windows(
+            user, activities=["walk", "still"], windows_per_activity=7, rng=1
+        )
+        assert ds.class_counts() == {"walk": 7, "still": 7}
+
+    def test_window_shape(self):
+        user = sample_user(1, rng=0)
+        ds = generate_user_windows(
+            user, activities=["walk"], windows_per_activity=3, rng=1
+        )
+        assert ds.windows.shape == (3, 120, 22)
+
+    def test_user_ids_recorded(self):
+        user = sample_user(42, rng=0)
+        ds = generate_user_windows(
+            user, activities=["walk"], windows_per_activity=2, rng=1
+        )
+        assert np.all(ds.user_ids == 42)
+
+    def test_zero_windows_rejected(self):
+        user = sample_user(1, rng=0)
+        with pytest.raises(ConfigurationError):
+            generate_user_windows(
+                user, activities=["walk"], windows_per_activity=0, rng=1
+            )
+
+    def test_large_request_spans_sessions(self):
+        # More than one 30-window session bout.
+        user = sample_user(1, rng=0)
+        ds = generate_user_windows(
+            user, activities=["still"], windows_per_activity=65, rng=1
+        )
+        assert ds.class_counts()["still"] == 65
+
+
+class TestGenerateCampaign:
+    def test_default_activities_are_base_five(self, tiny_campaign):
+        assert tiny_campaign.class_names == tuple(BASE_ACTIVITIES)
+
+    def test_balanced_across_classes(self, tiny_campaign):
+        counts = set(tiny_campaign.class_counts().values())
+        assert len(counts) == 1
+
+    def test_user_count(self, tiny_campaign):
+        assert len(np.unique(tiny_campaign.user_ids)) == 3
+
+    def test_deterministic(self):
+        a = generate_campaign(n_users=2, windows_per_user_per_activity=3, rng=9)
+        b = generate_campaign(n_users=2, windows_per_user_per_activity=3, rng=9)
+        assert np.allclose(a.windows, b.windows)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_zero_users_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_campaign(n_users=0)
+
+
+class TestRawDataset:
+    def test_subset_by_mask(self, tiny_campaign):
+        mask = tiny_campaign.labels == 0
+        sub = tiny_campaign.subset(mask)
+        assert sub.n_windows == int(mask.sum())
+        assert np.all(sub.labels == 0)
+
+    def test_for_user(self, tiny_campaign):
+        uid = int(tiny_campaign.user_ids[0])
+        sub = tiny_campaign.for_user(uid)
+        assert np.all(sub.user_ids == uid)
+        assert sub.n_windows > 0
+
+    def test_label_of(self, tiny_campaign):
+        assert tiny_campaign.label_of("drive") == 0
+        with pytest.raises(ValueError):
+            tiny_campaign.label_of("bogus")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RawDataset(
+                windows=np.zeros((3, 10, 22)),
+                labels=np.zeros(2, dtype=np.int64),
+                user_ids=np.zeros(3, dtype=np.int64),
+                class_names=("a",),
+            )
+
+    def test_concatenate(self, tiny_campaign):
+        both = concatenate_datasets([tiny_campaign, tiny_campaign])
+        assert both.n_windows == 2 * tiny_campaign.n_windows
+
+    def test_concatenate_mismatched_classes_rejected(self, tiny_campaign):
+        other = RawDataset(
+            windows=np.zeros((1, 120, 22)),
+            labels=np.zeros(1, dtype=np.int64),
+            user_ids=np.zeros(1, dtype=np.int64),
+            class_names=("other",),
+        )
+        with pytest.raises(ConfigurationError):
+            concatenate_datasets([tiny_campaign, other])
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            concatenate_datasets([])

@@ -1,0 +1,97 @@
+"""Unit tests for user style profiles."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sensors import (
+    AVERAGE_USER,
+    UserProfile,
+    atypical_user,
+    sample_population,
+    sample_user,
+)
+
+
+class TestUserProfile:
+    def test_average_user_is_identity(self):
+        assert AVERAGE_USER.freq_scale == 1.0
+        assert AVERAGE_USER.amp_scale == 1.0
+        assert AVERAGE_USER.deviation() == 0.0
+
+    def test_axis_mix_is_rotation(self):
+        user = UserProfile(user_id=1, axis_angles=(0.3, -0.2, 0.1))
+        mix = user.axis_mix
+        assert np.allclose(mix @ mix.T, np.eye(3), atol=1e-10)
+        assert np.linalg.det(mix) == pytest.approx(1.0)
+
+    def test_average_axis_mix_is_identity(self):
+        assert np.allclose(AVERAGE_USER.axis_mix, np.eye(3))
+
+    def test_invalid_scales_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UserProfile(user_id=1, freq_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            UserProfile(user_id=1, amp_scale=-1.0)
+        with pytest.raises(ConfigurationError):
+            UserProfile(user_id=1, noise_scale=-0.5)
+
+    def test_deviation_grows_with_style(self):
+        mild = UserProfile(user_id=1, freq_scale=1.05)
+        wild = UserProfile(user_id=2, freq_scale=1.6, amp_scale=0.5)
+        assert wild.deviation() > mild.deviation()
+
+
+class TestSampling:
+    def test_sample_user_deterministic(self):
+        a = sample_user(3, rng=9)
+        b = sample_user(3, rng=9)
+        assert a == b
+
+    def test_sample_user_near_population_mean(self):
+        users = [sample_user(i, rng=i) for i in range(50)]
+        mean_freq = np.mean([u.freq_scale for u in users])
+        assert mean_freq == pytest.approx(1.0, abs=0.1)
+
+    def test_spread_zero_gives_average_motion_scales(self):
+        user = sample_user(1, rng=0, spread=0.0)
+        assert user.freq_scale == pytest.approx(1.0)
+        assert user.amp_scale == pytest.approx(1.0)
+
+    def test_negative_spread_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_user(1, rng=0, spread=-0.1)
+
+    def test_population_ids_sequential(self):
+        users = sample_population(4, rng=2, first_id=10)
+        assert [u.user_id for u in users] == [10, 11, 12, 13]
+
+    def test_population_users_differ(self):
+        users = sample_population(5, rng=2)
+        freqs = [u.freq_scale for u in users]
+        assert len(set(freqs)) == len(freqs)
+
+    def test_empty_population(self):
+        assert sample_population(0, rng=1) == []
+
+    def test_negative_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_population(-1, rng=1)
+
+
+class TestAtypicalUser:
+    def test_more_deviant_than_population(self):
+        population = sample_population(20, rng=3)
+        outlier = atypical_user(99, rng=4)
+        pop_max = max(u.deviation() for u in population)
+        assert outlier.deviation() > pop_max
+
+    def test_cadence_and_vigor_deviate_in_opposite_directions(self):
+        # The construction biases freq up & amp down (or vice versa), which
+        # guarantees the user differs from the mean in motion character.
+        user = atypical_user(99, rng=5)
+        assert (user.freq_scale - 1.0) * (user.amp_scale - 1.0) < 0
+
+    def test_severity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            atypical_user(1, rng=0, severity=0.0)

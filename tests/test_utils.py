@@ -1,0 +1,148 @@
+"""Unit tests for repro.utils."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataShapeError
+from repro.utils import (
+    Timer,
+    check_1d,
+    check_2d,
+    check_labels,
+    ensure_rng,
+    format_bytes,
+    sizeof_array_bytes,
+    spawn_rng,
+)
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=5)
+        b = ensure_rng(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(10)
+        b = ensure_rng(2).random(10)
+        assert not np.allclose(a, b)
+
+
+class TestSpawnRng:
+    def test_child_is_independent_object(self):
+        parent = ensure_rng(7)
+        child = spawn_rng(parent)
+        assert child is not parent
+
+    def test_children_are_deterministic_given_parent_seed(self):
+        a = spawn_rng(ensure_rng(7)).random(4)
+        b = spawn_rng(ensure_rng(7)).random(4)
+        assert np.allclose(a, b)
+
+    def test_successive_children_differ(self):
+        parent = ensure_rng(7)
+        a = spawn_rng(parent).random(4)
+        b = spawn_rng(parent).random(4)
+        assert not np.allclose(a, b)
+
+
+class TestCheck2d:
+    def test_accepts_2d(self):
+        out = check_2d("x", [[1.0, 2.0], [3.0, 4.0]])
+        assert out.shape == (2, 2)
+        assert out.dtype == np.float64
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataShapeError, match="must be 2-D"):
+            check_2d("x", np.zeros(3))
+
+    def test_rejects_3d(self):
+        with pytest.raises(DataShapeError):
+            check_2d("x", np.zeros((2, 2, 2)))
+
+    def test_column_count_enforced(self):
+        with pytest.raises(DataShapeError, match="columns"):
+            check_2d("x", np.zeros((2, 3)), n_cols=4)
+
+    def test_column_count_satisfied(self):
+        assert check_2d("x", np.zeros((2, 3)), n_cols=3).shape == (2, 3)
+
+
+class TestCheck1d:
+    def test_accepts_1d(self):
+        assert check_1d("v", np.arange(4)).shape == (4,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(DataShapeError):
+            check_1d("v", np.zeros((2, 2)))
+
+    def test_length_enforced(self):
+        with pytest.raises(DataShapeError, match="length"):
+            check_1d("v", np.arange(4), length=5)
+
+
+class TestCheckLabels:
+    def test_int_labels_pass(self):
+        out = check_labels("y", [0, 1, 2])
+        assert out.dtype == np.int64
+
+    def test_integral_floats_cast(self):
+        out = check_labels("y", np.array([0.0, 1.0, 2.0]))
+        assert out.dtype == np.int64
+
+    def test_fractional_floats_rejected(self):
+        with pytest.raises(DataShapeError, match="integer"):
+            check_labels("y", np.array([0.5, 1.0]))
+
+    def test_length_enforced(self):
+        with pytest.raises(DataShapeError):
+            check_labels("y", [0, 1], n=3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(DataShapeError):
+            check_labels("y", np.zeros((2, 2), dtype=int))
+
+
+class TestTimer:
+    def test_measures_positive_time(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed_s >= 0.0
+        assert t.elapsed_ms == pytest.approx(t.elapsed_s * 1000.0)
+
+
+class TestSizeof:
+    def test_float32_default(self):
+        assert sizeof_array_bytes(np.zeros((10, 4))) == 10 * 4 * 4
+
+    def test_float64(self):
+        assert sizeof_array_bytes(np.zeros((10, 4)), dtype=np.float64) == 320
+
+    def test_paper_support_set_size(self):
+        # Paper: 200 observations/class (80 features) in 32-bit is ~0.5 MB
+        # for the five classes together... verify our accounting's order of
+        # magnitude: 200 x 80 x 4 B = 64 kB per class, 320 kB for five.
+        per_class = sizeof_array_bytes(np.zeros((200, 80)))
+        assert per_class == 64000
+        assert 5 * per_class < 0.5 * 1024 * 1024
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512.00 B"
+
+    def test_kilobytes(self):
+        assert format_bytes(2048) == "2.00 KB"
+
+    def test_megabytes(self):
+        assert format_bytes(5 * 1024 * 1024) == "5.00 MB"
+
+    def test_gigabytes_cap(self):
+        assert "GB" in format_bytes(3 * 1024**3)
