@@ -8,18 +8,31 @@ learning of new activities with a contrastive + distillation objective.
 
 Quickstart::
 
-    from repro import MagnetoPlatform
+    from repro import FleetServer, MagnetoPlatform
 
     platform = MagnetoPlatform(rng=7)
     edge, report = platform.initialize(n_users=6,
                                        windows_per_user_per_activity=30)
-    result = edge.infer_window(window)            # millisecond inference
+
+    # The canonical inference entry point is the batched engine: one
+    # fused denoise -> features -> normalize -> embed -> NCM pass over
+    # (k, window_len, channels) arrays.
+    batch = edge.engine.infer_windows(windows)    # k verdicts, one pass
+    batch.names, batch.confidences, batch.distances
+
+    result = edge.infer_window(window)            # single-window wrapper
     edge.learn_activity("gesture_hi", recording)  # on-device learning
+
+    # Serve thousands of simulated devices through shared batched calls:
+    server = FleetServer(edge.engine)
+    server.connect_many(["alice", "bob"])
+    verdicts = server.step({"alice": window_a, "bob": window_b})
 
 Subpackages:
 
 - :mod:`repro.core` — the paper's contribution (platform, privacy,
-  incremental learning, NCM, support set, transfer package),
+  incremental learning, NCM, support set, transfer package) plus the
+  batched :class:`~repro.core.engine.InferenceEngine` / fleet server,
 - :mod:`repro.nn` — numpy neural substrate (Siamese net, losses, optim),
 - :mod:`repro.sensors` — synthetic 22-channel sensor campaign,
 - :mod:`repro.preprocessing` — denoise/segment/normalize/80 features,
@@ -29,15 +42,20 @@ Subpackages:
 """
 
 from .core import (
+    BatchInference,
     CloudConfig,
     CloudInitializer,
     EdgeDevice,
+    EdgeSession,
+    FleetServer,
     IncrementalConfig,
+    InferenceEngine,
     InferenceResult,
     MagnetoPlatform,
     NCMClassifier,
     NetworkLink,
     PrivacyGuard,
+    SessionVerdict,
     SupportSet,
     TransferPackage,
 )
@@ -55,12 +73,16 @@ from .exceptions import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchInference",
     "CloudConfig",
     "CloudInitializer",
     "ConfigurationError",
     "DataShapeError",
     "EdgeDevice",
+    "EdgeSession",
+    "FleetServer",
     "IncrementalConfig",
+    "InferenceEngine",
     "InferenceResult",
     "MagnetoError",
     "MagnetoPlatform",
@@ -71,6 +93,7 @@ __all__ = [
     "PrivacyViolationError",
     "ResourceExceededError",
     "SerializationError",
+    "SessionVerdict",
     "SupportSet",
     "TransferPackage",
     "UnknownActivityError",

@@ -1,11 +1,12 @@
 """Command-line interface for the MAGNETO reproduction.
 
-Four subcommands cover the platform lifecycle without writing any Python:
+Five subcommands cover the platform lifecycle without writing any Python:
 
 ``pretrain``   run the Cloud offline step and save a transfer package
 ``inspect``    print a saved package's footprint and classes
 ``infer``      simulate a user performing an activity and classify it
 ``demo``       run the full Figure-3 demonstration scenario
+``fleet``      serve many simulated devices through the batched engine
 
 Examples::
 
@@ -13,6 +14,7 @@ Examples::
     python -m repro inspect package.npz
     python -m repro infer package.npz --activity walk --seconds 5
     python -m repro demo package.npz --new-activity gesture_hi
+    python -m repro fleet package.npz --sessions 50 --ticks 10
 """
 
 from __future__ import annotations
@@ -23,10 +25,21 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from .core import CloudConfig, CloudInitializer, EdgeDevice, TransferPackage
+from .core import (
+    CloudConfig,
+    CloudInitializer,
+    EdgeDevice,
+    FleetServer,
+    TransferPackage,
+)
 from .edge_runtime import MagnetoApp, render_prediction, render_session
 from .nn import TrainConfig
-from .sensors import SensorDevice, list_activities, sample_user
+from .sensors import (
+    DEFAULT_SAMPLING_HZ,
+    SensorDevice,
+    list_activities,
+    sample_user,
+)
 from .utils import format_bytes
 
 
@@ -78,6 +91,20 @@ def _add_demo(subparsers) -> None:
     cmd.add_argument("--seed", type=int, default=11)
 
 
+def _add_fleet(subparsers) -> None:
+    cmd = subparsers.add_parser(
+        "fleet",
+        help="serve a fleet of simulated devices through the batched engine",
+    )
+    cmd.add_argument("package", help="path to a saved .npz package")
+    cmd.add_argument("--sessions", type=int, default=25,
+                     help="concurrent simulated devices (default 25)")
+    cmd.add_argument("--ticks", type=int, default=5,
+                     help="serving rounds, one window per session each "
+                          "(default 5)")
+    cmd.add_argument("--seed", type=int, default=11, help="simulation seed")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -88,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_inspect(subparsers)
     _add_infer(subparsers)
     _add_demo(subparsers)
+    _add_fleet(subparsers)
     return parser
 
 
@@ -168,11 +196,59 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    """Serve ``--sessions`` simulated devices for ``--ticks`` rounds.
+
+    Every round records one fresh window per device and classifies the
+    whole fleet in a single batched engine pass — the FleetServer
+    demonstration of the engine's throughput story.
+    """
+    package = TransferPackage.load(args.package)
+    edge = EdgeDevice(rng=args.seed)
+    edge.install(package)
+    server = FleetServer(edge.engine)
+
+    activities = list(edge.classes)
+    window_s = edge.pipeline.window_len / DEFAULT_SAMPLING_HZ
+    phones = {}
+    performed = {}
+    for i in range(args.sessions):
+        session_id = f"device-{i:04d}"
+        server.connect(session_id)
+        user = sample_user(user_id=i, rng=args.seed + i)
+        phones[session_id] = SensorDevice(user=user, rng=args.seed + i)
+        performed[session_id] = activities[i % len(activities)]
+
+    correct = 0
+    for _ in range(args.ticks):
+        windows = {
+            session_id: phones[session_id].record(
+                performed[session_id], window_s
+            ).data[: edge.pipeline.window_len]
+            for session_id in phones
+        }
+        verdicts = server.step(windows)
+        correct += sum(
+            verdicts[sid].display == performed[sid] for sid in verdicts
+        )
+
+    summary = server.summary()
+    total = int(summary["windows_served"])
+    print(f"served {total} windows across {args.sessions} sessions "
+          f"in {args.ticks} ticks")
+    print(f"engine throughput: {summary['windows_per_sec']:.0f} windows/s "
+          f"({summary['serve_ms']:.1f} ms total inference)")
+    accuracy = correct / total if total else 0.0
+    print(f"smoothed fleet accuracy: {accuracy * 100:.0f}%")
+    return 0 if accuracy >= 0.5 else 1
+
+
 _COMMANDS = {
     "pretrain": _cmd_pretrain,
     "inspect": _cmd_inspect,
     "infer": _cmd_infer,
     "demo": _cmd_demo,
+    "fleet": _cmd_fleet,
 }
 
 

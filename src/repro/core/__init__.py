@@ -8,6 +8,13 @@ set, and Edge-side incremental learning / calibration.
 from .cloud import CloudConfig, CloudInitializer, PretrainReport
 from .drift import DriftMonitor
 from .edge import EdgeDevice, InferenceResult
+from .engine import (
+    BatchInference,
+    EdgeSession,
+    FleetServer,
+    InferenceEngine,
+    SessionVerdict,
+)
 from .incremental import (
     IncrementalConfig,
     IncrementalLearner,
@@ -35,15 +42,19 @@ from .support_set import SELECTION_STRATEGIES, SupportSet, herding_selection
 from .transfer import TransferPackage
 
 __all__ = [
+    "BatchInference",
     "CLOUD_TO_EDGE",
     "CloudConfig",
     "CloudInitializer",
     "DriftMonitor",
     "EDGE_TO_CLOUD",
     "EdgeDevice",
+    "EdgeSession",
+    "FleetServer",
     "HysteresisSmoother",
     "IncrementalConfig",
     "IncrementalLearner",
+    "InferenceEngine",
     "InferenceResult",
     "MagnetoPlatform",
     "MajorityVoteSmoother",
@@ -54,6 +65,7 @@ __all__ = [
     "PrivacyGuard",
     "ProvisioningReport",
     "SELECTION_STRATEGIES",
+    "SessionVerdict",
     "SupportSet",
     "TransferPackage",
     "TransferRecord",

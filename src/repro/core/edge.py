@@ -22,7 +22,8 @@ import numpy as np
 
 from ..exceptions import DataShapeError, NotFittedError
 from ..sensors.device import Recording
-from ..utils import RngLike, Timer, check_2d, ensure_rng
+from ..utils import RngLike, check_2d, ensure_rng
+from .engine import BatchInference, InferenceEngine
 from .incremental import IncrementalConfig, IncrementalLearner, UpdateResult
 from .ncm import NCMClassifier
 from .privacy import CLOUD_TO_EDGE, EDGE_TO_CLOUD, NetworkLink, PrivacyGuard
@@ -59,6 +60,7 @@ class EdgeDevice:
         self.embedder = None
         self.support_set = None
         self.ncm: Optional[NCMClassifier] = None
+        self.engine: Optional[InferenceEngine] = None
         self._install_ms: Optional[float] = None
 
     # ------------------------------------------------------------------ #
@@ -103,6 +105,18 @@ class EdgeDevice:
         self.ncm = NCMClassifier().fit_from_support_set(
             self.embedder, self.support_set
         )
+        if self.engine is None:
+            self.engine = InferenceEngine(
+                self.embedder, self.ncm, pipeline=self.pipeline
+            )
+        else:
+            # The device keeps ONE engine for its lifetime so external
+            # holders (a FleetServer serving this device's model) observe
+            # incremental updates; rebinding the fresh NCM invalidates the
+            # engine's prototype-norm cache via the identity check.
+            self.engine.embedder = self.embedder
+            self.engine.pipeline = self.pipeline
+            self.engine.classifier = self.ncm
 
     @property
     def classes(self) -> Tuple[str, ...]:
@@ -119,34 +133,37 @@ class EdgeDevice:
         return self.pipeline.process_recording(recording)
 
     def infer_window(self, window: np.ndarray) -> InferenceResult:
-        """Classify one raw window; reports wall-clock latency (E1)."""
+        """Classify one raw window; reports wall-clock latency (E1).
+
+        A thin wrapper over the batched engine: one fused pass computes
+        the distance row once and derives the softmax confidence from it
+        (no second distance computation).
+        """
         self._require_ready()
         arr = np.asarray(window, dtype=np.float64)
         if arr.ndim != 2:
             raise DataShapeError(
                 f"window must be 2-D (samples, channels), got {arr.shape}"
             )
-        with Timer() as timer:
-            features = self.pipeline.process_window(arr)
-            embedding = self.embedder.embed(features[None, :])
-            distances = self.ncm.distances(embedding)[0]
-            proba = self.ncm.predict_proba(embedding)[0]
-            winner = int(np.argmin(distances))
+        batch = self.engine.infer_windows(arr[None, :, :])
+        winner = int(batch.nearest[0])
         return InferenceResult(
             activity=self.ncm.class_names_[winner],
-            confidence=float(proba[winner]),
-            latency_ms=timer.elapsed_ms,
-            distances={
-                name: float(d)
-                for name, d in zip(self.ncm.class_names_, distances)
-            },
+            confidence=float(batch.confidences[0]),
+            latency_ms=batch.latency_ms,
+            distances=batch.distances_of(0),
         )
+
+    def infer_windows(self, windows: np.ndarray) -> BatchInference:
+        """Classify a batch of raw windows in one vectorized engine pass."""
+        self._require_ready()
+        return self.engine.infer_windows(windows)
 
     def infer_features(self, features: np.ndarray) -> np.ndarray:
         """Classify pre-processed feature rows; returns integer labels."""
         self._require_ready()
         arr = check_2d("features", features)
-        return self.ncm.predict(self.embedder.embed(arr))
+        return self.engine.predict_features(arr)
 
     def infer_recording(self, recording: Recording) -> Tuple[str, List[str]]:
         """Classify every window of a recording; majority-vote the verdict."""

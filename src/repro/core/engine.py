@@ -1,0 +1,433 @@
+"""The batched inference engine: one vectorized window->verdict path.
+
+Every layer of the reproduction used to re-implement the same hot path —
+``EdgeDevice.infer_window`` for the GUI, ``IncrementalStrategy.classify``
+for the evaluation protocol, the benchmarks with their own pipeline/NCM
+plumbing.  :class:`InferenceEngine` is the single shared implementation:
+
+    denoise -> features -> normalize -> embed -> NCM distance
+            -> open-set rejection -> (optional per-session smoothing)
+
+fused into one vectorized pass over ``(k, window_len, channels)`` arrays.
+Distances use the Gram trick ``d^2 = |x|^2 - 2 x.p + |p|^2`` with the
+prototype squared-norms cached; the cache is keyed on the prototype array's
+identity, so it invalidates automatically whenever the classifier is
+re-fitted after a support-set rebuild.
+
+On top of the engine, :class:`FleetServer` multiplexes many
+:class:`EdgeSession`\\ s — per-user temporal-smoothing and rejection state —
+through shared batched engine calls, simulating thousands of concurrent
+devices served by one model at the cost of one forward pass per tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DataShapeError, NotFittedError
+from ..utils import Timer, check_2d, check_3d
+from .ncm import NCMClassifier
+from .openset import UNKNOWN_LABEL, UNKNOWN_NAME, OpenSetNCM, accept_from_distances
+from .smoothing import HysteresisSmoother
+
+
+@dataclass(frozen=True)
+class BatchInference:
+    """The vectorized verdict of one engine call over ``k`` windows.
+
+    All arrays are indexed by window; ``labels[i]`` is
+    :data:`~repro.core.openset.UNKNOWN_LABEL` where window ``i`` was
+    rejected by the open-set tests (closed-set engines accept everything,
+    so there ``labels`` equals ``nearest``).
+    """
+
+    class_names: Tuple[str, ...]
+    labels: np.ndarray  # (k,) int64, UNKNOWN_LABEL where rejected
+    nearest: np.ndarray  # (k,) int64 nearest prototype, rejection ignored
+    confidences: np.ndarray  # (k,) softmax probability of the nearest class
+    distances: np.ndarray  # (k, n_classes)
+    proba: np.ndarray  # (k, n_classes)
+    accepted: np.ndarray  # (k,) bool
+    latency_ms: float  # wall-clock of the whole batch
+
+    def __len__(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def names(self) -> List[str]:
+        """Per-window class names, :data:`UNKNOWN_NAME` where rejected."""
+        return [
+            UNKNOWN_NAME if label == UNKNOWN_LABEL else self.class_names[label]
+            for label in self.labels
+        ]
+
+    def distances_of(self, i: int) -> Dict[str, float]:
+        """Window ``i``'s distance to every prototype, keyed by class name."""
+        return {
+            name: float(d)
+            for name, d in zip(self.class_names, self.distances[i])
+        }
+
+
+class InferenceEngine:
+    """Batched, allocation-lean inference shared by every serving layer.
+
+    Parameters
+    ----------
+    embedder:
+        The Siamese embedder mapping feature rows to embeddings.
+    classifier:
+        Either a fitted :class:`~repro.core.ncm.NCMClassifier` (closed-set:
+        every window is assigned its nearest prototype) or a fitted
+        :class:`~repro.core.openset.OpenSetNCM` (windows beyond the
+        calibrated radii are labeled unknown).
+    pipeline:
+        The preprocessing pipeline; optional — engines built for
+        feature-level evaluation (the protocol runner) omit it, in which
+        case only the ``*_features``/``*_embeddings`` entry points work.
+    temperature:
+        Softmax temperature of the confidence proxy.
+    """
+
+    def __init__(
+        self,
+        embedder,
+        classifier: Union[NCMClassifier, OpenSetNCM],
+        pipeline=None,
+        temperature: float = 1.0,
+    ) -> None:
+        if temperature <= 0:
+            raise ConfigurationError(
+                f"temperature must be > 0, got {temperature}"
+            )
+        self.embedder = embedder
+        self.classifier = classifier
+        self.pipeline = pipeline
+        self.temperature = float(temperature)
+        # Prototype squared-norm cache, keyed on the prototype array object:
+        # NCM fits always assign a fresh array, so identity comparison
+        # invalidates the cache on every support-set rebuild.
+        self._cached_protos: Optional[np.ndarray] = None
+        self._cached_sq_norms: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # classifier plumbing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def open_set(self) -> Optional[OpenSetNCM]:
+        """The open-set wrapper when rejection is active, else ``None``."""
+        if isinstance(self.classifier, OpenSetNCM):
+            return self.classifier
+        return None
+
+    @property
+    def ncm(self) -> NCMClassifier:
+        """The underlying prototype classifier."""
+        open_set = self.open_set
+        ncm = open_set.ncm if open_set is not None else self.classifier
+        if ncm is None or not ncm.is_fitted:
+            raise NotFittedError("engine classifier is not fitted")
+        return ncm
+
+    @property
+    def class_names(self) -> Tuple[str, ...]:
+        return self.ncm.class_names_
+
+    def refresh(self) -> None:
+        """Drop the prototype-norm cache explicitly.
+
+        Normally unnecessary — re-fitting the classifier replaces the
+        prototype array and the identity check invalidates the cache —
+        but exposed for callers that mutate ``prototypes_`` in place.
+        """
+        self._cached_protos = None
+        self._cached_sq_norms = None
+
+    def _prototype_norms(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The prototype matrix with its cached squared norms."""
+        protos = self.ncm.prototypes_
+        if protos is not self._cached_protos:
+            self._cached_protos = protos
+            self._cached_sq_norms = np.einsum("ij,ij->i", protos, protos)
+        return self._cached_protos, self._cached_sq_norms
+
+    # ------------------------------------------------------------------ #
+    # the fused batch stages
+    # ------------------------------------------------------------------ #
+
+    def distances_from_embeddings(self, embeddings: np.ndarray) -> np.ndarray:
+        """Euclidean distances ``(k, n_classes)`` via the Gram trick."""
+        protos, proto_sq = self._prototype_norms()
+        emb = check_2d("embeddings", embeddings, n_cols=protos.shape[1])
+        emb_sq = np.einsum("ij,ij->i", emb, emb)
+        d2 = emb_sq[:, None] - 2.0 * (emb @ protos.T) + proto_sq[None, :]
+        np.maximum(d2, 0.0, out=d2)  # clamp tiny negatives from cancellation
+        return np.sqrt(d2, out=d2)
+
+    def _verdicts(self, dists: np.ndarray):
+        """argmin / softmax / open-set accept, all from one distance matrix."""
+        k = dists.shape[0]
+        nearest = np.argmin(dists, axis=1).astype(np.int64)
+        proba = NCMClassifier.proba_from_distances(
+            dists, temperature=self.temperature
+        )
+        confidences = proba[np.arange(k), nearest]
+        open_set = self.open_set
+        if open_set is not None:
+            accepted = accept_from_distances(
+                dists, open_set.thresholds_, open_set.ratio, nearest=nearest
+            )
+            labels = np.where(accepted, nearest, UNKNOWN_LABEL).astype(np.int64)
+        else:
+            accepted = np.ones(k, dtype=bool)
+            labels = nearest
+        return labels, nearest, confidences, proba, accepted
+
+    def _assemble(self, dists: np.ndarray, timer: Timer) -> BatchInference:
+        labels, nearest, confidences, proba, accepted = self._verdicts(dists)
+        timer.__exit__()
+        return BatchInference(
+            class_names=self.class_names,
+            labels=labels,
+            nearest=nearest,
+            confidences=confidences,
+            distances=dists,
+            proba=proba,
+            accepted=accepted,
+            latency_ms=timer.elapsed_ms,
+        )
+
+    # ------------------------------------------------------------------ #
+    # entry points
+    # ------------------------------------------------------------------ #
+
+    def infer_windows(self, windows: np.ndarray) -> BatchInference:
+        """Raw windows ``(k, window_len, channels)`` -> batch verdicts.
+
+        The canonical inference entry point: one fused vectorized pass
+        through denoise, features, normalize, embed, distances, rejection.
+        """
+        if self.pipeline is None:
+            raise ConfigurationError(
+                "engine has no pipeline; construct with pipeline= to infer "
+                "raw windows, or use infer_features()"
+            )
+        arr = check_3d("windows", windows)
+        timer = Timer().__enter__()
+        features = self.pipeline.process_windows(arr)
+        embeddings = self.embedder.embed(features)
+        dists = self.distances_from_embeddings(embeddings)
+        return self._assemble(dists, timer)
+
+    def infer_features(self, features: np.ndarray) -> BatchInference:
+        """Normalized feature rows ``(k, d)`` -> batch verdicts."""
+        arr = check_2d("features", features)
+        timer = Timer().__enter__()
+        embeddings = self.embedder.embed(arr)
+        dists = self.distances_from_embeddings(embeddings)
+        return self._assemble(dists, timer)
+
+    def infer_embeddings(self, embeddings: np.ndarray) -> BatchInference:
+        """Pre-embedded rows ``(k, dim)`` -> batch verdicts."""
+        timer = Timer().__enter__()
+        dists = self.distances_from_embeddings(embeddings)
+        return self._assemble(dists, timer)
+
+    def predict_features(self, features: np.ndarray) -> np.ndarray:
+        """Integer labels of feature rows (the protocol runner's path)."""
+        return self.infer_features(features).labels
+
+
+# ---------------------------------------------------------------------- #
+# fleet serving
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SessionVerdict:
+    """One session's verdict for one served window."""
+
+    session_id: str
+    activity: str  # raw engine verdict (may be UNKNOWN_NAME)
+    display: str  # temporally smoothed verdict shown to the user
+    confidence: float
+    accepted: bool
+
+
+class EdgeSession:
+    """Per-user serving state: identity, smoother, counters.
+
+    The engine itself is stateless across calls; everything a simulated
+    device accumulates over time (the debounced display verdict, rejection
+    counts) lives here.
+    """
+
+    def __init__(self, session_id: str, smoother=None) -> None:
+        self.session_id = str(session_id)
+        self.smoother = smoother
+        self.windows_seen = 0
+        self.rejected_windows = 0
+        self.last_verdict: Optional[SessionVerdict] = None
+
+    def observe(
+        self, activity: str, confidence: float, accepted: bool
+    ) -> SessionVerdict:
+        """Fold one engine verdict into the session's smoothed state."""
+        self.windows_seen += 1
+        if not accepted:
+            self.rejected_windows += 1
+        display = (
+            self.smoother.update(activity)
+            if self.smoother is not None
+            else activity
+        )
+        verdict = SessionVerdict(
+            session_id=self.session_id,
+            activity=activity,
+            display=display,
+            confidence=float(confidence),
+            accepted=bool(accepted),
+        )
+        self.last_verdict = verdict
+        return verdict
+
+    def reset(self) -> None:
+        if self.smoother is not None:
+            self.smoother.reset()
+        self.windows_seen = 0
+        self.rejected_windows = 0
+        self.last_verdict = None
+
+
+class FleetServer:
+    """Serve a fleet of edge sessions through shared batched engine calls.
+
+    Each :meth:`step` gathers at most one raw window per connected session,
+    stacks them into a single ``(k, window_len, channels)`` batch, runs one
+    fused engine pass, and demultiplexes the verdicts back through each
+    session's temporal smoother — the serving pattern that lets one model
+    instance shadow thousands of simulated devices.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        smoother_factory: Optional[Callable[[], object]] = HysteresisSmoother,
+    ) -> None:
+        if engine.pipeline is None:
+            raise ConfigurationError(
+                "FleetServer needs an engine with a pipeline (raw windows in)"
+            )
+        self.engine = engine
+        self.smoother_factory = smoother_factory
+        self.sessions: Dict[str, EdgeSession] = {}
+        self.ticks = 0
+        self.windows_served = 0
+        self.windows_rejected = 0
+        self.serve_ms = 0.0
+
+    # ------------------------------------------------------------------ #
+    # session management
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self.sessions)
+
+    def connect(self, session_id: str) -> EdgeSession:
+        """Register a new device session; ids must be unique."""
+        key = str(session_id)
+        if key in self.sessions:
+            raise ConfigurationError(f"session {key!r} already connected")
+        smoother = (
+            self.smoother_factory() if self.smoother_factory is not None else None
+        )
+        session = EdgeSession(key, smoother=smoother)
+        self.sessions[key] = session
+        return session
+
+    def connect_many(self, session_ids) -> List[EdgeSession]:
+        return [self.connect(session_id) for session_id in session_ids]
+
+    def disconnect(self, session_id: str) -> None:
+        try:
+            del self.sessions[str(session_id)]
+        except KeyError:
+            raise ConfigurationError(
+                f"session {session_id!r} is not connected"
+            ) from None
+
+    def session(self, session_id: str) -> EdgeSession:
+        try:
+            return self.sessions[str(session_id)]
+        except KeyError:
+            raise ConfigurationError(
+                f"session {session_id!r} is not connected"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+
+    def step(
+        self, windows_by_session: Mapping[str, np.ndarray]
+    ) -> Dict[str, SessionVerdict]:
+        """Serve one window per session through a single batched pass.
+
+        ``windows_by_session`` maps connected session ids to raw 2-D
+        windows; sessions absent from the mapping simply skip this tick.
+        Returns the per-session verdicts in input order.
+        """
+        if not windows_by_session:
+            return {}
+        ids: List[str] = []
+        stacked: List[np.ndarray] = []
+        for session_id, window in windows_by_session.items():
+            session = self.session(session_id)  # raises for unknown ids
+            arr = np.asarray(window, dtype=np.float64)
+            if arr.ndim != 2:
+                raise DataShapeError(
+                    f"session {session.session_id!r} window must be 2-D "
+                    f"(samples, channels), got {arr.shape}"
+                )
+            if stacked and arr.shape != stacked[0].shape:
+                raise DataShapeError(
+                    f"session {session.session_id!r} window shape {arr.shape} "
+                    f"differs from the batch shape {stacked[0].shape} "
+                    f"(session {ids[0]!r})"
+                )
+            ids.append(session.session_id)
+            stacked.append(arr)
+        batch = self.engine.infer_windows(np.stack(stacked, axis=0))
+        names = batch.names
+        verdicts: Dict[str, SessionVerdict] = {}
+        for i, session_id in enumerate(ids):
+            verdicts[session_id] = self.sessions[session_id].observe(
+                names[i], batch.confidences[i], batch.accepted[i]
+            )
+        self.ticks += 1
+        self.windows_served += len(batch)
+        self.windows_rejected += int(np.count_nonzero(~batch.accepted))
+        self.serve_ms += batch.latency_ms
+        return verdicts
+
+    def summary(self) -> Dict[str, float]:
+        """Fleet-level serving statistics."""
+        throughput = (
+            self.windows_served / (self.serve_ms / 1e3)
+            if self.serve_ms > 0
+            else 0.0
+        )
+        # Cumulative, like windows_served — survives disconnects and resets.
+        return {
+            "sessions": float(self.n_sessions),
+            "ticks": float(self.ticks),
+            "windows_served": float(self.windows_served),
+            "serve_ms": self.serve_ms,
+            "windows_per_sec": throughput,
+            "rejected_windows": float(self.windows_rejected),
+        }

@@ -100,18 +100,35 @@ class NCMClassifier:
         """Predicted class names."""
         return [self.class_names_[i] for i in self.predict(embeddings)]
 
+    @staticmethod
+    def proba_from_distances(
+        distances: np.ndarray, temperature: float = 1.0
+    ) -> np.ndarray:
+        """Softmax over negative distances for an already-computed ``(n, C)``
+        distance matrix.
+
+        This is the single softmax implementation shared by
+        :meth:`predict_proba` and the batched
+        :class:`~repro.core.engine.InferenceEngine`, so a caller that
+        already holds the distance row never recomputes distances just to
+        get confidences.
+        """
+        if temperature <= 0:
+            raise DataShapeError(f"temperature must be > 0, got {temperature}")
+        dists = check_2d("distances", distances)
+        logits = -dists / temperature
+        logits -= logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        return exp / exp.sum(axis=1, keepdims=True)
+
     def predict_proba(self, embeddings: np.ndarray, temperature: float = 1.0):
         """Softmax over negative distances — a confidence proxy for the GUI.
 
         Not calibrated probabilities; useful for display and thresholding.
         """
-        if temperature <= 0:
-            raise DataShapeError(f"temperature must be > 0, got {temperature}")
-        dists = self.distances(embeddings)
-        logits = -dists / temperature
-        logits -= logits.max(axis=1, keepdims=True)
-        exp = np.exp(logits)
-        return exp / exp.sum(axis=1, keepdims=True)
+        return self.proba_from_distances(
+            self.distances(embeddings), temperature=temperature
+        )
 
     def prototype_of(self, name: str) -> np.ndarray:
         """The prototype vector of class ``name``."""

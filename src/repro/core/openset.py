@@ -45,6 +45,40 @@ UNKNOWN_LABEL: int = -1
 UNKNOWN_NAME: str = "unknown"
 
 
+def accept_from_distances(
+    distances: np.ndarray,
+    thresholds: np.ndarray,
+    ratio: float,
+    nearest: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Vectorized radius + ratio acceptance over a ``(n, C)`` distance matrix.
+
+    The single implementation of the two open-set tests, shared by
+    :meth:`OpenSetNCM.predict` and the batched
+    :class:`~repro.core.engine.InferenceEngine` — both operate on a
+    distance matrix they already computed, so acceptance adds no extra
+    distance work.  Callers that already hold the per-row argmin pass it
+    as ``nearest`` to skip recomputing it.  Returns a boolean mask of
+    accepted rows.
+    """
+    dists = check_2d("distances", distances)
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+    if thresholds.shape != (dists.shape[1],):
+        raise ConfigurationError(
+            f"thresholds must have shape ({dists.shape[1]},), "
+            f"got {thresholds.shape}"
+        )
+    if nearest is None:
+        nearest = np.argmin(dists, axis=1)
+    nearest_dist = dists[np.arange(dists.shape[0]), nearest]
+    accepted = nearest_dist <= thresholds[nearest]
+    if ratio > 0.0 and dists.shape[1] >= 2:
+        ordered = np.sort(dists, axis=1)
+        second = np.maximum(ordered[:, 1], 1e-12)
+        accepted |= ordered[:, 0] <= ratio * second
+    return accepted
+
+
 class OpenSetNCM:
     """An NCM classifier with per-class rejection thresholds.
 
@@ -122,12 +156,9 @@ class OpenSetNCM:
         emb = check_2d("embeddings", embeddings)
         dists = self.ncm.distances(emb)
         nearest = np.argmin(dists, axis=1)
-        nearest_dist = dists[np.arange(emb.shape[0]), nearest]
-        accepted = nearest_dist <= self.thresholds_[nearest]
-        if self.ratio > 0.0 and dists.shape[1] >= 2:
-            ordered = np.sort(dists, axis=1)
-            second = np.maximum(ordered[:, 1], 1e-12)
-            accepted |= ordered[:, 0] <= self.ratio * second
+        accepted = accept_from_distances(
+            dists, self.thresholds_, self.ratio, nearest=nearest
+        )
         labels = np.where(accepted, nearest, UNKNOWN_LABEL)
         return labels.astype(np.int64)
 

@@ -17,6 +17,7 @@ from typing import Dict, List, Union
 import numpy as np
 
 from ..core.edge import EdgeDevice, InferenceResult
+from ..core.engine import BatchInference
 from ..core.incremental import UpdateResult
 from ..exceptions import NotFittedError, ResourceExceededError
 from ..sensors.device import Recording
@@ -87,6 +88,21 @@ class EdgeRuntime:
         self.stats.modeled_compute_ms += self.model.latency_ms(flops)
         self.stats.wall_clock_ms += result.latency_ms
         return result
+
+    def infer_windows(self, windows: np.ndarray) -> BatchInference:
+        """Batched inference through the shared engine, with every window
+        in the batch charged to the energy/latency budgets."""
+        if not self.edge.is_ready:
+            raise NotFittedError("edge device is not provisioned")
+        batch = self.edge.infer_windows(windows)
+        k = len(batch)
+        if k > 0:
+            flops = forward_flops(self.edge.embedder.network, batch_size=k)
+            self.stats.inferences += k
+            self.stats.compute_energy_joules += self.model.energy_joules(flops)
+            self.stats.modeled_compute_ms += self.model.latency_ms(flops)
+            self.stats.wall_clock_ms += batch.latency_ms
+        return batch
 
     def learn_activity(
         self, name: str, data: Union[Recording, np.ndarray]

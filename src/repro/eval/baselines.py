@@ -35,6 +35,7 @@ from ..nn.losses import softmax_cross_entropy
 from ..nn.network import Sequential, build_mlp
 from ..nn.optim import Adam
 from ..nn.siamese import SiameseEmbedder, SiameseTrainer, TrainConfig
+from ..core.engine import InferenceEngine
 from ..core.ncm import NCMClassifier
 from ..core.privacy import EDGE_TO_CLOUD, NetworkLink, PrivacyGuard
 from ..core.support_set import SupportSet
@@ -52,12 +53,32 @@ class IncrementalStrategy:
         self.embedder: Optional[SiameseEmbedder] = None
         self.support_set: Optional[SupportSet] = None
         self.ncm: Optional[NCMClassifier] = None
+        self._engine: Optional[InferenceEngine] = None
 
     def prepare(self, package: TransferPackage) -> None:
         """Take independent copies so strategies never share state."""
         self.embedder = package.embedder.clone()
         self.support_set = package.support_set.clone()
         self._rebuild()
+
+    @property
+    def engine(self) -> InferenceEngine:
+        """The batched engine over the *current* embedder + NCM.
+
+        Derived (and memoized) rather than stored, so a strategy that
+        reassigns ``self.ncm`` or ``self.embedder`` can never evaluate
+        through a stale engine.
+        """
+        if self.ncm is None:
+            raise NotFittedError(f"{self.name} strategy not prepared")
+        cached = self._engine
+        if (
+            cached is None
+            or cached.classifier is not self.ncm
+            or cached.embedder is not self.embedder
+        ):
+            self._engine = InferenceEngine(self.embedder, self.ncm)
+        return self._engine
 
     def _rebuild(self) -> None:
         self.ncm = NCMClassifier().fit_from_support_set(
@@ -71,9 +92,10 @@ class IncrementalStrategy:
         return self.ncm.class_names_
 
     def classify(self, features: np.ndarray) -> np.ndarray:
+        """Batched classification through the shared inference engine."""
         if self.ncm is None:
             raise NotFittedError(f"{self.name} strategy not prepared")
-        return self.ncm.predict(self.embedder.embed(check_2d("features", features)))
+        return self.engine.predict_features(check_2d("features", features))
 
     def add_class(self, name: str, features: np.ndarray) -> None:
         raise NotImplementedError

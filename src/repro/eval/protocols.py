@@ -48,6 +48,7 @@ class StepRecord:
     new_class_accuracy: float  # NaN for the base step
     per_class_accuracy: Dict[str, float]
     forgetting: float  # mean drop on pre-existing classes vs previous step
+    mean_confidence: float = float("nan")  # mean softmax confidence, engine path
 
 
 @dataclass
@@ -79,8 +80,13 @@ class ProtocolResult:
 def _evaluate(
     strategy: IncrementalStrategy,
     test_sets: Dict[str, np.ndarray],
-) -> Tuple[float, Dict[str, float]]:
-    """Overall + per-class accuracy of ``strategy`` on named test sets."""
+) -> Tuple[float, Dict[str, float], float]:
+    """Overall + per-class accuracy (and mean confidence) on named test sets.
+
+    The whole evaluation set is classified in one batched
+    :class:`~repro.core.engine.InferenceEngine` pass, which also yields
+    the softmax confidences without recomputing any distances.
+    """
     names = strategy.class_names
     features = []
     labels = []
@@ -93,8 +99,10 @@ def _evaluate(
         labels.append(np.full(feats.shape[0], names.index(name), dtype=np.int64))
     X = np.concatenate(features, axis=0)
     y = np.concatenate(labels)
-    pred = strategy.classify(X)
-    return accuracy(y, pred), accuracy_by_class_name(y, pred, names)
+    batch = strategy.engine.infer_features(X)
+    pred = batch.labels
+    mean_confidence = float(np.mean(batch.confidences)) if len(batch) else float("nan")
+    return accuracy(y, pred), accuracy_by_class_name(y, pred, names), mean_confidence
 
 
 def run_incremental_protocol(
@@ -125,7 +133,7 @@ def run_incremental_protocol(
     result = ProtocolResult(strategy=strategy.name)
     test_sets: Dict[str, np.ndarray] = dict(base_test_sets)
 
-    overall, per_class = _evaluate(strategy, test_sets)
+    overall, per_class, mean_confidence = _evaluate(strategy, test_sets)
     result.steps.append(
         StepRecord(
             step=0,
@@ -134,6 +142,7 @@ def run_incremental_protocol(
             new_class_accuracy=float("nan"),
             per_class_accuracy=per_class,
             forgetting=0.0,
+            mean_confidence=mean_confidence,
         )
     )
 
@@ -141,7 +150,7 @@ def run_incremental_protocol(
         previous_per_class = result.steps[-1].per_class_accuracy
         strategy.add_class(increment.name, increment.train_features)
         test_sets[increment.name] = increment.test_features
-        overall, per_class = _evaluate(strategy, test_sets)
+        overall, per_class, mean_confidence = _evaluate(strategy, test_sets)
         old_before = {
             name: acc
             for name, acc in previous_per_class.items()
@@ -159,6 +168,7 @@ def run_incremental_protocol(
                 new_class_accuracy=per_class.get(increment.name, float("nan")),
                 per_class_accuracy=per_class,
                 forgetting=average_forgetting(old_before, old_after),
+                mean_confidence=mean_confidence,
             )
         )
     return result

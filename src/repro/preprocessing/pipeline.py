@@ -24,6 +24,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..exceptions import ConfigurationError, NotFittedError, SerializationError
+from ..utils import check_3d
 from ..sensors.device import Recording
 from .denoise import ButterworthLowpass, IdentityFilter, denoiser_from_dict
 from .features import FeatureConfig, FeatureExtractor
@@ -137,9 +138,20 @@ class PreprocessingPipeline:
     # ------------------------------------------------------------------ #
 
     def raw_features_of_windows(self, windows: np.ndarray) -> np.ndarray:
-        """Denoise each window independently and extract *unnormalized* features."""
-        arr = np.asarray(windows, dtype=np.float64)
-        denoised = np.stack([self.denoiser.apply(w) for w in arr], axis=0)
+        """Denoise each window independently and extract *unnormalized* features.
+
+        Denoisers that support a batch axis (``apply_batch``) filter the
+        whole ``(k, window_len, channels)`` stack in one vectorized call;
+        others fall back to a per-window loop.
+        """
+        arr = check_3d("windows", windows)
+        batch_apply = getattr(self.denoiser, "apply_batch", None)
+        if batch_apply is not None:
+            denoised = batch_apply(arr)
+        elif arr.shape[0] == 0:
+            denoised = arr
+        else:
+            denoised = np.stack([self.denoiser.apply(w) for w in arr], axis=0)
         return self.extractor.extract(denoised)
 
     def fit_normalizer(self, windows: np.ndarray) -> "PreprocessingPipeline":

@@ -53,6 +53,20 @@ def check_2d(name: str, array: np.ndarray, n_cols: Optional[int] = None) -> np.n
     return arr
 
 
+def check_3d(name: str, array: np.ndarray) -> np.ndarray:
+    """Validate a 3-D ``(k, window_len, channels)`` window stack.
+
+    Returns the array as ``float64`` (no copy when already float64).
+    Raises :class:`DataShapeError` on mismatch.
+    """
+    arr = np.asarray(array, dtype=np.float64)
+    if arr.ndim != 3:
+        raise DataShapeError(
+            f"{name} must be 3-D (k, window_len, channels), got {arr.shape}"
+        )
+    return arr
+
+
 def check_1d(name: str, array: np.ndarray, length: Optional[int] = None) -> np.ndarray:
     """Validate that ``array`` is 1-D, optionally of ``length``."""
     arr = np.asarray(array)

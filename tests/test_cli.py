@@ -80,6 +80,24 @@ class TestInferCommand:
             main(["infer", saved_package, "--activity", "levitate"])
 
 
+class TestFleetCommand:
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet", "pkg.npz"])
+        assert args.sessions == 25
+        assert args.ticks == 5
+
+    def test_fleet_serves_sessions_through_engine(self, saved_package, capsys):
+        code = main([
+            "fleet", saved_package,
+            "--sessions", "6", "--ticks", "3", "--seed", "4",
+        ])
+        out = capsys.readouterr().out
+        assert "served 18 windows across 6 sessions" in out
+        assert "engine throughput" in out
+        assert "smoothed fleet accuracy" in out
+        assert code == 0
+
+
 class TestDemoCommand:
     def test_demo_learns_and_reports(self, saved_package, capsys):
         code = main([
