@@ -14,18 +14,27 @@ Quickstart::
     edge, report = platform.initialize(n_users=6,
                                        windows_per_user_per_activity=30)
 
-    # The canonical inference entry point is the batched engine: one
-    # fused denoise -> features -> normalize -> embed -> NCM pass over
-    # (k, window_len, channels) arrays.
-    batch = edge.engine.infer_windows(windows)    # k verdicts, one pass
+    # For continuous data the preferred entry point is the streaming fast
+    # path: O(n) in samples (prefix-sum features, no window cube), with
+    # verdicts identical to windowing + infer_windows at the default
+    # non-overlapping stride.
+    batch = edge.engine.infer_stream(recording.data)       # k verdicts
+    dense = edge.engine.infer_stream(recording.data, stride=12)  # 90% overlap
     batch.names, batch.confidences, batch.distances
+
+    # Pre-segmented (k, window_len, channels) stacks go through the
+    # batched engine: one fused denoise -> features -> normalize -> embed
+    # -> NCM pass.
+    batch = edge.engine.infer_windows(windows)    # k verdicts, one pass
 
     result = edge.infer_window(window)            # single-window wrapper
     edge.learn_activity("gesture_hi", recording)  # on-device learning
 
-    # Serve thousands of simulated devices through shared batched calls:
+    # Serve thousands of simulated devices through shared batched calls —
+    # raw sensor chunks in, segmented + featurized once per tick:
     server = FleetServer(edge.engine)
     server.connect_many(["alice", "bob"])
+    verdicts = server.step_stream({"alice": chunk_a, "bob": chunk_b})
     verdicts = server.step({"alice": window_a, "bob": window_b})
 
 Subpackages:

@@ -35,7 +35,6 @@ from .core import (
 from .edge_runtime import MagnetoApp, render_prediction, render_session
 from .nn import TrainConfig
 from .sensors import (
-    DEFAULT_SAMPLING_HZ,
     SensorDevice,
     list_activities,
     sample_user,
@@ -100,8 +99,15 @@ def _add_fleet(subparsers) -> None:
     cmd.add_argument("--sessions", type=int, default=25,
                      help="concurrent simulated devices (default 25)")
     cmd.add_argument("--ticks", type=int, default=5,
-                     help="serving rounds, one window per session each "
-                          "(default 5)")
+                     help="serving rounds, one raw sensor chunk per session "
+                          "each (default 5)")
+    cmd.add_argument("--chunk-seconds", type=float, default=1.0,
+                     help="raw samples each session uploads per tick "
+                          "(default 1.0 s = one window)")
+    cmd.add_argument("--overlap", type=float, default=0.0,
+                     help="window overlap fraction in [0, 1) used when "
+                          "segmenting each chunk (default 0, "
+                          "non-overlapping)")
     cmd.add_argument("--seed", type=int, default=11, help="simulation seed")
 
 
@@ -199,17 +205,24 @@ def _cmd_demo(args) -> int:
 def _cmd_fleet(args) -> int:
     """Serve ``--sessions`` simulated devices for ``--ticks`` rounds.
 
-    Every round records one fresh window per device and classifies the
-    whole fleet in a single batched engine pass — the FleetServer
-    demonstration of the engine's throughput story.
+    Every round records ``--chunk-seconds`` of raw sensor samples per
+    device; the FleetServer segments and featurizes each chunk ONCE through
+    the streaming O(n) path and classifies every window of the whole fleet
+    in a single batched engine pass — the serving pattern for continuous
+    high-overlap traffic.
     """
+    if not 0.0 <= args.overlap < 1.0:
+        print(f"overlap must be in [0, 1), got {args.overlap}")
+        return 2
     package = TransferPackage.load(args.package)
     edge = EdgeDevice(rng=args.seed)
     edge.install(package)
     server = FleetServer(edge.engine)
 
     activities = list(edge.classes)
-    window_s = edge.pipeline.window_len / DEFAULT_SAMPLING_HZ
+    stride = max(
+        1, int(round(edge.pipeline.window_len * (1.0 - args.overlap)))
+    )
     phones = {}
     performed = {}
     for i in range(args.sessions):
@@ -221,15 +234,17 @@ def _cmd_fleet(args) -> int:
 
     correct = 0
     for _ in range(args.ticks):
-        windows = {
+        chunks = {
             session_id: phones[session_id].record(
-                performed[session_id], window_s
-            ).data[: edge.pipeline.window_len]
+                performed[session_id], args.chunk_seconds
+            ).data
             for session_id in phones
         }
-        verdicts = server.step(windows)
+        verdicts = server.step_stream(chunks, stride=stride)
         correct += sum(
-            verdicts[sid].display == performed[sid] for sid in verdicts
+            verdict.display == performed[sid]
+            for sid, session_verdicts in verdicts.items()
+            for verdict in session_verdicts
         )
 
     summary = server.summary()

@@ -159,6 +159,17 @@ class EdgeDevice:
         self._require_ready()
         return self.engine.infer_windows(windows)
 
+    def infer_stream(
+        self, data: np.ndarray, stride: Optional[int] = None, dtype=None
+    ) -> BatchInference:
+        """Classify every window of continuous raw samples in one O(n) pass.
+
+        The preferred entry point for continuous data: see
+        :meth:`~repro.core.engine.InferenceEngine.infer_stream`.
+        """
+        self._require_ready()
+        return self.engine.infer_stream(data, stride=stride, dtype=dtype)
+
     def infer_features(self, features: np.ndarray) -> np.ndarray:
         """Classify pre-processed feature rows; returns integer labels."""
         self._require_ready()
@@ -166,14 +177,24 @@ class EdgeDevice:
         return self.engine.predict_features(arr)
 
     def infer_recording(self, recording: Recording) -> Tuple[str, List[str]]:
-        """Classify every window of a recording; majority-vote the verdict."""
-        features = self.process_recording(recording)
-        if features.shape[0] == 0:
+        """Classify every window of a recording; majority-vote the verdict.
+
+        Runs through the engine's streaming fast path — one fused O(n)
+        pass, no window cube — and matches window-by-window inference
+        (``infer_window`` / ``infer_windows`` on the segmented recording)
+        exactly, including their *per-window* denoising.  Note this is the
+        device's window semantics, not :meth:`process_recording`'s
+        denoise-the-whole-recording-once semantics; for non-local
+        denoisers (Butterworth) the two differ marginally near window
+        boundaries.
+        """
+        self._require_ready()
+        batch = self.infer_stream(recording.data)
+        if len(batch) == 0:
             raise DataShapeError(
                 "recording too short: no complete window to classify"
             )
-        labels = self.infer_features(features)
-        names = [self.ncm.class_names_[i] for i in labels]
+        names = batch.names
         majority = Counter(names).most_common(1)[0][0]
         return majority, names
 

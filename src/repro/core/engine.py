@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 import numpy as np
 
 from ..exceptions import ConfigurationError, DataShapeError, NotFittedError
+from ..preprocessing.segmentation import sliding_windows
 from ..utils import Timer, check_2d, check_3d
 from .ncm import NCMClassifier
 from .openset import UNKNOWN_LABEL, UNKNOWN_NAME, OpenSetNCM, accept_from_distances
@@ -109,9 +110,12 @@ class InferenceEngine:
         self.temperature = float(temperature)
         # Prototype squared-norm cache, keyed on the prototype array object:
         # NCM fits always assign a fresh array, so identity comparison
-        # invalidates the cache on every support-set rebuild.
+        # invalidates the cache on every support-set rebuild.  Reduced
+        # compute dtypes (float32 distance matrices) keep their own cast of
+        # the prototypes in ``_cached_casts``.
         self._cached_protos: Optional[np.ndarray] = None
         self._cached_sq_norms: Optional[np.ndarray] = None
+        self._cached_casts: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------ #
     # classifier plumbing
@@ -146,26 +150,57 @@ class InferenceEngine:
         """
         self._cached_protos = None
         self._cached_sq_norms = None
+        self._cached_casts = {}
 
-    def _prototype_norms(self) -> Tuple[np.ndarray, np.ndarray]:
-        """The prototype matrix with its cached squared norms."""
+    def _prototype_norms(self, dtype=None) -> Tuple[np.ndarray, np.ndarray]:
+        """The prototype matrix with its cached squared norms.
+
+        ``dtype=None`` is the canonical ``float64`` pair; any other compute
+        dtype gets (and caches) its own cast of the prototypes so repeated
+        reduced-precision calls pay the conversion once.
+        """
         protos = self.ncm.prototypes_
         if protos is not self._cached_protos:
             self._cached_protos = protos
             self._cached_sq_norms = np.einsum("ij,ij->i", protos, protos)
-        return self._cached_protos, self._cached_sq_norms
+            self._cached_casts = {}
+        if dtype is None or np.dtype(dtype) == np.float64:
+            return self._cached_protos, self._cached_sq_norms
+        key = np.dtype(dtype).name
+        entry = self._cached_casts.get(key)
+        if entry is None:
+            cast = np.asarray(protos, dtype=dtype)
+            entry = (cast, np.einsum("ij,ij->i", cast, cast))
+            self._cached_casts[key] = entry
+        return entry
 
     # ------------------------------------------------------------------ #
     # the fused batch stages
     # ------------------------------------------------------------------ #
 
-    def distances_from_embeddings(self, embeddings: np.ndarray) -> np.ndarray:
-        """Euclidean distances ``(k, n_classes)`` via the Gram trick."""
-        protos, proto_sq = self._prototype_norms()
-        emb = check_2d("embeddings", embeddings, n_cols=protos.shape[1])
+    def distances_from_embeddings(
+        self, embeddings: np.ndarray, dtype=None
+    ) -> np.ndarray:
+        """Euclidean distances ``(k, n_classes)`` via the Gram trick.
+
+        ``dtype`` selects the compute dtype of the distance matrix:
+        ``None`` keeps the canonical ``float64`` math; ``np.float32`` casts
+        the embeddings and (cached) prototypes once and runs the whole
+        Gram computation — and everything derived from it — in 32 bits,
+        halving the matmul bandwidth for fleet-scale batches.
+        """
+        protos, proto_sq = self._prototype_norms(dtype)
+        emb = check_2d(
+            "embeddings",
+            embeddings,
+            n_cols=protos.shape[1],
+            dtype=protos.dtype,
+        )
         emb_sq = np.einsum("ij,ij->i", emb, emb)
-        d2 = emb_sq[:, None] - 2.0 * (emb @ protos.T) + proto_sq[None, :]
-        np.maximum(d2, 0.0, out=d2)  # clamp tiny negatives from cancellation
+        two = protos.dtype.type(2.0)
+        d2 = emb_sq[:, None] - two * (emb @ protos.T) + proto_sq[None, :]
+        zero = protos.dtype.type(0.0)
+        np.maximum(d2, zero, out=d2)  # clamp tiny negatives from cancellation
         return np.sqrt(d2, out=d2)
 
     def _verdicts(self, dists: np.ndarray):
@@ -221,6 +256,46 @@ class InferenceEngine:
         features = self.pipeline.process_windows(arr)
         embeddings = self.embedder.embed(features)
         dists = self.distances_from_embeddings(embeddings)
+        return self._assemble(dists, timer)
+
+    def infer_stream(
+        self,
+        data: np.ndarray,
+        stride: Optional[int] = None,
+        dtype=None,
+    ) -> BatchInference:
+        """Continuous raw samples ``(n, channels)`` -> batch verdicts, O(n).
+
+        The streaming fast path for continuous recordings: denoise,
+        prefix-sum feature extraction, normalize, embed and NCM distances
+        fused in one pass — no ``(k, window_len, channels)`` cube is ever
+        materialized.  ``stride`` defaults to the pipeline's stride
+        (``window_len``, non-overlapping); pass a smaller stride for
+        overlapping windows at O(n) cost instead of O(k * window_len).
+
+        At the default non-overlapping stride the verdicts are identical to
+        ``infer_windows(sliding_windows(data, window_len))`` — distances to
+        1e-9, labels/accepts exactly.  For overlapping strides the denoiser
+        runs once over the continuous signal (the
+        :meth:`~repro.preprocessing.pipeline.PreprocessingPipeline.process_recording`
+        semantics: shared samples are filtered once, with no per-window
+        filter edge artifacts), which for non-local denoisers differs
+        marginally from denoising each overlapping window in isolation.
+
+        ``dtype`` selects the compute dtype of the distance matrix (see
+        :meth:`distances_from_embeddings`); ``np.float32`` trades the last
+        bits of distance precision for half the matmul bandwidth.
+        """
+        if self.pipeline is None:
+            raise ConfigurationError(
+                "engine has no pipeline; construct with pipeline= to infer "
+                "a raw stream, or use infer_features()"
+            )
+        arr = check_2d("data", data)
+        timer = Timer().__enter__()
+        features = self.pipeline.process_stream(arr, stride=stride)
+        embeddings = self.embedder.embed(features)
+        dists = self.distances_from_embeddings(embeddings, dtype=dtype)
         return self._assemble(dists, timer)
 
     def infer_features(self, features: np.ndarray) -> BatchInference:
@@ -410,6 +485,103 @@ class FleetServer:
                 names[i], batch.confidences[i], batch.accepted[i]
             )
         self.ticks += 1
+        self.windows_served += len(batch)
+        self.windows_rejected += int(np.count_nonzero(~batch.accepted))
+        self.serve_ms += batch.latency_ms
+        return verdicts
+
+    def step_stream(
+        self,
+        chunks_by_session: Mapping[str, np.ndarray],
+        stride: Optional[int] = None,
+    ) -> Dict[str, List[SessionVerdict]]:
+        """Serve raw continuous sample chunks: segment + featurize once.
+
+        Where :meth:`step` takes one pre-cut window per session,
+        ``step_stream`` takes a raw ``(n_samples, channels)`` chunk of any
+        length per session — the natural payload of a device that just
+        uploads its sensor buffer every tick.  Each chunk is segmented and
+        featurized ONCE: at the default non-overlapping stride the
+        per-session windows (zero-copy views) are stacked and the whole
+        fleet's featurization runs as one batched pipeline pass; at
+        overlapping strides each session goes through the O(n) streaming
+        feature path so shared samples are never re-featurized.  Every
+        window of every session then flows through a *single* batched
+        model call, and each session's verdicts fold through its smoother
+        in window order.
+
+        Returns the per-session verdict lists in input order; a chunk too
+        short for a complete window yields an empty list for that session
+        (no complete window yet — the buffer simply keeps filling).
+        """
+        if not chunks_by_session:
+            return {}
+        pipeline = self.engine.pipeline
+        if pipeline is None:  # engines are mutable; mirror the ctor check
+            raise ConfigurationError(
+                "FleetServer needs an engine with a pipeline (raw chunks in)"
+            )
+        featurize_timer = Timer().__enter__()
+        stride_val = pipeline.stride if stride is None else int(stride)
+        ids: List[str] = []
+        arrays: List[np.ndarray] = []
+        for session_id, chunk in chunks_by_session.items():
+            session = self.session(session_id)  # raises for unknown ids
+            arr = np.asarray(chunk, dtype=np.float64)
+            if arr.ndim != 2:
+                raise DataShapeError(
+                    f"session {session.session_id!r} chunk must be 2-D "
+                    f"(samples, channels), got {arr.shape}"
+                )
+            ids.append(session.session_id)
+            arrays.append(arr)
+        if stride_val == pipeline.window_len:
+            # Non-overlapping: per-session windows are disjoint slices, so
+            # one fused batch featurizes the whole fleet (same semantics as
+            # per-session process_stream, k small pipeline calls fewer).
+            window_blocks = [
+                sliding_windows(arr, pipeline.window_len, stride_val, copy=False)
+                for arr in arrays
+            ]
+            counts = [block.shape[0] for block in window_blocks]
+            total = sum(counts)
+            features = (
+                pipeline.process_windows(
+                    np.concatenate(window_blocks, axis=0)
+                )
+                if total
+                else None
+            )
+        else:
+            feature_blocks = [
+                pipeline.process_stream(arr, stride=stride_val)
+                for arr in arrays
+            ]
+            counts = [block.shape[0] for block in feature_blocks]
+            total = sum(counts)
+            features = (
+                np.concatenate(feature_blocks, axis=0) if total else None
+            )
+        verdicts: Dict[str, List[SessionVerdict]] = {sid: [] for sid in ids}
+        self.ticks += 1
+        featurize_timer.__exit__()
+        # Featurization is part of serving — charge it to serve_ms so the
+        # summary throughput stays comparable with step()'s fused timing.
+        self.serve_ms += featurize_timer.elapsed_ms
+        if total == 0:
+            return verdicts
+        batch = self.engine.infer_features(features)
+        names = batch.names
+        offset = 0
+        for session_id, count in zip(ids, counts):
+            session = self.sessions[session_id]
+            for i in range(offset, offset + count):
+                verdicts[session_id].append(
+                    session.observe(
+                        names[i], batch.confidences[i], batch.accepted[i]
+                    )
+                )
+            offset += count
         self.windows_served += len(batch)
         self.windows_rejected += int(np.count_nonzero(~batch.accepted))
         self.serve_ms += batch.latency_ms

@@ -94,7 +94,18 @@ class EdgeRuntime:
         in the batch charged to the energy/latency budgets."""
         if not self.edge.is_ready:
             raise NotFittedError("edge device is not provisioned")
-        batch = self.edge.infer_windows(windows)
+        return self._charge_batch(self.edge.infer_windows(windows))
+
+    def infer_stream(
+        self, data: np.ndarray, stride: int = None
+    ) -> BatchInference:
+        """Streaming inference over continuous raw samples, with every
+        produced window charged to the energy/latency budgets."""
+        if not self.edge.is_ready:
+            raise NotFittedError("edge device is not provisioned")
+        return self._charge_batch(self.edge.infer_stream(data, stride=stride))
+
+    def _charge_batch(self, batch: BatchInference) -> BatchInference:
         k = len(batch)
         if k > 0:
             flops = forward_flops(self.edge.embedder.network, batch_size=k)

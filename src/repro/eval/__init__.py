@@ -25,7 +25,9 @@ from .protocols import (
     ClassData,
     ProtocolResult,
     StepRecord,
+    StreamEvalResult,
     run_incremental_protocol,
+    run_stream_protocol,
 )
 from .reporting import format_cell, print_table, render_table
 
@@ -42,6 +44,7 @@ __all__ = [
     "ReplayOnlyStrategy",
     "ScratchRetrainStrategy",
     "StepRecord",
+    "StreamEvalResult",
     "accuracy",
     "accuracy_by_class_name",
     "average_forgetting",
@@ -54,4 +57,5 @@ __all__ = [
     "print_table",
     "render_table",
     "run_incremental_protocol",
+    "run_stream_protocol",
 ]

@@ -31,6 +31,11 @@ from .pipeline import (
     extractor_to_dict,
 )
 from .segmentation import segment_recording, sliding_windows, window_count
+from .streaming import (
+    MIN_PREFIX_WINDOW_LEN,
+    STREAMING_STATISTICS,
+    StreamingFeatureExtractor,
+)
 from .spectral import (
     DEFAULT_SPECTRAL_SIGNALS,
     FREQUENCY_BANDS,
@@ -55,10 +60,13 @@ __all__ = [
     "DEFAULT_SPECTRAL_SIGNALS",
     "FREQUENCY_BANDS",
     "PreprocessingPipeline",
+    "MIN_PREFIX_WINDOW_LEN",
     "SPECTRAL_STATS",
     "SpectralConfig",
     "SpectralFeatureExtractor",
     "STATISTICS",
+    "STREAMING_STATISTICS",
+    "StreamingFeatureExtractor",
     "ZScoreNormalizer",
     "denoiser_from_dict",
     "extractor_from_dict",

@@ -9,7 +9,12 @@ entry points:
   (denoise once, then segment, then features, then normalize), used by both
   the Cloud campaign processing and the Edge's recording flow;
 - :meth:`process_windows` — already-segmented raw windows -> features,
-  used on streamed one-second chunks.
+  used on streamed one-second chunks;
+- :meth:`process_stream` — continuous raw samples -> feature matrix through
+  the O(n) :class:`~repro.preprocessing.streaming.StreamingFeatureExtractor`
+  path: no window cube is ever materialized, and at the default
+  non-overlapping stride the per-window verdicts match
+  :meth:`process_windows` on the segmented recording exactly.
 
 The normalizer is fitted exactly once (on the Cloud) via
 :meth:`fit_normalizer`; the fitted pipeline round-trips through
@@ -23,7 +28,12 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, NotFittedError, SerializationError
+from ..exceptions import (
+    ConfigurationError,
+    DataShapeError,
+    NotFittedError,
+    SerializationError,
+)
 from ..utils import check_3d
 from ..sensors.device import Recording
 from .denoise import ButterworthLowpass, IdentityFilter, denoiser_from_dict
@@ -35,6 +45,7 @@ from .spectral import (
     SpectralConfig,
     SpectralFeatureExtractor,
 )
+from .streaming import StreamingFeatureExtractor
 
 
 def extractor_to_dict(extractor) -> Dict:
@@ -120,6 +131,8 @@ class PreprocessingPipeline:
             extractor if extractor is not None else FeatureExtractor(feature_config)
         )
         self.normalizer = normalizer if normalizer is not None else ZScoreNormalizer()
+        self._streaming_extractor: Optional[StreamingFeatureExtractor] = None
+        self._streaming_source = None  # the extractor the memo was built from
 
     # ------------------------------------------------------------------ #
     # properties
@@ -133,26 +146,48 @@ class PreprocessingPipeline:
     def is_fitted(self) -> bool:
         return getattr(self.normalizer, "is_fitted", False)
 
+    @property
+    def streaming_extractor(self) -> Optional[StreamingFeatureExtractor]:
+        """The O(n) streaming twin of the configured extractor.
+
+        Only the plain statistical :class:`FeatureExtractor` has a streaming
+        implementation (subclasses may override statistics, so they fall
+        back too); spectral/combined extractors return ``None`` and the
+        stream entry points degrade to the zero-copy windowed path.  The
+        memo is keyed on the extractor object's identity, so reassigning
+        ``self.extractor`` re-derives it.
+        """
+        if self._streaming_source is not self.extractor:
+            self._streaming_source = self.extractor
+            self._streaming_extractor = (
+                StreamingFeatureExtractor(self.extractor.config)
+                if type(self.extractor) is FeatureExtractor
+                else None
+            )
+        return self._streaming_extractor
+
     # ------------------------------------------------------------------ #
     # fitting (Cloud side)
     # ------------------------------------------------------------------ #
 
-    def raw_features_of_windows(self, windows: np.ndarray) -> np.ndarray:
-        """Denoise each window independently and extract *unnormalized* features.
+    def _denoise_windows(self, windows: np.ndarray) -> np.ndarray:
+        """Denoise a ``(k, window_len, channels)`` stack window by window.
 
         Denoisers that support a batch axis (``apply_batch``) filter the
-        whole ``(k, window_len, channels)`` stack in one vectorized call;
-        others fall back to a per-window loop.
+        whole stack in one vectorized call; others fall back to a
+        per-window loop.
         """
-        arr = check_3d("windows", windows)
+        if windows.shape[0] == 0:
+            return windows
         batch_apply = getattr(self.denoiser, "apply_batch", None)
         if batch_apply is not None:
-            denoised = batch_apply(arr)
-        elif arr.shape[0] == 0:
-            denoised = arr
-        else:
-            denoised = np.stack([self.denoiser.apply(w) for w in arr], axis=0)
-        return self.extractor.extract(denoised)
+            return batch_apply(windows)
+        return np.stack([self.denoiser.apply(w) for w in windows], axis=0)
+
+    def raw_features_of_windows(self, windows: np.ndarray) -> np.ndarray:
+        """Denoise each window independently and extract *unnormalized* features."""
+        arr = check_3d("windows", windows)
+        return self.extractor.extract(self._denoise_windows(arr))
 
     def fit_normalizer(self, windows: np.ndarray) -> "PreprocessingPipeline":
         """Fit the normalizer on raw windows (the Cloud campaign data)."""
@@ -176,22 +211,103 @@ class PreprocessingPipeline:
         """One raw window -> one normalized feature vector ``(d,)``."""
         return self.process_windows(np.asarray(window)[None, :, :])[0]
 
+    def raw_stream_features(
+        self, data: np.ndarray, stride: Optional[int] = None,
+        denoise: str = "auto",
+    ) -> np.ndarray:
+        """Continuous ``(n, channels)`` samples -> *unnormalized* features.
+
+        The O(n) fast path: no window cube is materialized.  ``denoise``
+        picks where the denoiser runs:
+
+        - ``"windowed"`` — segment first (zero-copy view), denoise the
+          window batch, then stream features over it.  Exactly what
+          :meth:`process_windows` computes on ``sliding_windows(data)``;
+          only valid for the non-overlapping stride (overlapping windows
+          denoised independently are not a continuous signal).
+        - ``"stream"`` — denoise the continuous signal once, then stream
+          features at any stride.  Cheaper for overlapping strides (shared
+          samples are filtered once) and free of per-window filter edge
+          artifacts, but for non-local denoisers (Butterworth) the features
+          differ slightly from the per-window path.
+        - ``"auto"`` (default) — ``"windowed"`` when ``stride ==
+          window_len`` so the canonical per-window verdicts are reproduced
+          exactly, ``"stream"`` otherwise.
+        """
+        arr = np.asarray(data, dtype=np.float64)
+        if arr.ndim != 2:
+            raise DataShapeError(
+                f"data must be 2-D (n, channels), got {arr.shape}"
+            )
+        stride = self.stride if stride is None else int(stride)
+        if stride < 1:
+            raise ConfigurationError(f"stride must be >= 1, got {stride}")
+        if denoise == "auto":
+            denoise = "windowed" if stride == self.window_len else "stream"
+        if denoise not in ("windowed", "stream"):
+            raise ConfigurationError(
+                f"denoise must be 'auto', 'windowed' or 'stream', "
+                f"got {denoise!r}"
+            )
+        streaming = self.streaming_extractor
+        if denoise == "windowed":
+            if stride != self.window_len:
+                raise ConfigurationError(
+                    "windowed denoising requires the non-overlapping stride "
+                    f"(window_len={self.window_len}), got stride={stride}"
+                )
+            windows = sliding_windows(arr, self.window_len, stride, copy=False)
+            if windows.shape[0] == 0:
+                return np.empty((0, self.n_features))
+            denoised = self._denoise_windows(windows)
+            if streaming is None:
+                return self.extractor.extract(denoised)
+            # Non-overlapping windows partition the signal, so the denoised
+            # stack folds back into a continuous array for the O(n) pass.
+            return streaming.extract(
+                denoised.reshape(-1, arr.shape[1]),
+                self.window_len,
+                stride=stride,
+            )
+        denoised = self.denoiser.apply(arr)
+        if streaming is None:
+            return self.extractor.extract(
+                sliding_windows(denoised, self.window_len, stride, copy=False)
+            )
+        return streaming.extract(denoised, self.window_len, stride=stride)
+
+    def process_stream(
+        self, data: np.ndarray, stride: Optional[int] = None,
+        denoise: str = "auto",
+    ) -> np.ndarray:
+        """Continuous raw samples -> normalized features, O(n) end to end."""
+        if not self.is_fitted:
+            raise NotFittedError(
+                "pipeline normalizer is not fitted; call fit_normalizer() "
+                "on the Cloud before processing"
+            )
+        return self.normalizer.transform(
+            self.raw_stream_features(data, stride=stride, denoise=denoise)
+        )
+
     def process_recording(self, recording: Recording) -> np.ndarray:
         """Continuous recording -> normalized feature matrix.
 
         The denoiser runs once over the continuous signal (cheaper and
-        avoids per-window edge artifacts), then the result is segmented.
+        avoids per-window edge artifacts), then features stream out of the
+        O(n) extractor without materializing windows.
         """
-        denoised = self.denoiser.apply(recording.data)
-        windows = sliding_windows(denoised, self.window_len, self.stride)
-        if windows.shape[0] == 0:
+        if recording.n_samples < self.window_len:
             return np.empty((0, self.n_features))
         if not self.is_fitted:
             raise NotFittedError(
                 "pipeline normalizer is not fitted; call fit_normalizer() "
                 "on the Cloud before processing"
             )
-        return self.normalizer.transform(self.extractor.extract(windows))
+        features = self.raw_stream_features(
+            recording.data, stride=self.stride, denoise="stream"
+        )
+        return self.normalizer.transform(features)
 
     # ------------------------------------------------------------------ #
     # serialization / footprint

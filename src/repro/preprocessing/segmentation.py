@@ -17,7 +17,11 @@ from ..sensors.device import Recording
 
 
 def sliding_windows(
-    data: np.ndarray, window_len: int, stride: int = None
+    data: np.ndarray,
+    window_len: int,
+    stride: int = None,
+    copy: bool = True,
+    dtype=np.float64,
 ) -> np.ndarray:
     """Cut ``data`` of shape ``(n, c)`` into windows ``(k, window_len, c)``.
 
@@ -25,8 +29,24 @@ def sliding_windows(
     shorter than a full window is dropped.  Returns an empty
     ``(0, window_len, c)`` array when the data is too short — callers can
     treat "no complete window yet" uniformly.
+
+    With the default ``copy=True`` each window owns its memory, so callers
+    may mutate the result freely.  ``copy=False`` returns a **read-only
+    stride-tricks view**: zero bytes are copied (with 50% overlap the copy
+    would double the recording's footprint, at 90% overlap it is 10x), but
+    overlapping windows alias the same samples, writing raises
+    ``ValueError``, and the view keeps the source array alive.  The engine's
+    streaming path uses ``copy=False`` internally; external callers should
+    opt in only for read-only consumption.
+
+    ``dtype`` is the dtype windows are produced in (default ``float64``,
+    matching the rest of the pipeline, which needs the full 52 bits for its
+    1e-9 parity contracts).  Pass ``dtype=None`` to preserve the input's
+    dtype — a caller-facing knob for memory-bound consumers (e.g. windowing
+    a ``float32`` ring buffer zero-copy without doubling its footprint);
+    the engine's own feature paths deliberately keep ``float64``.
     """
-    arr = np.asarray(data, dtype=np.float64)
+    arr = np.asarray(data, dtype=dtype)
     if arr.ndim != 2:
         raise DataShapeError(f"data must be 2-D (n, channels), got {arr.shape}")
     if window_len < 1:
@@ -38,24 +58,31 @@ def sliding_windows(
 
     n, c = arr.shape
     if n < window_len:
-        return np.empty((0, window_len, c))
+        return np.empty((0, window_len, c), dtype=arr.dtype)
     n_windows = (n - window_len) // stride + 1
-    # Stride-tricks view, then copy so callers own their memory.
     shape = (n_windows, window_len, c)
     strides = (arr.strides[0] * stride, arr.strides[0], arr.strides[1])
-    view = np.lib.stride_tricks.as_strided(arr, shape=shape, strides=strides)
-    return view.copy()
+    view = np.lib.stride_tricks.as_strided(
+        arr, shape=shape, strides=strides, writeable=False
+    )
+    if copy:
+        # Copy so callers own their memory (and may write to it).
+        return view.copy()
+    return view
 
 
 def segment_recording(
     recording: Recording,
     window_s: float = 1.0,
     overlap: float = 0.0,
+    copy: bool = True,
 ) -> np.ndarray:
     """Segment a :class:`Recording` into windows of ``window_s`` seconds.
 
     ``overlap`` in ``[0, 1)`` is the fraction of each window shared with its
-    successor (0 = non-overlapping, 0.5 = half-overlap).
+    successor (0 = non-overlapping, 0.5 = half-overlap).  ``copy=False``
+    returns the read-only zero-copy view described in
+    :func:`sliding_windows`.
     """
     if window_s <= 0:
         raise ConfigurationError(f"window_s must be > 0, got {window_s}")
@@ -63,7 +90,7 @@ def segment_recording(
         raise ConfigurationError(f"overlap must be in [0, 1), got {overlap}")
     window_len = int(round(window_s * recording.sampling_hz))
     stride = max(1, int(round(window_len * (1.0 - overlap))))
-    return sliding_windows(recording.data, window_len, stride)
+    return sliding_windows(recording.data, window_len, stride, copy=copy)
 
 
 def window_count(n_samples: int, window_len: int, stride: int = None) -> int:

@@ -1,0 +1,364 @@
+"""Streaming O(n) statistical feature extraction over continuous recordings.
+
+:class:`~repro.preprocessing.features.FeatureExtractor` prices a continuous
+recording per *window*: with 50% overlap every sample is featurized twice,
+and at 90% overlap ten times, on top of the ``(k, window_len, channels)``
+cube the segmentation copies out of the stride-tricks view.
+:class:`StreamingFeatureExtractor` computes the same ``(k, n_features)``
+matrix straight from the continuous ``(n, channels)`` signal, without ever
+materializing raw windows:
+
+- ``mean``/``std``/``rms``/``slope`` come from cumulative sums of the
+  (globally mean-shifted) signal, its square and its index-weighted value —
+  O(n) total, O(1) per window.  The global shift keeps the prefix sums at
+  the scale of the signal's *variation*, so catastrophic cancellation never
+  eats the 1e-9 parity budget even for offset-heavy channels (barometer,
+  gravity).
+- ``min``/``max`` use a pooled (sparse-table) doubling scheme: O(n log
+  window_len) comparisons, every window extremum the exact ``op`` of two
+  precomputed power-of-two spans.
+- ``median``/``iqr`` share one batched :func:`numpy.partition` over a
+  zero-copy :func:`~numpy.lib.stride_tricks.sliding_window_view` of the 1-D
+  series (one introselect pass instead of the three separate kths hidden in
+  ``np.median`` + ``np.percentile``), with the interpolation replicating
+  ``np.percentile``'s lerp bit for bit; ``mad`` and ``zcr`` fall back to the
+  same view.  These stay O(k * window_len) — order statistics have no prefix
+  structure — but with a far smaller constant than the per-window path.
+
+Every statistic matches ``FeatureExtractor`` to 1e-9 (most bit-exactly);
+``tests/test_preprocessing_streaming.py`` pins that contract across strides,
+odd window lengths, constant signals and the empty case.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DataShapeError
+from ..sensors.channels import CHANNEL_INDEX, N_CHANNELS, group_indices
+from .features import DERIVED_SIGNALS, STATISTICS, FeatureConfig
+from .segmentation import window_count
+
+
+def _pooled_extrema(
+    series: np.ndarray, window_len: int, starts: np.ndarray, op
+) -> np.ndarray:
+    """Per-window extremum via a sparse-table doubling scheme.
+
+    After ``j`` doubling steps ``table[i]`` holds ``op`` over
+    ``series[i : i + 2**j]``; each window ``[a, a + w)`` is then the ``op``
+    of two (possibly overlapping) power-of-two spans covering it.  Exact —
+    only comparisons, no arithmetic.
+    """
+    table = series
+    span = 1
+    while span * 2 <= window_len:
+        table = op(table[: table.shape[0] - span], table[span:])
+        span *= 2
+    return op(table[starts], table[starts + window_len - span])
+
+
+def _lerp_quantile(part: np.ndarray, window_len: int, q: float) -> np.ndarray:
+    """``np.percentile(..., method="linear")`` from a partitioned ``(k, w)``.
+
+    Replicates numpy's virtual-index arithmetic and its ``_lerp`` (including
+    the ``t >= 0.5`` rewrite) so the result is bit-identical to
+    ``np.percentile`` on the same windows.
+    """
+    virtual = q * (window_len - 1)
+    lo = int(np.floor(virtual))
+    hi = min(lo + 1, window_len - 1)
+    t = virtual - lo
+    a = part[:, lo]
+    b = part[:, hi]
+    diff = b - a
+    if t >= 0.5:
+        return b - diff * (1.0 - t)
+    return a + diff * t
+
+
+class _SignalWindows:
+    """Lazy per-signal caches shared by the streaming statistics.
+
+    Holds the continuous 1-D ``series`` plus the window geometry, and
+    materializes each helper structure (prefix sums, zero-copy window view,
+    shared partition) at most once no matter how many statistics need it.
+    """
+
+    def __init__(
+        self, series: np.ndarray, window_len: int, stride: int, starts: np.ndarray
+    ) -> None:
+        self.series = series
+        self.window_len = window_len
+        self.stride = stride
+        self.starts = starts
+        self._shift: Optional[float] = None
+        self._sum1: Optional[np.ndarray] = None  # windowed sums of s - shift
+        self._sum2: Optional[np.ndarray] = None  # ... of (s - shift)**2
+        self._means: Optional[np.ndarray] = None
+        self._variances: Optional[np.ndarray] = None
+        self._view: Optional[np.ndarray] = None
+        self._partitioned: Optional[np.ndarray] = None
+        self._medians: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # prefix-sum substrate
+    # ------------------------------------------------------------------ #
+
+    def _windowed_sum(self, values: np.ndarray) -> np.ndarray:
+        csum = np.empty(values.shape[0] + 1)
+        csum[0] = 0.0
+        np.cumsum(values, out=csum[1:])
+        return csum[self.starts + self.window_len] - csum[self.starts]
+
+    def _prefix(self) -> None:
+        # Shift by the global mean so the running sums stay at the scale of
+        # the signal's variation, not its offset (barometer ~1000 hPa would
+        # otherwise burn the parity budget through cancellation).
+        self._shift = float(self.series.mean()) if self.series.shape[0] else 0.0
+        shifted = self.series - self._shift
+        self._sum1 = self._windowed_sum(shifted)
+        self._sum2 = self._windowed_sum(shifted * shifted)
+
+    @property
+    def shift(self) -> float:
+        if self._shift is None:
+            self._prefix()
+        return self._shift
+
+    @property
+    def sum1(self) -> np.ndarray:
+        if self._sum1 is None:
+            self._prefix()
+        return self._sum1
+
+    @property
+    def sum2(self) -> np.ndarray:
+        if self._sum2 is None:
+            self._prefix()
+        return self._sum2
+
+    @property
+    def means(self) -> np.ndarray:
+        if self._means is None:
+            self._means = self.shift + self.sum1 / self.window_len
+        return self._means
+
+    @property
+    def variances(self) -> np.ndarray:
+        if self._variances is None:
+            shifted_mean = self.sum1 / self.window_len
+            var = self.sum2 / self.window_len - shifted_mean * shifted_mean
+            self._variances = np.maximum(var, 0.0, out=var)
+        return self._variances
+
+    # ------------------------------------------------------------------ #
+    # windowed-view substrate (order statistics, zcr)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def view(self) -> np.ndarray:
+        """Read-only ``(k, window_len)`` zero-copy view of the windows."""
+        if self._view is None:
+            self._view = np.lib.stride_tricks.sliding_window_view(
+                self.series, self.window_len
+            )[:: self.stride]
+        return self._view
+
+    @property
+    def partitioned(self) -> np.ndarray:
+        """One shared ``np.partition`` at every quartile/median index."""
+        if self._partitioned is None:
+            w = self.window_len
+            kth = set()
+            for q in (0.25, 0.5, 0.75):
+                lo = int(np.floor(q * (w - 1)))
+                kth.add(lo)
+                kth.add(min(lo + 1, w - 1))
+            self._partitioned = np.partition(self.view, sorted(kth), axis=1)
+        return self._partitioned
+
+    @property
+    def medians(self) -> np.ndarray:
+        if self._medians is None:
+            w = self.window_len
+            if w % 2:
+                self._medians = self.partitioned[:, (w - 1) // 2].copy()
+            else:
+                # np.mean over the two middle order statistics, exactly as
+                # np.median computes the even case.
+                self._medians = np.mean(
+                    self.partitioned[:, [w // 2 - 1, w // 2]], axis=1
+                )
+        return self._medians
+
+
+def _stream_mean(ctx: _SignalWindows) -> np.ndarray:
+    return ctx.means.copy()
+
+
+def _stream_std(ctx: _SignalWindows) -> np.ndarray:
+    return np.sqrt(ctx.variances)
+
+
+def _stream_rms(ctx: _SignalWindows) -> np.ndarray:
+    means = ctx.means
+    return np.sqrt(np.maximum(ctx.variances + means * means, 0.0))
+
+
+def _stream_min(ctx: _SignalWindows) -> np.ndarray:
+    return _pooled_extrema(ctx.series, ctx.window_len, ctx.starts, np.minimum)
+
+
+def _stream_max(ctx: _SignalWindows) -> np.ndarray:
+    return _pooled_extrema(ctx.series, ctx.window_len, ctx.starts, np.maximum)
+
+
+def _stream_median(ctx: _SignalWindows) -> np.ndarray:
+    return ctx.medians.copy()
+
+
+def _stream_iqr(ctx: _SignalWindows) -> np.ndarray:
+    part = ctx.partitioned
+    w = ctx.window_len
+    return _lerp_quantile(part, w, 0.75) - _lerp_quantile(part, w, 0.25)
+
+
+def _stream_mad(ctx: _SignalWindows) -> np.ndarray:
+    deviations = np.abs(ctx.view - ctx.medians[:, None])
+    return np.median(deviations, axis=1)
+
+
+def _stream_zcr(ctx: _SignalWindows) -> np.ndarray:
+    return STATISTICS["zcr"](ctx.view)
+
+
+def _stream_slope(ctx: _SignalWindows) -> np.ndarray:
+    w = ctx.window_len
+    if w < 2:
+        return np.zeros(ctx.starts.shape[0])
+    t_mean = (w - 1) / 2.0
+    t_centered = np.arange(w, dtype=np.float64) - t_mean
+    denom = float((t_centered * t_centered).sum())
+    shifted = ctx.series - ctx.shift
+    weighted = ctx._windowed_sum(
+        shifted * np.arange(ctx.series.shape[0], dtype=np.float64)
+    )
+    # sum_i s[a+i] * (i - t_mean)  ==  sum_j s[j]*j over the window minus
+    # (a + t_mean) * windowed sum; the global shift drops out because the
+    # centered time axis sums to zero.
+    num = weighted - (ctx.starts + t_mean) * ctx.sum1
+    return num / denom
+
+
+#: Prefix-sum statistics lose their accuracy edge for very short windows:
+#: a w-sample windowed difference of an n-sample running sum carries O(eps*n)
+#: noise that only the 1/w averaging washes out.  Below this window length
+#: the batched per-window implementations are just as fast (the view is
+#: O(k*w) with tiny w) and bit-exact, so extraction falls back to them.
+MIN_PREFIX_WINDOW_LEN: int = 8
+
+#: The statistics whose streaming implementations rest on prefix sums (and
+#: are therefore gated on :data:`MIN_PREFIX_WINDOW_LEN`).
+_PREFIX_SUM_STATS = frozenset({"mean", "std", "rms", "slope"})
+
+#: Statistic name -> streaming implementation over a :class:`_SignalWindows`.
+STREAMING_STATISTICS: Dict[str, Callable[[_SignalWindows], np.ndarray]] = {
+    "mean": _stream_mean,
+    "std": _stream_std,
+    "min": _stream_min,
+    "max": _stream_max,
+    "median": _stream_median,
+    "iqr": _stream_iqr,
+    "rms": _stream_rms,
+    "mad": _stream_mad,
+    "zcr": _stream_zcr,
+    "slope": _stream_slope,
+}
+
+
+class StreamingFeatureExtractor:
+    """Window features of a continuous recording without window cubes.
+
+    ``extract`` maps a continuous ``(n, channels)`` signal straight to the
+    ``(k, n_features)`` matrix that
+    ``FeatureExtractor().extract(sliding_windows(signal, w, stride))`` would
+    produce, in the same signal-major feature order.  Statistics without a
+    streaming implementation (e.g. ones registered into
+    :data:`~repro.preprocessing.features.STATISTICS` by users) transparently
+    fall back to the batched implementation over the zero-copy window view.
+    """
+
+    def __init__(self, config: FeatureConfig = None) -> None:
+        self.config = config if config is not None else FeatureConfig()
+
+    @property
+    def n_features(self) -> int:
+        return self.config.n_features
+
+    def feature_names(self) -> List[str]:
+        """Names like ``accel_mag:std`` in extraction order."""
+        return [
+            f"{sig}:{stat}"
+            for sig in self.config.signals
+            for stat in self.config.stats
+        ]
+
+    def _signal_series(self, data: np.ndarray, signal: str) -> np.ndarray:
+        """The continuous 1-D series for one configured signal, O(n)."""
+        if signal in DERIVED_SIGNALS:
+            idx = group_indices(DERIVED_SIGNALS[signal])
+            return np.linalg.norm(data[:, idx], axis=1)
+        return np.ascontiguousarray(data[:, CHANNEL_INDEX[signal]])
+
+    def extract(
+        self, data: np.ndarray, window_len: int, stride: int = None
+    ) -> np.ndarray:
+        """Features of every complete window of ``data``.
+
+        ``stride`` defaults to ``window_len`` (non-overlapping); the tail
+        shorter than a full window is dropped, exactly like
+        :func:`~repro.preprocessing.segmentation.sliding_windows`.
+        """
+        arr = np.asarray(data, dtype=np.float64)
+        if arr.ndim != 2:
+            raise DataShapeError(
+                f"data must be 2-D (n, channels), got {arr.shape}"
+            )
+        if arr.shape[1] != N_CHANNELS:
+            raise DataShapeError(
+                f"data must have {N_CHANNELS} channels, got {arr.shape[1]}"
+            )
+        if window_len < 1:
+            raise ConfigurationError(
+                f"window_len must be >= 1, got {window_len}"
+            )
+        if stride is None:
+            stride = window_len
+        if stride < 1:
+            raise ConfigurationError(f"stride must be >= 1, got {stride}")
+
+        n_windows = window_count(arr.shape[0], window_len, stride)
+        if n_windows == 0:
+            return np.empty((0, self.n_features))
+        starts = np.arange(n_windows) * stride
+
+        out = np.empty((n_windows, self.n_features))
+        col = 0
+        for sig in self.config.signals:
+            ctx = _SignalWindows(
+                self._signal_series(arr, sig), window_len, stride, starts
+            )
+            for stat in self.config.stats:
+                streaming = STREAMING_STATISTICS.get(stat)
+                if streaming is None or (
+                    stat in _PREFIX_SUM_STATS
+                    and window_len < MIN_PREFIX_WINDOW_LEN
+                ):
+                    out[:, col] = STATISTICS[stat](ctx.view)
+                else:
+                    out[:, col] = streaming(ctx)
+                col += 1
+        return out

@@ -37,13 +37,20 @@ def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
     return np.random.default_rng(rng.integers(0, 2**63 - 1))
 
 
-def check_2d(name: str, array: np.ndarray, n_cols: Optional[int] = None) -> np.ndarray:
+def check_2d(
+    name: str,
+    array: np.ndarray,
+    n_cols: Optional[int] = None,
+    dtype=np.float64,
+) -> np.ndarray:
     """Validate that ``array`` is a 2-D float array, optionally with ``n_cols``.
 
-    Returns the array as ``float64`` (no copy when already float64).
-    Raises :class:`DataShapeError` on mismatch.
+    Returns the array as ``dtype`` (default ``float64``; no copy when the
+    dtype already matches).  Pass ``dtype=None`` to preserve the input's
+    dtype — the reduced-precision compute paths use this to keep ``float32``
+    data in ``float32``.  Raises :class:`DataShapeError` on mismatch.
     """
-    arr = np.asarray(array, dtype=np.float64)
+    arr = np.asarray(array, dtype=dtype)
     if arr.ndim != 2:
         raise DataShapeError(f"{name} must be 2-D, got shape {arr.shape}")
     if n_cols is not None and arr.shape[1] != n_cols:
@@ -53,13 +60,14 @@ def check_2d(name: str, array: np.ndarray, n_cols: Optional[int] = None) -> np.n
     return arr
 
 
-def check_3d(name: str, array: np.ndarray) -> np.ndarray:
+def check_3d(name: str, array: np.ndarray, dtype=np.float64) -> np.ndarray:
     """Validate a 3-D ``(k, window_len, channels)`` window stack.
 
-    Returns the array as ``float64`` (no copy when already float64).
+    Returns the array as ``dtype`` (default ``float64``; no copy when the
+    dtype already matches; ``dtype=None`` preserves the input's dtype).
     Raises :class:`DataShapeError` on mismatch.
     """
-    arr = np.asarray(array, dtype=np.float64)
+    arr = np.asarray(array, dtype=dtype)
     if arr.ndim != 3:
         raise DataShapeError(
             f"{name} must be 3-D (k, window_len, channels), got {arr.shape}"

@@ -1,0 +1,185 @@
+"""StreamingFeatureExtractor: 1e-9 parity with the per-window extractor.
+
+The streaming extractor's contract is that
+``StreamingFeatureExtractor().extract(data, w, stride)`` equals
+``FeatureExtractor().extract(sliding_windows(data, w, stride))`` to 1e-9
+for every statistic, across strides, odd window lengths, constant signals
+(the zcr/slope edge cases) and the empty no-complete-window case.  These
+tests pin that contract column by column, plus the zero-copy / dtype
+semantics of ``sliding_windows`` the streaming path rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataShapeError
+from repro.preprocessing import (
+    FeatureConfig,
+    FeatureExtractor,
+    MIN_PREFIX_WINDOW_LEN,
+    PreprocessingPipeline,
+    STREAMING_STATISTICS,
+    SpectralFeatureExtractor,
+    StreamingFeatureExtractor,
+    sliding_windows,
+)
+from repro.preprocessing.features import DEFAULT_STATS, STATISTICS
+from repro.sensors.channels import N_CHANNELS
+
+PARITY = dict(rtol=0.0, atol=1e-9)
+
+
+def continuous_data(rng, n=1500):
+    """A continuous (n, 22) signal with offset-heavy channels.
+
+    Barometer (~1013 hPa) and ambient light (~hundreds of lux) stress the
+    prefix sums' cancellation resistance the way real recordings do.
+    """
+    data = rng.normal(size=(n, N_CHANNELS))
+    data[:, 19] += 1013.25
+    data[:, 20] = np.abs(data[:, 20]) * 300.0
+    return data
+
+
+def assert_column_parity(data, window_len, stride):
+    """Every feature column matches the batch extractor at 1e-9."""
+    batch = FeatureExtractor()
+    streaming = StreamingFeatureExtractor()
+    ref = batch.extract(sliding_windows(data, window_len, stride))
+    got = streaming.extract(data, window_len, stride=stride)
+    assert got.shape == ref.shape
+    for col, name in enumerate(batch.feature_names()):
+        np.testing.assert_allclose(
+            got[:, col], ref[:, col], err_msg=name, **PARITY
+        )
+
+
+class TestStreamingParity:
+    @pytest.mark.parametrize("stride", [120, 60, 30, 1])
+    def test_default_window_all_strides(self, rng, stride):
+        assert_column_parity(continuous_data(rng), 120, stride)
+
+    @pytest.mark.parametrize("window_len,stride", [
+        (7, 3),      # odd, below the prefix-sum threshold
+        (31, 7),     # odd
+        (119, 17),   # odd, just under the paper window
+        (1, 1),      # degenerate single-sample windows
+    ])
+    def test_odd_and_tiny_window_lengths(self, rng, window_len, stride):
+        assert_column_parity(continuous_data(rng, n=800), window_len, stride)
+
+    def test_stride_longer_than_window(self, rng):
+        assert_column_parity(continuous_data(rng), 120, 250)
+
+    def test_constant_signal_zcr_slope_edge_cases(self):
+        data = np.full((600, N_CHANNELS), 3.7)
+        assert_column_parity(data, 120, 60)
+        streaming = StreamingFeatureExtractor()
+        feats = streaming.extract(data, 120, stride=60)
+        names = streaming.feature_names()
+        for stat in ("zcr", "slope", "std", "iqr", "mad"):
+            cols = [i for i, name in enumerate(names) if name.endswith(stat)]
+            np.testing.assert_allclose(feats[:, cols], 0.0, atol=1e-9)
+
+    def test_linear_ramp_slope(self, rng):
+        data = np.tile(np.arange(900.0)[:, None], (1, N_CHANNELS))
+        assert_column_parity(data, 120, 40)
+
+    def test_empty_when_data_shorter_than_window(self, rng):
+        streaming = StreamingFeatureExtractor()
+        out = streaming.extract(rng.normal(size=(50, N_CHANNELS)), 120)
+        assert out.shape == (0, streaming.n_features)
+        out = streaming.extract(np.empty((0, N_CHANNELS)), 120)
+        assert out.shape == (0, streaming.n_features)
+
+    def test_custom_config_subset(self, rng):
+        config = FeatureConfig(
+            signals=("accel_mag", "baro"), stats=("median", "slope", "min")
+        )
+        batch = FeatureExtractor(config)
+        streaming = StreamingFeatureExtractor(config)
+        data = continuous_data(rng)
+        ref = batch.extract(sliding_windows(data, 64, 16))
+        got = streaming.extract(data, 64, stride=16)
+        np.testing.assert_allclose(got, ref, **PARITY)
+        assert streaming.feature_names() == batch.feature_names()
+
+    def test_unknown_stat_falls_back_to_batch_impl(self, rng):
+        STATISTICS["ptp"] = lambda s: s.max(axis=1) - s.min(axis=1)
+        try:
+            config = FeatureConfig(signals=("gyro_mag",), stats=("ptp", "mean"))
+            data = continuous_data(rng)
+            got = StreamingFeatureExtractor(config).extract(data, 120, stride=60)
+            ref = FeatureExtractor(config).extract(sliding_windows(data, 120, 60))
+            np.testing.assert_allclose(got, ref, **PARITY)
+        finally:
+            del STATISTICS["ptp"]
+
+    def test_every_default_stat_has_streaming_impl(self):
+        assert set(DEFAULT_STATS) == set(STREAMING_STATISTICS)
+        assert MIN_PREFIX_WINDOW_LEN >= 2
+
+    def test_validation_errors(self, rng):
+        streaming = StreamingFeatureExtractor()
+        with pytest.raises(DataShapeError):
+            streaming.extract(np.zeros(100), 10)
+        with pytest.raises(DataShapeError):
+            streaming.extract(np.zeros((100, 3)), 10)
+        with pytest.raises(ConfigurationError):
+            streaming.extract(np.zeros((100, N_CHANNELS)), 0)
+        with pytest.raises(ConfigurationError):
+            streaming.extract(np.zeros((100, N_CHANNELS)), 10, stride=0)
+
+
+class TestSlidingWindowsView:
+    def test_copy_false_is_readonly_view(self, rng):
+        data = rng.normal(size=(600, 4))
+        view = sliding_windows(data, 120, 60, copy=False)
+        copied = sliding_windows(data, 120, 60)
+        np.testing.assert_array_equal(view, copied)
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view[0, 0, 0] = 1.0
+
+    def test_copy_false_shares_memory_with_source(self, rng):
+        data = rng.normal(size=(600, 4))
+        view = sliding_windows(data, 120, 60, copy=False)
+        assert np.shares_memory(view, data)
+        assert not np.shares_memory(sliding_windows(data, 120, 60), data)
+
+    def test_default_copy_stays_writable(self, rng):
+        windows = sliding_windows(rng.normal(size=(600, 4)), 120)
+        windows[0, 0, 0] = 42.0  # must not raise
+        assert windows[0, 0, 0] == 42.0
+
+    def test_dtype_none_preserves_float32(self, rng):
+        data = rng.normal(size=(600, 4)).astype(np.float32)
+        assert sliding_windows(data, 120, dtype=None).dtype == np.float32
+        assert sliding_windows(data, 120).dtype == np.float64
+        view = sliding_windows(data, 120, copy=False, dtype=None)
+        assert view.dtype == np.float32
+        assert np.shares_memory(view, data)
+
+    def test_empty_result_respects_dtype(self):
+        data = np.zeros((10, 4), dtype=np.float32)
+        assert sliding_windows(data, 120, dtype=None).dtype == np.float32
+
+
+class TestPipelineStreamingPlumbing:
+    def test_raw_stream_features_rejects_non_2d(self):
+        pipeline = PreprocessingPipeline()
+        with pytest.raises(DataShapeError):
+            pipeline.raw_stream_features(np.zeros(240))
+
+    def test_streaming_extractor_tracks_extractor_reassignment(self):
+        pipeline = PreprocessingPipeline()
+        first = pipeline.streaming_extractor
+        assert first is not None
+        pipeline.extractor = FeatureExtractor(
+            FeatureConfig(signals=("accel_mag",), stats=("mean",))
+        )
+        second = pipeline.streaming_extractor
+        assert second is not first
+        assert second.config is pipeline.extractor.config
+        pipeline.extractor = SpectralFeatureExtractor()
+        assert pipeline.streaming_extractor is None
