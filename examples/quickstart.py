@@ -46,6 +46,21 @@ def main() -> None:
               f"(confidence {result.confidence:.2f}, "
               f"{result.latency_ms:.1f} ms)")
 
+    # --- Chunked streaming: sensor data arrives tick by tick ----------- #
+    # A StreamSession carries the sample tail across ticks, so windows
+    # straddling a chunk boundary are classified, never dropped — the
+    # verdicts match one infer_stream call over the whole recording.
+    print("\nStreaming the same walk in 100-sample ticks:")
+    walk = phone.record("walk", 5.0).data
+    session = edge.open_stream()
+    verdicts = []
+    for start in range(0, walk.shape[0], 100):
+        batch = edge.infer_chunk(session, walk[start:start + 100])
+        verdicts.extend(batch.names)
+    verdicts.extend(edge.finish_stream(session).names)
+    print(f"  {len(verdicts)} windows classified across "
+          f"{-(-walk.shape[0] // 100)} ticks: {verdicts}")
+
     # --- Learn a new custom activity on the device -------------------- #
     print("\nRecording 25 s of a new gesture and learning it on-device...")
     recording = phone.record("gesture_hi", 25.0)

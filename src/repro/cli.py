@@ -103,7 +103,9 @@ def _add_fleet(subparsers) -> None:
                           "each (default 5)")
     cmd.add_argument("--chunk-seconds", type=float, default=1.0,
                      help="raw samples each session uploads per tick "
-                          "(default 1.0 s = one window)")
+                          "(default 1.0 s = one window); need not align "
+                          "to windows — each session's leftover tail "
+                          "carries over to the next tick")
     cmd.add_argument("--overlap", type=float, default=0.0,
                      help="window overlap fraction in [0, 1) used when "
                           "segmenting each chunk (default 0, "
@@ -206,9 +208,11 @@ def _cmd_fleet(args) -> int:
     """Serve ``--sessions`` simulated devices for ``--ticks`` rounds.
 
     Every round records ``--chunk-seconds`` of raw sensor samples per
-    device; the FleetServer segments and featurizes each chunk ONCE through
-    the streaming O(n) path and classifies every window of the whole fleet
-    in a single batched engine pass — the serving pattern for continuous
+    device; the FleetServer folds each chunk into the session's carry-over
+    stream (windows straddling tick boundaries are classified, not
+    dropped), featurizes only the newly completed windows through the
+    O(chunk) path, and classifies every window of the whole fleet in a
+    single batched engine pass — the serving pattern for continuous
     high-overlap traffic.
     """
     if not 0.0 <= args.overlap < 1.0:
@@ -249,10 +253,16 @@ def _cmd_fleet(args) -> int:
 
     summary = server.summary()
     total = int(summary["windows_served"])
+    buffered = sum(
+        session.stream.pending_samples
+        for session in server.sessions.values()
+        if session.stream is not None
+    )
     print(f"served {total} windows across {args.sessions} sessions "
           f"in {args.ticks} ticks")
     print(f"engine throughput: {summary['windows_per_sec']:.0f} windows/s "
           f"({summary['serve_ms']:.1f} ms total inference)")
+    print(f"buffered tail awaiting the next tick: {buffered} samples")
     accuracy = correct / total if total else 0.0
     print(f"smoothed fleet accuracy: {accuracy * 100:.0f}%")
     return 0 if accuracy >= 0.5 else 1

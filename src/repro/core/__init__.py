@@ -14,6 +14,7 @@ from .engine import (
     FleetServer,
     InferenceEngine,
     SessionVerdict,
+    StreamSession,
 )
 from .incremental import (
     IncrementalConfig,
@@ -66,6 +67,7 @@ __all__ = [
     "ProvisioningReport",
     "SELECTION_STRATEGIES",
     "SessionVerdict",
+    "StreamSession",
     "SupportSet",
     "TransferPackage",
     "TransferRecord",

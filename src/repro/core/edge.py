@@ -23,7 +23,7 @@ import numpy as np
 from ..exceptions import DataShapeError, NotFittedError
 from ..sensors.device import Recording
 from ..utils import RngLike, check_2d, ensure_rng
-from .engine import BatchInference, InferenceEngine
+from .engine import BatchInference, InferenceEngine, StreamSession
 from .incremental import IncrementalConfig, IncrementalLearner, UpdateResult
 from .ncm import NCMClassifier
 from .privacy import CLOUD_TO_EDGE, EDGE_TO_CLOUD, NetworkLink, PrivacyGuard
@@ -169,6 +169,30 @@ class EdgeDevice:
         """
         self._require_ready()
         return self.engine.infer_stream(data, stride=stride, dtype=dtype)
+
+    def open_stream(
+        self, stride: Optional[int] = None, denoise: str = "auto", dtype=None
+    ) -> StreamSession:
+        """Open a chunked streaming session against the installed model.
+
+        The carry-over twin of :meth:`infer_stream` for sensor data that
+        arrives tick by tick; see
+        :meth:`~repro.core.engine.InferenceEngine.open_stream`.
+        """
+        self._require_ready()
+        return self.engine.open_stream(stride=stride, denoise=denoise, dtype=dtype)
+
+    def infer_chunk(
+        self, session: StreamSession, chunk: np.ndarray
+    ) -> BatchInference:
+        """Classify every window completed by one raw chunk, O(chunk)."""
+        self._require_ready()
+        return self.engine.infer_chunk(session, chunk)
+
+    def finish_stream(self, session: StreamSession) -> BatchInference:
+        """Close a chunked session; classify the flushed last windows."""
+        self._require_ready()
+        return self.engine.finish_stream(session)
 
     def infer_features(self, features: np.ndarray) -> np.ndarray:
         """Classify pre-processed feature rows; returns integer labels."""

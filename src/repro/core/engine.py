@@ -28,7 +28,6 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 import numpy as np
 
 from ..exceptions import ConfigurationError, DataShapeError, NotFittedError
-from ..preprocessing.segmentation import sliding_windows
 from ..utils import Timer, check_2d, check_3d
 from .ncm import NCMClassifier
 from .openset import UNKNOWN_LABEL, UNKNOWN_NAME, OpenSetNCM, accept_from_distances
@@ -240,17 +239,20 @@ class InferenceEngine:
     # entry points
     # ------------------------------------------------------------------ #
 
+    def _require_pipeline(self, purpose: str) -> None:
+        if self.pipeline is None:
+            raise ConfigurationError(
+                f"engine has no pipeline; construct with pipeline= to "
+                f"{purpose}"
+            )
+
     def infer_windows(self, windows: np.ndarray) -> BatchInference:
         """Raw windows ``(k, window_len, channels)`` -> batch verdicts.
 
         The canonical inference entry point: one fused vectorized pass
         through denoise, features, normalize, embed, distances, rejection.
         """
-        if self.pipeline is None:
-            raise ConfigurationError(
-                "engine has no pipeline; construct with pipeline= to infer "
-                "raw windows, or use infer_features()"
-            )
+        self._require_pipeline("infer raw windows, or use infer_features()")
         arr = check_3d("windows", windows)
         timer = Timer().__enter__()
         features = self.pipeline.process_windows(arr)
@@ -285,15 +287,78 @@ class InferenceEngine:
         ``dtype`` selects the compute dtype of the distance matrix (see
         :meth:`distances_from_embeddings`); ``np.float32`` trades the last
         bits of distance precision for half the matmul bandwidth.
+
+        For recordings that arrive tick by tick rather than all at once,
+        use the chunked twin — :meth:`open_stream` + :meth:`infer_chunk` —
+        which carries the unconsumed sample tail across calls and yields
+        the same verdict sequence without buffering the whole recording.
         """
-        if self.pipeline is None:
-            raise ConfigurationError(
-                "engine has no pipeline; construct with pipeline= to infer "
-                "a raw stream, or use infer_features()"
-            )
+        self._require_pipeline("infer a raw stream, or use infer_features()")
         arr = check_2d("data", data)
         timer = Timer().__enter__()
         features = self.pipeline.process_stream(arr, stride=stride)
+        return self._finish_features(features, dtype, timer)
+
+    def open_stream(
+        self,
+        stride: Optional[int] = None,
+        denoise: str = "auto",
+        dtype=None,
+    ) -> "StreamSession":
+        """Open a chunked streaming-inference session.
+
+        The carry-over twin of :meth:`infer_stream` for unbounded
+        recordings that arrive tick by tick: feed each raw chunk to
+        :meth:`infer_chunk` and the session's pipeline state buffers the
+        tail that has not yet completed a window, so across any chunking
+        the concatenated verdicts equal one :meth:`infer_stream` call over
+        the whole recording (exactly the same windows; labels/accepts
+        identical and distances to the streaming parity budget when the
+        pipeline's denoiser is chunk-capable — see
+        :meth:`~repro.preprocessing.pipeline.PreprocessingPipeline.open_stream`).
+        ``dtype`` is remembered on the session and selects the distance
+        compute dtype of every chunk (see :meth:`distances_from_embeddings`).
+        """
+        self._require_pipeline("stream raw chunks")
+        return StreamSession(
+            self,
+            self.pipeline.open_stream(stride=stride, denoise=denoise),
+            dtype=dtype,
+        )
+
+    def infer_chunk(
+        self, session: "StreamSession", chunk: np.ndarray
+    ) -> BatchInference:
+        """One raw chunk ``(n, channels)`` -> verdicts of completed windows.
+
+        Returns a (possibly empty) batch covering every window the chunk
+        completed, including windows straddling the previous chunk
+        boundary; O(chunk) work — buffered samples are never re-featurized.
+        """
+        self._require_pipeline("stream raw chunks")
+        timer = Timer().__enter__()
+        features = self.pipeline.process_chunk(session.state, chunk)
+        batch = self._finish_features(features, session.dtype, timer)
+        session.windows_inferred += len(batch)
+        return batch
+
+    def finish_stream(self, session: "StreamSession") -> BatchInference:
+        """Close a chunked session; verdicts of the flushed last windows.
+
+        Bounded-lookahead denoisers hold back their final samples until the
+        signal end is known; this flushes them and classifies any windows
+        they complete.  The session is closed afterwards.
+        """
+        self._require_pipeline("stream raw chunks")
+        timer = Timer().__enter__()
+        features = self.pipeline.finish_stream(session.state)
+        batch = self._finish_features(features, session.dtype, timer)
+        session.windows_inferred += len(batch)
+        return batch
+
+    def _finish_features(
+        self, features: np.ndarray, dtype, timer: Timer
+    ) -> BatchInference:
         embeddings = self.embedder.embed(features)
         dists = self.distances_from_embeddings(embeddings, dtype=dtype)
         return self._assemble(dists, timer)
@@ -315,6 +380,56 @@ class InferenceEngine:
     def predict_features(self, features: np.ndarray) -> np.ndarray:
         """Integer labels of feature rows (the protocol runner's path)."""
         return self.infer_features(features).labels
+
+
+class StreamSession:
+    """Carry-over state of one chunked streaming-inference session.
+
+    Pairs the engine with one
+    :class:`~repro.preprocessing.pipeline.StreamState`: the pipeline-level
+    buffer (sample tail, running offset, denoiser context) plus the
+    engine-level knobs (distance dtype) and counters.  Created by
+    :meth:`InferenceEngine.open_stream`; advanced by
+    :meth:`InferenceEngine.infer_chunk`; closed by
+    :meth:`InferenceEngine.finish_stream`.
+    """
+
+    def __init__(self, engine: InferenceEngine, state, dtype=None) -> None:
+        self.engine = engine
+        self.state = state
+        self.dtype = dtype
+        self.windows_inferred = 0
+
+    @property
+    def stride(self) -> int:
+        return self.state.stride
+
+    @property
+    def samples_in(self) -> int:
+        """Raw samples received across all chunks."""
+        return self.state.samples_in
+
+    @property
+    def pending_samples(self) -> int:
+        """Buffered samples awaiting enough data to complete a window."""
+        return self.state.pending_samples
+
+    @property
+    def chunk_invariant(self) -> bool:
+        """Whether verdicts are independent of the chunking (see pipeline)."""
+        return self.state.chunk_invariant
+
+    @property
+    def finished(self) -> bool:
+        return self.state.finished
+
+    def infer(self, chunk: np.ndarray) -> BatchInference:
+        """Sugar for :meth:`InferenceEngine.infer_chunk`."""
+        return self.engine.infer_chunk(self, chunk)
+
+    def finish(self) -> BatchInference:
+        """Sugar for :meth:`InferenceEngine.finish_stream`."""
+        return self.engine.finish_stream(self)
 
 
 # ---------------------------------------------------------------------- #
@@ -344,6 +459,7 @@ class EdgeSession:
     def __init__(self, session_id: str, smoother=None) -> None:
         self.session_id = str(session_id)
         self.smoother = smoother
+        self.stream: Optional[StreamSession] = None  # chunk carry-over state
         self.windows_seen = 0
         self.rejected_windows = 0
         self.last_verdict: Optional[SessionVerdict] = None
@@ -373,6 +489,7 @@ class EdgeSession:
     def reset(self) -> None:
         if self.smoother is not None:
             self.smoother.reset()
+        self.stream = None
         self.windows_seen = 0
         self.rejected_windows = 0
         self.last_verdict = None
@@ -495,24 +612,34 @@ class FleetServer:
         chunks_by_session: Mapping[str, np.ndarray],
         stride: Optional[int] = None,
     ) -> Dict[str, List[SessionVerdict]]:
-        """Serve raw continuous sample chunks: segment + featurize once.
+        """Serve raw continuous sample chunks with per-session carry-over.
 
         Where :meth:`step` takes one pre-cut window per session,
         ``step_stream`` takes a raw ``(n_samples, channels)`` chunk of any
         length per session — the natural payload of a device that just
-        uploads its sensor buffer every tick.  Each chunk is segmented and
-        featurized ONCE: at the default non-overlapping stride the
-        per-session windows (zero-copy views) are stacked and the whole
-        fleet's featurization runs as one batched pipeline pass; at
-        overlapping strides each session goes through the O(n) streaming
-        feature path so shared samples are never re-featurized.  Every
-        window of every session then flows through a *single* batched
-        model call, and each session's verdicts fold through its smoother
-        in window order.
+        uploads its sensor buffer every tick.  Each session owns a
+        :class:`StreamSession`: the chunk is folded into the session's
+        carry-over buffer and every window it *completes* — including
+        windows straddling the previous tick's boundary — is featurized
+        once through the O(chunk) chunked pipeline path.  Every window of
+        every session then flows through a *single* batched model call,
+        and each session's verdicts fold through its smoother in window
+        order.  Across any tick sizes (ragged, even 1-sample) a session's
+        concatenated verdicts equal one
+        :meth:`InferenceEngine.infer_stream` call over its whole
+        recording: no sample is ever dropped at a chunk boundary.
 
         Returns the per-session verdict lists in input order; a chunk too
-        short for a complete window yields an empty list for that session
-        (no complete window yet — the buffer simply keeps filling).
+        short to complete a window yields an empty list for that session
+        (no complete window yet — the buffer keeps filling and the pending
+        tail is classified by a later tick, or flushed by
+        :meth:`finish_stream` when the recording ends).  Sessions absent
+        from the mapping skip the tick; their buffers are untouched.  All chunks
+        are validated up front (shape, channel count against both this
+        tick's batch and the session's earlier chunks) before any
+        session's stream state advances, and the serving counters
+        (``ticks``/``serve_ms``/``windows_served``) are only updated after
+        the batched engine call succeeds.
         """
         if not chunks_by_session:
             return {}
@@ -521,10 +648,10 @@ class FleetServer:
             raise ConfigurationError(
                 "FleetServer needs an engine with a pipeline (raw chunks in)"
             )
-        featurize_timer = Timer().__enter__()
         stride_val = pipeline.stride if stride is None else int(stride)
         ids: List[str] = []
         arrays: List[np.ndarray] = []
+        n_channels: Optional[int] = None
         for session_id, chunk in chunks_by_session.items():
             session = self.session(session_id)  # raises for unknown ids
             arr = np.asarray(chunk, dtype=np.float64)
@@ -533,48 +660,58 @@ class FleetServer:
                     f"session {session.session_id!r} chunk must be 2-D "
                     f"(samples, channels), got {arr.shape}"
                 )
+            if n_channels is None:
+                n_channels = int(arr.shape[1])
+            elif arr.shape[1] != n_channels:
+                raise DataShapeError(
+                    f"session {session.session_id!r} chunk has "
+                    f"{arr.shape[1]} channels, differs from the batch's "
+                    f"{n_channels} (session {ids[0]!r})"
+                )
+            if session.stream is not None:
+                if session.stream.stride != stride_val:
+                    raise ConfigurationError(
+                        f"session {session.session_id!r} streams at stride "
+                        f"{session.stream.stride}, cannot switch to "
+                        f"{stride_val} mid-stream (reset() the session to "
+                        f"restart)"
+                    )
+                locked = session.stream.state.n_channels
+                if locked is not None and arr.shape[1] != locked:
+                    raise DataShapeError(
+                        f"session {session.session_id!r} chunk has "
+                        f"{arr.shape[1]} channels, its stream started with "
+                        f"{locked}"
+                    )
             ids.append(session.session_id)
             arrays.append(arr)
-        if stride_val == pipeline.window_len:
-            # Non-overlapping: per-session windows are disjoint slices, so
-            # one fused batch featurizes the whole fleet (same semantics as
-            # per-session process_stream, k small pipeline calls fewer).
-            window_blocks = [
-                sliding_windows(arr, pipeline.window_len, stride_val, copy=False)
-                for arr in arrays
-            ]
-            counts = [block.shape[0] for block in window_blocks]
-            total = sum(counts)
-            features = (
-                pipeline.process_windows(
-                    np.concatenate(window_blocks, axis=0)
-                )
-                if total
-                else None
+        featurize_timer = Timer().__enter__()
+        feature_blocks: List[np.ndarray] = []
+        for session_id, arr in zip(ids, arrays):
+            session = self.sessions[session_id]
+            if session.stream is None:
+                session.stream = self.engine.open_stream(stride=stride_val)
+            feature_blocks.append(
+                pipeline.process_chunk(session.stream.state, arr)
             )
-        else:
-            feature_blocks = [
-                pipeline.process_stream(arr, stride=stride_val)
-                for arr in arrays
-            ]
-            counts = [block.shape[0] for block in feature_blocks]
-            total = sum(counts)
-            features = (
-                np.concatenate(feature_blocks, axis=0) if total else None
-            )
+        counts = [block.shape[0] for block in feature_blocks]
+        total = sum(counts)
         verdicts: Dict[str, List[SessionVerdict]] = {sid: [] for sid in ids}
-        self.ticks += 1
         featurize_timer.__exit__()
-        # Featurization is part of serving — charge it to serve_ms so the
-        # summary throughput stays comparable with step()'s fused timing.
-        self.serve_ms += featurize_timer.elapsed_ms
         if total == 0:
+            # Nothing to classify: the tick still happened and its
+            # featurization (buffer fills) is charged to serving time.
+            self.ticks += 1
+            self.serve_ms += featurize_timer.elapsed_ms
             return verdicts
-        batch = self.engine.infer_features(features)
+        batch = self.engine.infer_features(
+            np.concatenate(feature_blocks, axis=0)
+        )
         names = batch.names
         offset = 0
         for session_id, count in zip(ids, counts):
             session = self.sessions[session_id]
+            session.stream.windows_inferred += count
             for i in range(offset, offset + count):
                 verdicts[session_id].append(
                     session.observe(
@@ -582,6 +719,39 @@ class FleetServer:
                     )
                 )
             offset += count
+        # Serving stats only after the batched call succeeded, so an
+        # engine exception mid-tick cannot leave the counters claiming a
+        # tick that never served.  Featurization is part of serving —
+        # charge it to serve_ms so the summary throughput stays comparable
+        # with step()'s fused timing.
+        self.ticks += 1
+        self.windows_served += len(batch)
+        self.windows_rejected += int(np.count_nonzero(~batch.accepted))
+        self.serve_ms += featurize_timer.elapsed_ms + batch.latency_ms
+        return verdicts
+
+    def finish_stream(self, session_id: str) -> List[SessionVerdict]:
+        """Flush and close one session's chunk stream at end of recording.
+
+        Classifies any windows only completable once the signal end is
+        known (bounded-lookahead continuous denoisers hold back their last
+        samples until then) and folds them through the session's smoother;
+        the incomplete tail window is dropped, exactly like one monolithic
+        ``infer_stream`` call.  The session stays connected and keeps its
+        smoother state — the next :meth:`step_stream` chunk starts a fresh
+        stream.  A session with no open stream returns an empty list.
+        """
+        session = self.session(session_id)
+        if session.stream is None:
+            return []
+        batch = self.engine.finish_stream(session.stream)
+        session.stream = None
+        verdicts = [
+            session.observe(
+                batch.names[i], batch.confidences[i], batch.accepted[i]
+            )
+            for i in range(len(batch))
+        ]
         self.windows_served += len(batch)
         self.windows_rejected += int(np.count_nonzero(~batch.accepted))
         self.serve_ms += batch.latency_ms

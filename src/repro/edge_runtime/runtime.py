@@ -17,7 +17,7 @@ from typing import Dict, List, Union
 import numpy as np
 
 from ..core.edge import EdgeDevice, InferenceResult
-from ..core.engine import BatchInference
+from ..core.engine import BatchInference, StreamSession
 from ..core.incremental import UpdateResult
 from ..exceptions import NotFittedError, ResourceExceededError
 from ..sensors.device import Recording
@@ -104,6 +104,29 @@ class EdgeRuntime:
         if not self.edge.is_ready:
             raise NotFittedError("edge device is not provisioned")
         return self._charge_batch(self.edge.infer_stream(data, stride=stride))
+
+    def open_stream(
+        self, stride: int = None, denoise: str = "auto", dtype=None
+    ) -> StreamSession:
+        """Open a chunked streaming session on the wrapped device."""
+        if not self.edge.is_ready:
+            raise NotFittedError("edge device is not provisioned")
+        return self.edge.open_stream(stride=stride, denoise=denoise, dtype=dtype)
+
+    def infer_chunk(
+        self, session: StreamSession, chunk: np.ndarray
+    ) -> BatchInference:
+        """Chunked streaming inference, with every window the chunk
+        completed charged to the energy/latency budgets."""
+        if not self.edge.is_ready:
+            raise NotFittedError("edge device is not provisioned")
+        return self._charge_batch(self.edge.infer_chunk(session, chunk))
+
+    def finish_stream(self, session: StreamSession) -> BatchInference:
+        """Close a chunked session, charging any flushed windows."""
+        if not self.edge.is_ready:
+            raise NotFittedError("edge device is not provisioned")
+        return self._charge_batch(self.edge.finish_stream(session))
 
     def _charge_batch(self, batch: BatchInference) -> BatchInference:
         k = len(batch)

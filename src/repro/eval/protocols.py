@@ -197,10 +197,34 @@ class StreamEvalResult:
     latency_ms: float  # summed engine wall-clock over all segments
 
 
+def _segment_batches(
+    engine: InferenceEngine,
+    samples: np.ndarray,
+    stride: Optional[int],
+    chunk_len: Optional[int],
+):
+    """Yield the engine batches covering one labeled segment.
+
+    One fused ``infer_stream`` pass when ``chunk_len`` is ``None``;
+    otherwise the chunked path — a fresh
+    :class:`~repro.core.engine.StreamSession` fed ``chunk_len``-sample
+    ticks and flushed, exercising exactly what a serving tick loop runs.
+    """
+    if chunk_len is None:
+        yield engine.infer_stream(samples, stride=stride)
+        return
+    arr = np.asarray(samples, dtype=np.float64)
+    session = engine.open_stream(stride=stride)
+    for start in range(0, arr.shape[0], chunk_len):
+        yield engine.infer_chunk(session, arr[start : start + chunk_len])
+    yield engine.finish_stream(session)
+
+
 def run_stream_protocol(
     engine: InferenceEngine,
     segments: Sequence[Tuple[str, np.ndarray]],
     stride: Optional[int] = None,
+    chunk_len: Optional[int] = None,
 ) -> StreamEvalResult:
     """Evaluate continuous labeled recordings through ``infer_stream``.
 
@@ -214,11 +238,20 @@ def run_stream_protocol(
     :data:`~repro.core.openset.UNKNOWN_NAME` as a label scores rejection
     of out-of-set segments.
 
+    ``chunk_len`` switches to the chunked serving path: each segment is
+    fed to a per-segment :class:`~repro.core.engine.StreamSession` in
+    ``chunk_len``-sample ticks (then flushed), evaluating the same windows
+    through ``infer_chunk`` exactly as a fleet tick loop would see them —
+    the metrics match the monolithic pass, the wall-clock reflects
+    chunked serving.
+
     Segments too short for a complete window contribute zero windows; the
     protocol raises if *no* segment produced a window.
     """
     if not segments:
         raise ConfigurationError("segments must be non-empty")
+    if chunk_len is not None and chunk_len < 1:
+        raise ConfigurationError(f"chunk_len must be >= 1, got {chunk_len}")
     correct_by: Dict[str, int] = {}
     total_by: Dict[str, int] = {}
     n_windows = 0
@@ -227,19 +260,19 @@ def run_stream_protocol(
     confidence_sum = 0.0
     latency_ms = 0.0
     for label, samples in segments:
-        batch = engine.infer_stream(samples, stride=stride)
-        latency_ms += batch.latency_ms
-        k = len(batch)
-        if k == 0:
-            continue
-        names = batch.names
-        hits = sum(name == label for name in names)
-        n_windows += k
-        n_correct += hits
-        n_rejected += int(np.count_nonzero(~batch.accepted))
-        confidence_sum += float(batch.confidences.sum())
-        correct_by[label] = correct_by.get(label, 0) + hits
-        total_by[label] = total_by.get(label, 0) + k
+        for batch in _segment_batches(engine, samples, stride, chunk_len):
+            latency_ms += batch.latency_ms
+            k = len(batch)
+            if k == 0:
+                continue
+            names = batch.names
+            hits = sum(name == label for name in names)
+            n_windows += k
+            n_correct += hits
+            n_rejected += int(np.count_nonzero(~batch.accepted))
+            confidence_sum += float(batch.confidences.sum())
+            correct_by[label] = correct_by.get(label, 0) + hits
+            total_by[label] = total_by.get(label, 0) + k
     if n_windows == 0:
         raise DataShapeError(
             "no segment was long enough for a complete window"

@@ -7,7 +7,9 @@ time per window.
 
 from .denoise import (
     ButterworthLowpass,
+    ChunkLocalDenoiserStream,
     IdentityFilter,
+    LocalDenoiserStream,
     MedianFilter,
     MovingAverageFilter,
     denoiser_from_dict,
@@ -27,6 +29,7 @@ from .normalization import (
 )
 from .pipeline import (
     PreprocessingPipeline,
+    StreamState,
     extractor_from_dict,
     extractor_to_dict,
 )
@@ -47,12 +50,14 @@ from .spectral import (
 
 __all__ = [
     "ButterworthLowpass",
+    "ChunkLocalDenoiserStream",
     "DEFAULT_SIGNALS",
     "DEFAULT_STATS",
     "DERIVED_SIGNALS",
     "FeatureConfig",
     "FeatureExtractor",
     "IdentityFilter",
+    "LocalDenoiserStream",
     "MedianFilter",
     "MinMaxNormalizer",
     "MovingAverageFilter",
@@ -65,6 +70,7 @@ __all__ = [
     "SpectralConfig",
     "SpectralFeatureExtractor",
     "STATISTICS",
+    "StreamState",
     "STREAMING_STATISTICS",
     "StreamingFeatureExtractor",
     "ZScoreNormalizer",

@@ -12,6 +12,17 @@ Each filter operates column-wise on ``(n_samples, n_channels)`` arrays,
 carries its configuration in plain attributes and round-trips through
 ``to_dict``/``from_dict`` so it can ship inside the Cloud-to-Edge transfer
 package.
+
+Filters whose output at sample ``i`` depends only on a bounded neighborhood
+``[i - L, i + L]`` additionally expose ``make_stream()`` returning a
+:class:`LocalDenoiserStream`: a chunked applicator that emits, across *any*
+split of the signal into chunks, exactly the samples ``apply(whole_signal)``
+would produce (delayed by the ``L``-sample lookahead, flushed by
+``finish()``).  :class:`ButterworthLowpass` deliberately has no
+``make_stream`` — ``filtfilt``'s backward pass depends on unboundedly many
+future samples, so exact chunked application is impossible; chunked
+pipelines fall back to per-chunk application for it (see
+:meth:`~repro.preprocessing.pipeline.PreprocessingPipeline.open_stream`).
 """
 
 from __future__ import annotations
@@ -22,8 +33,133 @@ import numpy as np
 from scipy import signal as _signal
 from scipy.ndimage import median_filter as _median_filter
 
-from ..exceptions import ConfigurationError, SerializationError
+from ..exceptions import ConfigurationError, DataShapeError, SerializationError
 from ..utils import check_3d
+
+
+class LocalDenoiserStream:
+    """Exact chunked application of a finite-context denoiser.
+
+    For a centered filter whose output ``i`` depends only on inputs
+    ``[i - lookahead, i + lookahead]`` (with edge padding at the true
+    signal boundaries), the last ``lookahead`` outputs of any prefix are
+    not yet final — they still await future samples.  The stream therefore
+    holds the raw context ``[n_out - lookahead, n_in)`` and, on every
+    :meth:`push`, re-applies the filter over that small buffer to emit the
+    newly-finalized samples.  Interior outputs of ``apply`` depend only on
+    their own input neighborhood, so the emitted samples are bit-identical
+    to ``apply`` over the whole signal regardless of how it was chunked;
+    :meth:`finish` flushes the final ``lookahead`` samples using the true
+    right-edge padding.
+    """
+
+    def __init__(self, denoiser, lookahead: int) -> None:
+        if lookahead < 0:
+            raise ConfigurationError(
+                f"lookahead must be >= 0, got {lookahead}"
+            )
+        self.denoiser = denoiser
+        self.lookahead = int(lookahead)
+        self._buffer: np.ndarray = None  # raw samples [base, n_in)
+        self._base = 0  # global index of _buffer[0]; max(0, n_out - L)
+        self._n_in = 0
+        self._n_out = 0
+        self._finished = False
+
+    @property
+    def samples_in(self) -> int:
+        return self._n_in
+
+    @property
+    def samples_out(self) -> int:
+        return self._n_out
+
+    def _empty(self) -> np.ndarray:
+        channels = self._buffer.shape[1] if self._buffer is not None else 0
+        return np.empty((0, channels))
+
+    def push(self, chunk: np.ndarray) -> np.ndarray:
+        """Feed raw samples; returns the newly-finalized denoised samples."""
+        if self._finished:
+            raise ConfigurationError("denoiser stream is finished")
+        arr = np.asarray(chunk, dtype=np.float64)
+        if arr.ndim != 2:
+            raise DataShapeError(
+                f"chunk must be 2-D (samples, channels), got {arr.shape}"
+            )
+        if self._buffer is None:
+            # Copy: the buffer outlives this call and callers may reuse
+            # their chunk arrays (e.g. a preallocated ring buffer).
+            self._buffer = arr.copy()
+        elif arr.shape[1] != self._buffer.shape[1]:
+            raise DataShapeError(
+                f"chunk has {arr.shape[1]} channels, stream started with "
+                f"{self._buffer.shape[1]}"
+            )
+        elif arr.shape[0]:
+            self._buffer = np.concatenate([self._buffer, arr], axis=0)
+        self._n_in += arr.shape[0]
+        emit_hi = self._n_in - self.lookahead
+        if emit_hi <= self._n_out:
+            return self._empty()
+        out = self.denoiser.apply(self._buffer)
+        # Copy so the emitted block doesn't pin the filtered buffer alive.
+        emitted = out[self._n_out - self._base : emit_hi - self._base].copy()
+        self._n_out = emit_hi
+        keep_from = max(0, self._n_out - self.lookahead)
+        if keep_from > self._base:
+            self._buffer = self._buffer[keep_from - self._base :].copy()
+            self._base = keep_from
+        return emitted
+
+    def finish(self) -> np.ndarray:
+        """Flush the pending ``lookahead`` samples with true end padding."""
+        if self._finished:
+            raise ConfigurationError("denoiser stream is finished")
+        self._finished = True
+        if self._buffer is None or self._n_out >= self._n_in:
+            return self._empty()
+        out = self.denoiser.apply(self._buffer)
+        emitted = out[self._n_out - self._base :].copy()
+        self._n_out = self._n_in
+        return emitted
+
+
+class ChunkLocalDenoiserStream:
+    """Per-chunk fallback for denoisers without a bounded context.
+
+    Applies the denoiser to each chunk in isolation — no carried state, so
+    the output near chunk boundaries differs marginally from ``apply`` over
+    the whole signal (the same caveat class as denoising overlapping
+    windows independently).  Used by the chunked pipeline when the
+    configured denoiser has no ``make_stream``.
+    """
+
+    lookahead = 0
+
+    def __init__(self, denoiser) -> None:
+        self.denoiser = denoiser
+        self._channels = 0
+        self._finished = False
+
+    def push(self, chunk: np.ndarray) -> np.ndarray:
+        if self._finished:
+            raise ConfigurationError("denoiser stream is finished")
+        arr = np.asarray(chunk, dtype=np.float64)
+        if arr.ndim != 2:
+            raise DataShapeError(
+                f"chunk must be 2-D (samples, channels), got {arr.shape}"
+            )
+        self._channels = arr.shape[1]
+        if arr.shape[0] == 0:
+            return arr
+        return self.denoiser.apply(arr)
+
+    def finish(self) -> np.ndarray:
+        if self._finished:
+            raise ConfigurationError("denoiser stream is finished")
+        self._finished = True
+        return np.empty((0, self._channels))
 
 
 class IdentityFilter:
@@ -35,6 +171,10 @@ class IdentityFilter:
     def apply_batch(self, windows: np.ndarray) -> np.ndarray:
         """Batch-axis no-op over ``(k, window_len, channels)`` windows."""
         return check_3d("windows", windows)
+
+    def make_stream(self) -> LocalDenoiserStream:
+        """Chunked no-op: every pushed sample is final immediately."""
+        return LocalDenoiserStream(self, 0)
 
     def to_dict(self) -> Dict:
         return {"kind": "identity"}
@@ -71,6 +211,10 @@ class MovingAverageFilter:
             out[:, col] = np.convolve(padded[:, col], kernel, "valid")
         return out
 
+    def make_stream(self) -> LocalDenoiserStream:
+        """Chunked applicator: output ``i`` needs inputs up to ``i + size//2``."""
+        return LocalDenoiserStream(self, self.size // 2)
+
     def to_dict(self) -> Dict:
         return {"kind": "moving_average", "size": self.size}
 
@@ -99,6 +243,10 @@ class MedianFilter:
         if arr.ndim == 1:
             return _median_filter(arr, size=self.size, mode="nearest")
         return _median_filter(arr, size=(self.size, 1), mode="nearest")
+
+    def make_stream(self) -> LocalDenoiserStream:
+        """Chunked applicator: output ``i`` needs inputs up to ``i + size//2``."""
+        return LocalDenoiserStream(self, self.size // 2)
 
     def to_dict(self) -> Dict:
         return {"kind": "median", "size": self.size}

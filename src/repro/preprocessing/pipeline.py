@@ -14,7 +14,13 @@ entry points:
   the O(n) :class:`~repro.preprocessing.streaming.StreamingFeatureExtractor`
   path: no window cube is ever materialized, and at the default
   non-overlapping stride the per-window verdicts match
-  :meth:`process_windows` on the segmented recording exactly.
+  :meth:`process_windows` on the segmented recording exactly;
+- :meth:`open_stream` / :meth:`process_chunk` / :meth:`finish_stream` — the
+  *chunked* twin of :meth:`process_stream` for unbounded recordings that
+  arrive tick by tick: a :class:`StreamState` carries the sample tail that
+  has not yet completed a window (plus the denoiser's lookahead context)
+  across chunks, so no window straddling a chunk boundary is ever lost and
+  no buffered sample is ever re-featurized.
 
 The normalizer is fitted exactly once (on the Cloud) via
 :meth:`fit_normalizer`; the fitted pipeline round-trips through
@@ -35,11 +41,17 @@ from ..exceptions import (
     SerializationError,
 )
 from ..utils import check_3d
+from ..sensors.channels import N_CHANNELS
 from ..sensors.device import Recording
-from .denoise import ButterworthLowpass, IdentityFilter, denoiser_from_dict
+from .denoise import (
+    ButterworthLowpass,
+    ChunkLocalDenoiserStream,
+    IdentityFilter,
+    denoiser_from_dict,
+)
 from .features import FeatureConfig, FeatureExtractor
 from .normalization import ZScoreNormalizer, normalizer_from_dict
-from .segmentation import sliding_windows
+from .segmentation import sliding_windows, window_count
 from .spectral import (
     CombinedFeatureExtractor,
     SpectralConfig,
@@ -81,6 +93,58 @@ def extractor_from_dict(payload: Dict):
             [extractor_from_dict(part) for part in payload["parts"]]
         )
     raise SerializationError(f"unknown extractor kind {kind!r}")
+
+
+class StreamState:
+    """Carry-over state of one chunked stream through the pipeline.
+
+    Created by :meth:`PreprocessingPipeline.open_stream` and advanced by
+    :meth:`PreprocessingPipeline.process_chunk`: holds the sample tail that
+    has not yet completed a window (at most ``window_len - 1`` samples —
+    the ``window_len - stride`` carry shared with the next window plus the
+    unconsumed remainder), the running sample offset, and the denoiser's
+    chunked state, so an unbounded recording streams through the pipeline
+    in O(chunk) work per tick with no window lost at chunk boundaries and
+    no buffered sample ever re-featurized.
+
+    ``chunk_invariant`` records whether the feature stream is independent
+    of how the recording was split into chunks: true for windowed
+    denoising (each window is denoised in isolation) and for denoisers
+    with an exact chunked applicator
+    (:class:`~repro.preprocessing.denoise.LocalDenoiserStream`); false for
+    unbounded-context denoisers (Butterworth), which fall back to
+    per-chunk application with marginal chunk-boundary differences.
+    """
+
+    def __init__(
+        self,
+        window_len: int,
+        stride: int,
+        denoise: str,
+        denoiser_stream=None,
+        chunk_invariant: bool = True,
+    ) -> None:
+        self.window_len = int(window_len)
+        self.stride = int(stride)
+        self.denoise = denoise
+        self.denoiser_stream = denoiser_stream
+        self.chunk_invariant = bool(chunk_invariant)
+        self.buffer: Optional[np.ndarray] = None  # raw (windowed) / denoised
+        self.n_channels: Optional[int] = None  # locked by the first chunk
+        self.samples_in = 0  # raw samples received across all chunks
+        self.windows_out = 0  # windows emitted across all chunks
+        self.finished = False
+        self._skip = 0  # samples to drop before the next window (stride > w)
+
+    @property
+    def pending_samples(self) -> int:
+        """Buffered samples awaiting enough data to complete a window."""
+        return 0 if self.buffer is None else int(self.buffer.shape[0])
+
+    @property
+    def next_window_start(self) -> int:
+        """Sample offset (into the whole recording) of the next window."""
+        return self.windows_out * self.stride
 
 
 class PreprocessingPipeline:
@@ -147,6 +211,21 @@ class PreprocessingPipeline:
         return getattr(self.normalizer, "is_fitted", False)
 
     @property
+    def expected_channels(self) -> Optional[int]:
+        """The channel count the configured extractor requires, if known.
+
+        All built-in extractors (statistical, spectral, combined) operate
+        on the fixed sensor layout; user-supplied extractor types return
+        ``None`` (unknown) and validate their own inputs.
+        """
+        if isinstance(
+            self.extractor,
+            (FeatureExtractor, SpectralFeatureExtractor, CombinedFeatureExtractor),
+        ):
+            return N_CHANNELS
+        return None
+
+    @property
     def streaming_extractor(self) -> Optional[StreamingFeatureExtractor]:
         """The O(n) streaming twin of the configured extractor.
 
@@ -211,6 +290,31 @@ class PreprocessingPipeline:
         """One raw window -> one normalized feature vector ``(d,)``."""
         return self.process_windows(np.asarray(window)[None, :, :])[0]
 
+    def _resolve_stream_args(
+        self, stride: Optional[int], denoise: str
+    ) -> "tuple[int, str]":
+        """Shared stride/denoise-mode resolution of the stream entry points.
+
+        One implementation keeps :meth:`raw_stream_features` and
+        :meth:`open_stream` accepting exactly the same combinations.
+        """
+        stride = self.stride if stride is None else int(stride)
+        if stride < 1:
+            raise ConfigurationError(f"stride must be >= 1, got {stride}")
+        if denoise == "auto":
+            denoise = "windowed" if stride == self.window_len else "stream"
+        if denoise not in ("windowed", "stream"):
+            raise ConfigurationError(
+                f"denoise must be 'auto', 'windowed' or 'stream', "
+                f"got {denoise!r}"
+            )
+        if denoise == "windowed" and stride != self.window_len:
+            raise ConfigurationError(
+                "windowed denoising requires the non-overlapping stride "
+                f"(window_len={self.window_len}), got stride={stride}"
+            )
+        return stride, denoise
+
     def raw_stream_features(
         self, data: np.ndarray, stride: Optional[int] = None,
         denoise: str = "auto",
@@ -239,23 +343,17 @@ class PreprocessingPipeline:
             raise DataShapeError(
                 f"data must be 2-D (n, channels), got {arr.shape}"
             )
-        stride = self.stride if stride is None else int(stride)
-        if stride < 1:
-            raise ConfigurationError(f"stride must be >= 1, got {stride}")
-        if denoise == "auto":
-            denoise = "windowed" if stride == self.window_len else "stream"
-        if denoise not in ("windowed", "stream"):
-            raise ConfigurationError(
-                f"denoise must be 'auto', 'windowed' or 'stream', "
-                f"got {denoise!r}"
+        # Validate channels up front so short malformed inputs fail the
+        # same way long ones do, instead of slipping through the
+        # zero-window early return below.
+        expected = self.expected_channels
+        if expected is not None and arr.shape[1] != expected:
+            raise DataShapeError(
+                f"data must have {expected} channels, got {arr.shape[1]}"
             )
+        stride, denoise = self._resolve_stream_args(stride, denoise)
         streaming = self.streaming_extractor
         if denoise == "windowed":
-            if stride != self.window_len:
-                raise ConfigurationError(
-                    "windowed denoising requires the non-overlapping stride "
-                    f"(window_len={self.window_len}), got stride={stride}"
-                )
             windows = sliding_windows(arr, self.window_len, stride, copy=False)
             if windows.shape[0] == 0:
                 return np.empty((0, self.n_features))
@@ -289,6 +387,200 @@ class PreprocessingPipeline:
         return self.normalizer.transform(
             self.raw_stream_features(data, stride=stride, denoise=denoise)
         )
+
+    # ------------------------------------------------------------------ #
+    # chunked streaming (carry-over across ticks)
+    # ------------------------------------------------------------------ #
+
+    def open_stream(
+        self, stride: Optional[int] = None, denoise: str = "auto"
+    ) -> StreamState:
+        """Open a chunked stream: per-session state for :meth:`process_chunk`.
+
+        ``stride``/``denoise`` follow :meth:`raw_stream_features` — with
+        ``"auto"`` the non-overlapping stride denoises per window (exact
+        :meth:`process_windows` semantics at any chunking) and overlapping
+        strides denoise the continuous signal.  Continuous denoising is
+        chunk-exact when the denoiser has a bounded context
+        (``make_stream``); unbounded-context denoisers (Butterworth) are
+        applied per chunk, with the marginal chunk-boundary differences
+        recorded on ``StreamState.chunk_invariant``.
+        """
+        stride, denoise = self._resolve_stream_args(stride, denoise)
+        if denoise == "windowed":
+            return StreamState(
+                self.window_len, stride, denoise, chunk_invariant=True
+            )
+        make_stream = getattr(self.denoiser, "make_stream", None)
+        if make_stream is not None:
+            return StreamState(
+                self.window_len,
+                stride,
+                denoise,
+                denoiser_stream=make_stream(),
+                chunk_invariant=True,
+            )
+        return StreamState(
+            self.window_len,
+            stride,
+            denoise,
+            denoiser_stream=ChunkLocalDenoiserStream(self.denoiser),
+            chunk_invariant=False,
+        )
+
+    def _check_chunk(self, state: StreamState, chunk: np.ndarray) -> np.ndarray:
+        """Validate one chunk against the stream's locked geometry."""
+        if state.finished:
+            raise ConfigurationError(
+                "stream is finished; open_stream() a new session"
+            )
+        arr = np.asarray(chunk, dtype=np.float64)
+        if arr.ndim != 2:
+            raise DataShapeError(
+                f"chunk must be 2-D (samples, channels), got {arr.shape}"
+            )
+        expected = self.expected_channels
+        if expected is not None and arr.shape[1] != expected:
+            raise DataShapeError(
+                f"chunk must have {expected} channels, got {arr.shape[1]}"
+            )
+        if state.n_channels is None:
+            state.n_channels = int(arr.shape[1])
+        elif arr.shape[1] != state.n_channels:
+            raise DataShapeError(
+                f"chunk has {arr.shape[1]} channels, stream started with "
+                f"{state.n_channels}"
+            )
+        return arr
+
+    def _extract_span(self, span: np.ndarray, stride: int) -> np.ndarray:
+        """Unnormalized features of every window of a denoised span."""
+        streaming = self.streaming_extractor
+        if streaming is None:
+            return self.extractor.extract(
+                sliding_windows(span, self.window_len, stride, copy=False)
+            )
+        return streaming.extract(span, self.window_len, stride=stride)
+
+    def _consume_denoised(
+        self, state: StreamState, emitted: np.ndarray
+    ) -> np.ndarray:
+        """Fold newly-denoised samples into the buffer; emit window features."""
+        if state._skip and emitted.shape[0]:
+            drop = min(state._skip, emitted.shape[0])
+            emitted = emitted[drop:]
+            state._skip -= drop
+        if state.buffer is None or state.buffer.shape[0] == 0:
+            buffer = emitted
+        elif emitted.shape[0]:
+            buffer = np.concatenate([state.buffer, emitted], axis=0)
+        else:
+            buffer = state.buffer
+        w, s = self.window_len, state.stride
+        k = window_count(buffer.shape[0], w, s)
+        if k == 0:
+            # < window_len samples; copy so the carried tail never aliases
+            # a caller array that may be reused for the next tick.
+            state.buffer = buffer.copy()
+            return np.empty((0, self.n_features))
+        features = self._extract_span(buffer[: (k - 1) * s + w], s)
+        # Keep everything from the next window's start on; with
+        # stride > window_len that start may lie beyond the received
+        # samples, in which case the gap is skipped off future chunks.
+        cut = min(k * s, buffer.shape[0])
+        state._skip = k * s - cut
+        state.buffer = buffer[cut:].copy()
+        state.windows_out += k
+        return features
+
+    def _chunk_raw_features(
+        self, state: StreamState, chunk: np.ndarray, final: bool = False
+    ) -> np.ndarray:
+        arr = self._check_chunk(state, chunk)
+        state.samples_in += arr.shape[0]
+        if state.denoise == "windowed":
+            # Raw samples buffer until they complete non-overlapping
+            # windows; each completed window is denoised in isolation, so
+            # the features are chunk-invariant by construction.
+            if state.buffer is None or state.buffer.shape[0] == 0:
+                buffer = arr
+            elif arr.shape[0]:
+                buffer = np.concatenate([state.buffer, arr], axis=0)
+            else:
+                buffer = state.buffer
+            w = self.window_len
+            k = buffer.shape[0] // w
+            if k == 0:
+                # < window_len samples; copy so the carried tail never
+                # aliases a caller array that may be reused next tick.
+                state.buffer = buffer.copy()
+                return np.empty((0, self.n_features))
+            consumed = buffer[: k * w]
+            state.buffer = buffer[k * w :].copy()
+            state.windows_out += k
+            windows = sliding_windows(consumed, w, w, copy=False)
+            denoised = self._denoise_windows(windows)
+            streaming = self.streaming_extractor
+            if streaming is None:
+                return self.extractor.extract(denoised)
+            return streaming.extract(
+                denoised.reshape(-1, consumed.shape[1]), w, stride=w
+            )
+        emitted = state.denoiser_stream.push(arr)
+        features = self._consume_denoised(state, emitted)
+        if final:
+            tail = self._consume_denoised(state, state.denoiser_stream.finish())
+            if tail.shape[0]:
+                features = np.concatenate([features, tail], axis=0)
+        return features
+
+    def process_chunk(self, state: StreamState, chunk: np.ndarray) -> np.ndarray:
+        """One chunk of continuous raw samples -> normalized features.
+
+        Returns the feature rows of every window *completed* by this chunk
+        (possibly zero rows — the buffer simply keeps filling), including
+        windows straddling the previous chunk boundary.  Across any split
+        of a recording into chunks the concatenated rows equal
+        :meth:`process_stream` over the whole recording (exactly the same
+        windows; values to the streaming parity budget when
+        ``state.chunk_invariant``), in O(chunk) work per call.
+        """
+        if not self.is_fitted:
+            raise NotFittedError(
+                "pipeline normalizer is not fitted; call fit_normalizer() "
+                "on the Cloud before processing"
+            )
+        return self.normalizer.transform(self._chunk_raw_features(state, chunk))
+
+    def finish_stream(self, state: StreamState) -> np.ndarray:
+        """Close a chunked stream; returns the last windows' features.
+
+        Flushes the denoiser's lookahead tail (bounded-context continuous
+        denoising holds back its last few samples until the true signal
+        end is known) and featurizes any windows those samples complete.
+        The incomplete tail window, if any, is dropped — exactly like
+        :meth:`process_stream` on the whole recording.  The state is
+        closed: further :meth:`process_chunk` calls raise.
+        """
+        if not self.is_fitted:
+            raise NotFittedError(
+                "pipeline normalizer is not fitted; call fit_normalizer() "
+                "on the Cloud before processing"
+            )
+        if state.finished:
+            raise ConfigurationError(
+                "stream is finished; open_stream() a new session"
+            )
+        channels = state.n_channels
+        if channels is None:  # no chunk ever arrived; satisfy validation
+            channels = self.expected_channels or 0
+        empty = np.empty((0, channels))
+        if state.denoise == "windowed":
+            features = self._chunk_raw_features(state, empty)
+        else:
+            features = self._chunk_raw_features(state, empty, final=True)
+        state.finished = True
+        return self.normalizer.transform(features)
 
     def process_recording(self, recording: Recording) -> np.ndarray:
         """Continuous recording -> normalized feature matrix.

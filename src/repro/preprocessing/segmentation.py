@@ -95,8 +95,12 @@ def segment_recording(
 
 def window_count(n_samples: int, window_len: int, stride: int = None) -> int:
     """Number of complete windows :func:`sliding_windows` would produce."""
+    if window_len < 1:
+        raise ConfigurationError(f"window_len must be >= 1, got {window_len}")
     if stride is None:
         stride = window_len
+    if stride < 1:
+        raise ConfigurationError(f"stride must be >= 1, got {stride}")
     if n_samples < window_len:
         return 0
     return (n_samples - window_len) // stride + 1
