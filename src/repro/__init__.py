@@ -37,6 +37,14 @@ Quickstart::
     verdicts = server.step_stream({"alice": chunk_a, "bob": chunk_b})
     verdicts = server.step({"alice": window_a, "bob": window_b})
 
+    # Heterogeneous fleets: one model package per cohort, one batched
+    # engine call per distinct model per tick (see repro.serving):
+    registry = ModelRegistry(default_cohort="wrist")
+    registry.publish("wrist", edge.engine)
+    registry.register_lazy("pocket", "pocket.npz")  # loads on first use
+    server = FleetServer(registry)
+    server.connect("carol", cohort="pocket")
+
 Subpackages:
 
 - :mod:`repro.core` — the paper's contribution (platform, privacy,
@@ -46,8 +54,11 @@ Subpackages:
 - :mod:`repro.sensors` — synthetic 22-channel sensor campaign,
 - :mod:`repro.preprocessing` — denoise/segment/normalize/80 features,
 - :mod:`repro.datasets` — splits, loaders, experiment scenarios,
-- :mod:`repro.eval` — metrics, incremental protocol, baselines,
-- :mod:`repro.edge_runtime` — device resource model and the demo app.
+- :mod:`repro.eval` — metrics, incremental protocol (plus per-cohort
+  stream rollups), baselines,
+- :mod:`repro.edge_runtime` — device resource model and the demo app,
+- :mod:`repro.serving` — the multi-model cohort layer
+  (:class:`~repro.serving.registry.ModelRegistry`, fleet specs).
 """
 
 from .core import (
@@ -77,7 +88,9 @@ from .exceptions import (
     ResourceExceededError,
     SerializationError,
     UnknownActivityError,
+    UnknownCohortError,
 )
+from .serving import ModelRegistry
 
 __version__ = "1.0.0"
 
@@ -95,6 +108,7 @@ __all__ = [
     "InferenceResult",
     "MagnetoError",
     "MagnetoPlatform",
+    "ModelRegistry",
     "NCMClassifier",
     "NetworkLink",
     "NotFittedError",
@@ -106,5 +120,6 @@ __all__ = [
     "SupportSet",
     "TransferPackage",
     "UnknownActivityError",
+    "UnknownCohortError",
     "__version__",
 ]

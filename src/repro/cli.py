@@ -7,6 +7,8 @@ Five subcommands cover the platform lifecycle without writing any Python:
 ``infer``      simulate a user performing an activity and classify it
 ``demo``       run the full Figure-3 demonstration scenario
 ``fleet``      serve many simulated devices through the batched engine
+               (optionally multi-model: ``--cohorts spec.json`` serves
+               each cohort from its own package via a ModelRegistry)
 
 Examples::
 
@@ -15,6 +17,7 @@ Examples::
     python -m repro infer package.npz --activity walk --seconds 5
     python -m repro demo package.npz --new-activity gesture_hi
     python -m repro fleet package.npz --sessions 50 --ticks 10
+    python -m repro fleet package.npz --cohorts cohorts.json --ticks 10
 """
 
 from __future__ import annotations
@@ -34,6 +37,12 @@ from .core import (
 )
 from .edge_runtime import MagnetoApp, render_prediction, render_session
 from .nn import TrainConfig
+from .serving import (
+    DEFAULT_COHORT,
+    ModelRegistry,
+    load_cohort_spec,
+    registry_from_specs,
+)
 from .sensors import (
     SensorDevice,
     list_activities,
@@ -109,7 +118,15 @@ def _add_fleet(subparsers) -> None:
     cmd.add_argument("--overlap", type=float, default=0.0,
                      help="window overlap fraction in [0, 1) used when "
                           "segmenting each chunk (default 0, "
-                          "non-overlapping)")
+                          "non-overlapping); applied per cohort against "
+                          "its own window length")
+    cmd.add_argument("--cohorts", default=None, metavar="SPEC.json",
+                     help="serve a multi-model fleet from a cohort spec: "
+                          "a JSON object {'default': ..., 'cohorts': "
+                          "{name: {'package': path, 'sessions': n}}}; "
+                          "entries without a package are served from the "
+                          "positional package, and --sessions is ignored "
+                          "in favor of the per-cohort counts")
     cmd.add_argument("--seed", type=int, default=11, help="simulation seed")
 
 
@@ -205,38 +222,54 @@ def _cmd_demo(args) -> int:
 
 
 def _cmd_fleet(args) -> int:
-    """Serve ``--sessions`` simulated devices for ``--ticks`` rounds.
+    """Serve a fleet of simulated devices for ``--ticks`` rounds.
 
     Every round records ``--chunk-seconds`` of raw sensor samples per
     device; the FleetServer folds each chunk into the session's carry-over
     stream (windows straddling tick boundaries are classified, not
     dropped), featurizes only the newly completed windows through the
-    O(chunk) path, and classifies every window of the whole fleet in a
-    single batched engine pass — the serving pattern for continuous
-    high-overlap traffic.
+    O(chunk) path, and classifies every window of the whole fleet in one
+    batched engine pass per distinct model — the serving pattern for
+    continuous high-overlap traffic.  Without ``--cohorts`` the whole
+    fleet shares the positional package; with it, each cohort's sessions
+    are served from the cohort's own package through a lazily loaded
+    :class:`~repro.serving.registry.ModelRegistry`.
     """
     if not 0.0 <= args.overlap < 1.0:
         print(f"overlap must be in [0, 1), got {args.overlap}")
         return 2
-    package = TransferPackage.load(args.package)
-    edge = EdgeDevice(rng=args.seed)
-    edge.install(package)
-    server = FleetServer(edge.engine)
+    if args.cohorts:
+        spec = load_cohort_spec(args.cohorts)
+        registry = registry_from_specs(spec, fallback_package=args.package)
+        sessions_by_cohort = {
+            row.cohort: row.sessions for row in spec.cohorts
+        }
+    else:
+        registry = ModelRegistry()
+        registry.register_lazy(DEFAULT_COHORT, args.package)
+        sessions_by_cohort = {DEFAULT_COHORT: args.sessions}
+    server = FleetServer(registry)
 
-    activities = list(edge.classes)
-    stride = max(
-        1, int(round(edge.pipeline.window_len * (1.0 - args.overlap)))
-    )
+    strides = {}
     phones = {}
     performed = {}
-    for i in range(args.sessions):
-        session_id = f"device-{i:04d}"
-        server.connect(session_id)
-        user = sample_user(user_id=i, rng=args.seed + i)
-        phones[session_id] = SensorDevice(user=user, rng=args.seed + i)
-        performed[session_id] = activities[i % len(activities)]
+    i = 0
+    for cohort, n_sessions in sessions_by_cohort.items():
+        engine = registry.engine_for(cohort)  # lazy load happens here
+        strides[cohort] = max(
+            1, int(round(engine.pipeline.window_len * (1.0 - args.overlap)))
+        )
+        activities = list(engine.class_names)
+        for j in range(n_sessions):
+            session_id = f"{cohort}-{j:04d}"
+            server.connect(session_id, cohort=cohort)
+            user = sample_user(user_id=i, rng=args.seed + i)
+            phones[session_id] = SensorDevice(user=user, rng=args.seed + i)
+            performed[session_id] = activities[i % len(activities)]
+            i += 1
 
     correct = 0
+    correct_by_cohort = {cohort: 0 for cohort in sessions_by_cohort}
     for _ in range(args.ticks):
         chunks = {
             session_id: phones[session_id].record(
@@ -244,12 +277,14 @@ def _cmd_fleet(args) -> int:
             ).data
             for session_id in phones
         }
-        verdicts = server.step_stream(chunks, stride=stride)
-        correct += sum(
-            verdict.display == performed[sid]
-            for sid, session_verdicts in verdicts.items()
-            for verdict in session_verdicts
-        )
+        verdicts = server.step_stream(chunks, stride=strides)
+        for sid, session_verdicts in verdicts.items():
+            hits = sum(
+                verdict.display == performed[sid]
+                for verdict in session_verdicts
+            )
+            correct += hits
+            correct_by_cohort[server.session(sid).cohort] += hits
 
     summary = server.summary()
     total = int(summary["windows_served"])
@@ -258,11 +293,22 @@ def _cmd_fleet(args) -> int:
         for session in server.sessions.values()
         if session.stream is not None
     )
-    print(f"served {total} windows across {args.sessions} sessions "
+    print(f"served {total} windows across {server.n_sessions} sessions "
           f"in {args.ticks} ticks")
     print(f"engine throughput: {summary['windows_per_sec']:.0f} windows/s "
           f"({summary['serve_ms']:.1f} ms total inference)")
     print(f"buffered tail awaiting the next tick: {buffered} samples")
+    if len(sessions_by_cohort) > 1:
+        for cohort, rollup in server.cohort_summary().items():
+            served = int(rollup["windows_served"])
+            cohort_acc = (
+                correct_by_cohort.get(cohort, 0) / served if served else 0.0
+            )
+            print(f"  cohort {cohort}: {int(rollup['sessions'])} sessions, "
+                  f"{served} windows, "
+                  f"accuracy {cohort_acc * 100:.0f}%"
+                  + (" [default]" if cohort == registry.default_cohort
+                     else ""))
     accuracy = correct / total if total else 0.0
     print(f"smoothed fleet accuracy: {accuracy * 100:.0f}%")
     return 0 if accuracy >= 0.5 else 1

@@ -9,6 +9,7 @@ from .cloud import CloudConfig, CloudInitializer, PretrainReport
 from .drift import DriftMonitor
 from .edge import EdgeDevice, InferenceResult
 from .engine import (
+    DEFAULT_COHORT,
     BatchInference,
     EdgeSession,
     FleetServer,
@@ -45,6 +46,7 @@ from .transfer import TransferPackage
 __all__ = [
     "BatchInference",
     "CLOUD_TO_EDGE",
+    "DEFAULT_COHORT",
     "CloudConfig",
     "CloudInitializer",
     "DriftMonitor",

@@ -17,7 +17,11 @@ re-fitted after a support-set rebuild.
 On top of the engine, :class:`FleetServer` multiplexes many
 :class:`EdgeSession`\\ s — per-user temporal-smoothing and rejection state —
 through shared batched engine calls, simulating thousands of concurrent
-devices served by one model at the cost of one forward pass per tick.
+devices at the cost of one forward pass per distinct model per tick.  A
+server built from a bare engine serves the whole fleet from that one model;
+built from a :class:`~repro.serving.registry.ModelRegistry` it binds every
+session to a *cohort* (device class, sampling rate, enrollment size) and
+groups each tick's traffic by the engine serving that cohort.
 """
 
 from __future__ import annotations
@@ -27,7 +31,12 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, DataShapeError, NotFittedError
+from ..exceptions import (
+    ConfigurationError,
+    DataShapeError,
+    NotFittedError,
+    UnknownCohortError,
+)
 from ..utils import Timer, check_2d, check_3d
 from .ncm import NCMClassifier
 from .openset import UNKNOWN_LABEL, UNKNOWN_NAME, OpenSetNCM, accept_from_distances
@@ -436,6 +445,60 @@ class StreamSession:
 # fleet serving
 # ---------------------------------------------------------------------- #
 
+#: The cohort served when the caller never names one (single-engine fleets
+#: and registry defaults).
+DEFAULT_COHORT = "default"
+
+
+class _SingleEngineRegistry:
+    """Adapter presenting one engine as a single-cohort registry.
+
+    Lets :class:`FleetServer` run one code path whether it was built from
+    a bare engine (the classic single-model fleet) or a real
+    :class:`~repro.serving.registry.ModelRegistry`.
+    """
+
+    def __init__(self, engine: InferenceEngine) -> None:
+        self._engine = engine
+        self.default_cohort = DEFAULT_COHORT
+
+    def has_cohort(self, cohort_id: str) -> bool:
+        return str(cohort_id) == self.default_cohort
+
+    def engine_for(self, cohort_id: Optional[str] = None) -> InferenceEngine:
+        key = self.default_cohort if cohort_id is None else str(cohort_id)
+        if key != self.default_cohort:
+            raise UnknownCohortError(
+                f"cohort {key!r}: this fleet serves a single engine under "
+                f"the {self.default_cohort!r} cohort; construct the "
+                f"FleetServer from a ModelRegistry for multi-model serving"
+            )
+        return self._engine
+
+
+class _StreamTickGroup:
+    """One distinct model's share of a ``step_stream`` tick.
+
+    Collects the sessions served by one engine this tick (with their
+    validated chunks and resolved strides) through the validation pass,
+    then their featurized blocks, so the inference pass can issue one
+    batched call per group.
+    """
+
+    __slots__ = ("engine", "ids", "arrays", "strides", "n_channels", "blocks")
+
+    def __init__(self, engine: InferenceEngine) -> None:
+        self.engine = engine
+        self.ids: List[str] = []
+        self.arrays: List[np.ndarray] = []
+        self.strides: List[int] = []
+        self.n_channels: Optional[int] = None  # locked by the first chunk
+        self.blocks: List[np.ndarray] = []  # per-session feature rows
+
+    @property
+    def counts(self) -> List[int]:
+        return [block.shape[0] for block in self.blocks]
+
 
 @dataclass(frozen=True)
 class SessionVerdict:
@@ -449,16 +512,23 @@ class SessionVerdict:
 
 
 class EdgeSession:
-    """Per-user serving state: identity, smoother, counters.
+    """Per-user serving state: identity, cohort, smoother, counters.
 
     The engine itself is stateless across calls; everything a simulated
     device accumulates over time (the debounced display verdict, rejection
-    counts) lives here.
+    counts) lives here.  ``cohort`` names the model package the session is
+    served from — the :class:`FleetServer` resolves it through its
+    registry every windowed tick, while an open chunk stream pins the
+    engine it started on (``self.stream.engine``) until the stream
+    finishes.
     """
 
-    def __init__(self, session_id: str, smoother=None) -> None:
+    def __init__(
+        self, session_id: str, smoother=None, cohort: str = DEFAULT_COHORT
+    ) -> None:
         self.session_id = str(session_id)
         self.smoother = smoother
+        self.cohort = str(cohort)
         self.stream: Optional[StreamSession] = None  # chunk carry-over state
         self.windows_seen = 0
         self.rejected_windows = 0
@@ -499,28 +569,61 @@ class FleetServer:
     """Serve a fleet of edge sessions through shared batched engine calls.
 
     Each :meth:`step` gathers at most one raw window per connected session,
-    stacks them into a single ``(k, window_len, channels)`` batch, runs one
-    fused engine pass, and demultiplexes the verdicts back through each
-    session's temporal smoother — the serving pattern that lets one model
-    instance shadow thousands of simulated devices.
+    groups the windows by the model serving each session's *cohort*, runs
+    one fused engine pass per distinct model, and demultiplexes the
+    verdicts back through each session's temporal smoother — the serving
+    pattern that lets a handful of model packages shadow thousands of
+    simulated devices.
+
+    Built from a bare :class:`InferenceEngine`, the server behaves exactly
+    like the classic single-model fleet: every session lands in the
+    :data:`DEFAULT_COHORT` and every tick is one batched call.  Built from
+    a :class:`~repro.serving.registry.ModelRegistry` (anything with
+    ``engine_for``/``has_cohort``/``default_cohort``), sessions bind to
+    cohorts at :meth:`connect` time and a mixed-cohort tick issues exactly
+    one batched call per distinct engine — cohorts published with the same
+    engine object share a batch.
     """
 
     def __init__(
         self,
-        engine: InferenceEngine,
+        engine: "Union[InferenceEngine, object]",
         smoother_factory: Optional[Callable[[], object]] = HysteresisSmoother,
     ) -> None:
-        if engine.pipeline is None:
-            raise ConfigurationError(
-                "FleetServer needs an engine with a pipeline (raw windows in)"
-            )
-        self.engine = engine
+        if hasattr(engine, "engine_for"):
+            self.registry = engine
+        else:
+            if engine.pipeline is None:
+                raise ConfigurationError(
+                    "FleetServer needs an engine with a pipeline "
+                    "(raw windows in)"
+                )
+            self.registry = _SingleEngineRegistry(engine)
         self.smoother_factory = smoother_factory
         self.sessions: Dict[str, EdgeSession] = {}
         self.ticks = 0
         self.windows_served = 0
         self.windows_rejected = 0
         self.serve_ms = 0.0
+        # Per-cohort rollups of the two exact counters (latency is shared
+        # across cohorts within a batched call, so it stays fleet-level).
+        self.cohort_windows_served: Dict[str, int] = {}
+        self.cohort_windows_rejected: Dict[str, int] = {}
+
+    @property
+    def engine(self) -> InferenceEngine:
+        """The default cohort's engine (the classic single-model view)."""
+        return self.registry.engine_for(self.registry.default_cohort)
+
+    def _serving_engine(self, session: EdgeSession) -> InferenceEngine:
+        """The engine currently serving a session's cohort."""
+        engine = self.registry.engine_for(session.cohort)
+        if engine.pipeline is None:  # engines are mutable; re-check per tick
+            raise ConfigurationError(
+                f"cohort {session.cohort!r} engine has no pipeline "
+                f"(raw windows/chunks in)"
+            )
+        return engine
 
     # ------------------------------------------------------------------ #
     # session management
@@ -530,20 +633,42 @@ class FleetServer:
     def n_sessions(self) -> int:
         return len(self.sessions)
 
-    def connect(self, session_id: str) -> EdgeSession:
-        """Register a new device session; ids must be unique."""
+    def connect(
+        self, session_id: str, cohort: Optional[str] = None
+    ) -> EdgeSession:
+        """Register a new device session; ids must be unique.
+
+        ``cohort`` picks the model package serving this session (the
+        registry's default cohort when ``None``); a cohort the registry
+        cannot serve raises
+        :class:`~repro.exceptions.UnknownCohortError` immediately, before
+        any traffic flows.
+        """
         key = str(session_id)
         if key in self.sessions:
             raise ConfigurationError(f"session {key!r} already connected")
+        cohort_key = (
+            self.registry.default_cohort if cohort is None else str(cohort)
+        )
+        if not self.registry.has_cohort(cohort_key):
+            raise UnknownCohortError(
+                f"cannot connect session {key!r}: cohort {cohort_key!r} "
+                f"is not in the registry"
+            )
         smoother = (
             self.smoother_factory() if self.smoother_factory is not None else None
         )
-        session = EdgeSession(key, smoother=smoother)
+        session = EdgeSession(key, smoother=smoother, cohort=cohort_key)
         self.sessions[key] = session
         return session
 
-    def connect_many(self, session_ids) -> List[EdgeSession]:
-        return [self.connect(session_id) for session_id in session_ids]
+    def connect_many(
+        self, session_ids, cohort: Optional[str] = None
+    ) -> List[EdgeSession]:
+        return [
+            self.connect(session_id, cohort=cohort)
+            for session_id in session_ids
+        ]
 
     def disconnect(self, session_id: str) -> None:
         try:
@@ -565,27 +690,52 @@ class FleetServer:
     # serving
     # ------------------------------------------------------------------ #
 
+    def _charge_windows(self, cohort: str, served: int, rejected: int) -> None:
+        """Fold one demuxed slice into the fleet and per-cohort counters."""
+        self.windows_served += served
+        self.windows_rejected += rejected
+        self.cohort_windows_served[cohort] = (
+            self.cohort_windows_served.get(cohort, 0) + served
+        )
+        self.cohort_windows_rejected[cohort] = (
+            self.cohort_windows_rejected.get(cohort, 0) + rejected
+        )
+
     def step(
         self, windows_by_session: Mapping[str, np.ndarray]
     ) -> Dict[str, SessionVerdict]:
-        """Serve one window per session through a single batched pass.
+        """Serve one window per session; one batched pass per distinct model.
 
         ``windows_by_session`` maps connected session ids to raw 2-D
         windows; sessions absent from the mapping simply skip this tick.
-        Returns the per-session verdicts in input order.
+        Sessions are grouped by the engine currently serving their cohort
+        and every group is classified in a single fused engine call, so a
+        mixed-cohort tick costs one forward pass per distinct model — not
+        one per session.  Window shapes must agree *within* each model's
+        batch (cohorts may legitimately differ, e.g. different window
+        lengths per device class).  All windows are validated before any
+        engine runs; verdicts, smoother state and the serving counters
+        mutate only after every model's batched call succeeded.  Returns
+        the per-session verdicts in input order.
         """
         if not windows_by_session:
             return {}
-        ids: List[str] = []
-        stacked: List[np.ndarray] = []
+        # engine id -> (engine, session ids, window arrays); insertion
+        # order preserves the first-seen order of models within the tick.
+        groups: Dict[int, Tuple[InferenceEngine, List[str], List[np.ndarray]]]
+        groups = {}
         for session_id, window in windows_by_session.items():
             session = self.session(session_id)  # raises for unknown ids
+            engine = self._serving_engine(session)  # raises unknown cohorts
             arr = np.asarray(window, dtype=np.float64)
             if arr.ndim != 2:
                 raise DataShapeError(
                     f"session {session.session_id!r} window must be 2-D "
                     f"(samples, channels), got {arr.shape}"
                 )
+            _, ids, stacked = groups.setdefault(
+                id(engine), (engine, [], [])
+            )
             if stacked and arr.shape != stacked[0].shape:
                 raise DataShapeError(
                     f"session {session.session_id!r} window shape {arr.shape} "
@@ -594,23 +744,73 @@ class FleetServer:
                 )
             ids.append(session.session_id)
             stacked.append(arr)
-        batch = self.engine.infer_windows(np.stack(stacked, axis=0))
-        names = batch.names
+        # One batched call per distinct model; collect every batch before
+        # mutating any session so a failing model leaves the fleet intact.
+        batches = [
+            (engine.infer_windows(np.stack(stacked, axis=0)), ids)
+            for engine, ids, stacked in groups.values()
+        ]
         verdicts: Dict[str, SessionVerdict] = {}
-        for i, session_id in enumerate(ids):
-            verdicts[session_id] = self.sessions[session_id].observe(
-                names[i], batch.confidences[i], batch.accepted[i]
-            )
+        for batch, ids in batches:
+            names = batch.names
+            for i, session_id in enumerate(ids):
+                session = self.sessions[session_id]
+                verdicts[session_id] = session.observe(
+                    names[i], batch.confidences[i], batch.accepted[i]
+                )
+                self._charge_windows(
+                    session.cohort, 1, int(not batch.accepted[i])
+                )
+            self.serve_ms += batch.latency_ms
         self.ticks += 1
-        self.windows_served += len(batch)
-        self.windows_rejected += int(np.count_nonzero(~batch.accepted))
-        self.serve_ms += batch.latency_ms
-        return verdicts
+        return {str(sid): verdicts[str(sid)] for sid in windows_by_session}
+
+    def _stream_engine(self, session: EdgeSession) -> InferenceEngine:
+        """The engine a chunk tick serves this session from.
+
+        A session with an open stream stays *pinned* to the engine that
+        opened it (so a registry hot-swap mid-stream cannot change the
+        model under a half-filled window buffer); otherwise the cohort is
+        resolved through the registry, picking up the latest published
+        package.
+        """
+        if session.stream is not None:
+            engine = session.stream.engine
+            if engine.pipeline is None:
+                raise ConfigurationError(
+                    f"cohort {session.cohort!r} engine has no pipeline "
+                    f"(raw windows/chunks in)"
+                )
+            return engine
+        return self._serving_engine(session)
+
+    def _resolve_stride(self, session: EdgeSession, stride, pipeline) -> int:
+        """Per-session stride: pinned > explicit (int or cohort map) > pipeline."""
+        if session.stream is not None:
+            locked = session.stream.stride
+        else:
+            locked = None
+        default = pipeline.stride if locked is None else locked
+        if stride is None:
+            value = default
+        elif isinstance(stride, Mapping):
+            # A cohort absent from the map keeps its open stream's stride
+            # (continuing, like stride=None) rather than erroring it out.
+            value = int(stride.get(session.cohort, default))
+        else:
+            value = int(stride)
+        if locked is not None and locked != value:
+            raise ConfigurationError(
+                f"session {session.session_id!r} streams at stride "
+                f"{locked}, cannot switch to {value} mid-stream "
+                f"(reset() the session to restart)"
+            )
+        return value
 
     def step_stream(
         self,
         chunks_by_session: Mapping[str, np.ndarray],
-        stride: Optional[int] = None,
+        stride: "Optional[Union[int, Mapping[str, int]]]" = None,
     ) -> Dict[str, List[SessionVerdict]]:
         """Serve raw continuous sample chunks with per-session carry-over.
 
@@ -622,60 +822,75 @@ class FleetServer:
         carry-over buffer and every window it *completes* — including
         windows straddling the previous tick's boundary — is featurized
         once through the O(chunk) chunked pipeline path.  Every window of
-        every session then flows through a *single* batched model call,
-        and each session's verdicts fold through its smoother in window
-        order.  Across any tick sizes (ragged, even 1-sample) a session's
+        every session then flows through a single batched call *per
+        distinct model* (sessions are grouped by the engine serving their
+        cohort — one call total for a single-model fleet), and each
+        session's verdicts fold through its smoother in window order.
+        Across any tick sizes (ragged, even 1-sample) a session's
         concatenated verdicts equal one
         :meth:`InferenceEngine.infer_stream` call over its whole
         recording: no sample is ever dropped at a chunk boundary.
+
+        A session's stream opens against the engine its cohort resolves to
+        *at that moment* and stays pinned to it: hot-swapping the cohort's
+        package in the registry mid-stream only affects sessions whose
+        next chunk opens a fresh stream (after :meth:`finish_stream` or
+        :meth:`EdgeSession.reset`).  ``stride`` may be a single int for
+        the whole fleet or a ``{cohort: stride}`` mapping (cohorts absent
+        from the mapping use their pipeline's stride); ``None`` uses each
+        cohort's pipeline stride (an already-open stream simply continues
+        at the stride it was opened with).
 
         Returns the per-session verdict lists in input order; a chunk too
         short to complete a window yields an empty list for that session
         (no complete window yet — the buffer keeps filling and the pending
         tail is classified by a later tick, or flushed by
         :meth:`finish_stream` when the recording ends).  Sessions absent
-        from the mapping skip the tick; their buffers are untouched.  All chunks
-        are validated up front (shape, channel count against both this
-        tick's batch and the session's earlier chunks) before any
-        session's stream state advances, and the serving counters
-        (``ticks``/``serve_ms``/``windows_served``) are only updated after
-        the batched engine call succeeds.
+        from the mapping skip the tick; their buffers are untouched.  All
+        chunks are validated up front (shape, channel count against both
+        the model's batch this tick and the session's earlier chunks)
+        before any session's stream state advances, and the serving
+        counters (``ticks``/``serve_ms``/``windows_served``) only move for
+        models whose batched call succeeds.  If a model raises mid-tick,
+        the other models' verdicts are still folded into their sessions
+        (their stream buffers were already consumed; dropping them would
+        desynchronize smoother and stream state) and the first failure is
+        re-raised afterwards — the failing model's windows for this tick
+        are lost, so callers should ``finish_stream``/``reset`` its
+        sessions before continuing.
         """
         if not chunks_by_session:
             return {}
-        pipeline = self.engine.pipeline
-        if pipeline is None:  # engines are mutable; mirror the ctor check
-            raise ConfigurationError(
-                "FleetServer needs an engine with a pipeline (raw chunks in)"
-            )
-        stride_val = pipeline.stride if stride is None else int(stride)
-        ids: List[str] = []
-        arrays: List[np.ndarray] = []
-        n_channels: Optional[int] = None
+        # --- validation pass: nothing mutates until every chunk is checked.
+        groups: Dict[int, _StreamTickGroup] = {}  # keyed by engine identity
         for session_id, chunk in chunks_by_session.items():
             session = self.session(session_id)  # raises for unknown ids
+            engine = self._stream_engine(session)  # pinned or registry
+            pipeline = engine.pipeline
+            stride_val = self._resolve_stride(session, stride, pipeline)
             arr = np.asarray(chunk, dtype=np.float64)
             if arr.ndim != 2:
                 raise DataShapeError(
                     f"session {session.session_id!r} chunk must be 2-D "
                     f"(samples, channels), got {arr.shape}"
                 )
-            if n_channels is None:
-                n_channels = int(arr.shape[1])
-            elif arr.shape[1] != n_channels:
+            group = groups.setdefault(id(engine), _StreamTickGroup(engine))
+            if group.n_channels is None:
+                group.n_channels = int(arr.shape[1])
+            elif arr.shape[1] != group.n_channels:
                 raise DataShapeError(
                     f"session {session.session_id!r} chunk has "
                     f"{arr.shape[1]} channels, differs from the batch's "
-                    f"{n_channels} (session {ids[0]!r})"
+                    f"{group.n_channels} (session {group.ids[0]!r})"
+                )
+            expected = pipeline.expected_channels
+            if expected is not None and arr.shape[1] != expected:
+                raise DataShapeError(
+                    f"session {session.session_id!r} chunk has "
+                    f"{arr.shape[1]} channels, cohort "
+                    f"{session.cohort!r} expects {expected}"
                 )
             if session.stream is not None:
-                if session.stream.stride != stride_val:
-                    raise ConfigurationError(
-                        f"session {session.session_id!r} streams at stride "
-                        f"{session.stream.stride}, cannot switch to "
-                        f"{stride_val} mid-stream (reset() the session to "
-                        f"restart)"
-                    )
                 locked = session.stream.state.n_channels
                 if locked is not None and arr.shape[1] != locked:
                     raise DataShapeError(
@@ -683,51 +898,90 @@ class FleetServer:
                         f"{arr.shape[1]} channels, its stream started with "
                         f"{locked}"
                     )
-            ids.append(session.session_id)
-            arrays.append(arr)
+            group.ids.append(session.session_id)
+            group.arrays.append(arr)
+            group.strides.append(stride_val)
+        # --- featurize pass: fold chunks into each session's carry-over.
         featurize_timer = Timer().__enter__()
-        feature_blocks: List[np.ndarray] = []
-        for session_id, arr in zip(ids, arrays):
-            session = self.sessions[session_id]
-            if session.stream is None:
-                session.stream = self.engine.open_stream(stride=stride_val)
-            feature_blocks.append(
-                pipeline.process_chunk(session.stream.state, arr)
-            )
-        counts = [block.shape[0] for block in feature_blocks]
-        total = sum(counts)
-        verdicts: Dict[str, List[SessionVerdict]] = {sid: [] for sid in ids}
+        for group in groups.values():
+            pipeline = group.engine.pipeline
+            for session_id, arr, stride_val in zip(
+                group.ids, group.arrays, group.strides
+            ):
+                session = self.sessions[session_id]
+                if session.stream is None:
+                    session.stream = group.engine.open_stream(
+                        stride=stride_val
+                    )
+                group.blocks.append(
+                    pipeline.process_chunk(session.stream.state, arr)
+                )
         featurize_timer.__exit__()
+        verdicts: Dict[str, List[SessionVerdict]] = {
+            str(sid): [] for sid in chunks_by_session
+        }
+        total = sum(sum(group.counts) for group in groups.values())
         if total == 0:
             # Nothing to classify: the tick still happened and its
             # featurization (buffer fills) is charged to serving time.
             self.ticks += 1
             self.serve_ms += featurize_timer.elapsed_ms
             return verdicts
-        batch = self.engine.infer_features(
-            np.concatenate(feature_blocks, axis=0)
-        )
-        names = batch.names
-        offset = 0
-        for session_id, count in zip(ids, counts):
-            session = self.sessions[session_id]
-            session.stream.windows_inferred += count
-            for i in range(offset, offset + count):
-                verdicts[session_id].append(
-                    session.observe(
-                        names[i], batch.confidences[i], batch.accepted[i]
-                    )
+        # --- inference pass: one batched call per distinct model.  The
+        # featurize pass above already consumed this tick's completed
+        # windows from every session's stream buffer, so a failing model
+        # must not discard healthy cohorts' work: groups whose batched
+        # call succeeds are demuxed normally (smoothers, counters), and
+        # the first failure is re-raised after that demux.  The failing
+        # model's windows for this tick are lost with the exception —
+        # callers should finish_stream()/reset() its sessions — while
+        # healthy sessions' observed verdicts stay consistent with their
+        # stream state (visible via ``EdgeSession.last_verdict`` even
+        # though the tick's return value is lost to the raise).
+        batches: List[Tuple[BatchInference, List[str], List[int]]] = []
+        failure: Optional[Exception] = None
+        for group in groups.values():
+            counts = group.counts
+            if sum(counts) == 0:
+                continue
+            try:
+                batch = group.engine.infer_features(
+                    np.concatenate(group.blocks, axis=0)
                 )
-            offset += count
-        # Serving stats only after the batched call succeeded, so an
-        # engine exception mid-tick cannot leave the counters claiming a
-        # tick that never served.  Featurization is part of serving —
-        # charge it to serve_ms so the summary throughput stays comparable
-        # with step()'s fused timing.
+            except Exception as exc:
+                if failure is None:
+                    failure = exc
+                continue
+            batches.append((batch, group.ids, counts))
+        # --- demux pass.  Serving stats move only for models whose
+        # batched call succeeded, so an engine exception mid-tick cannot
+        # leave the counters claiming service that never happened.
+        # Featurization is part of serving — charge it to serve_ms so the
+        # summary throughput stays comparable with step()'s fused timing.
+        for batch, ids, counts in batches:
+            names = batch.names
+            offset = 0
+            for session_id, count in zip(ids, counts):
+                session = self.sessions[session_id]
+                session.stream.windows_inferred += count
+                rejected = 0
+                for i in range(offset, offset + count):
+                    verdicts[session_id].append(
+                        session.observe(
+                            names[i], batch.confidences[i], batch.accepted[i]
+                        )
+                    )
+                    rejected += int(not batch.accepted[i])
+                self._charge_windows(session.cohort, count, rejected)
+                offset += count
+            self.serve_ms += batch.latency_ms
+        if failure is not None:
+            if batches:  # some models did serve: the tick happened
+                self.ticks += 1
+                self.serve_ms += featurize_timer.elapsed_ms
+            raise failure
         self.ticks += 1
-        self.windows_served += len(batch)
-        self.windows_rejected += int(np.count_nonzero(~batch.accepted))
-        self.serve_ms += featurize_timer.elapsed_ms + batch.latency_ms
+        self.serve_ms += featurize_timer.elapsed_ms
         return verdicts
 
     def finish_stream(self, session_id: str) -> List[SessionVerdict]:
@@ -744,7 +998,9 @@ class FleetServer:
         session = self.session(session_id)
         if session.stream is None:
             return []
-        batch = self.engine.finish_stream(session.stream)
+        # Flush through the *pinned* engine: a hot-swapped cohort still
+        # closes its held-back windows against the model that buffered them.
+        batch = session.stream.finish()
         session.stream = None
         verdicts = [
             session.observe(
@@ -752,8 +1008,9 @@ class FleetServer:
             )
             for i in range(len(batch))
         ]
-        self.windows_served += len(batch)
-        self.windows_rejected += int(np.count_nonzero(~batch.accepted))
+        self._charge_windows(
+            session.cohort, len(batch), int(np.count_nonzero(~batch.accepted))
+        )
         self.serve_ms += batch.latency_ms
         return verdicts
 
@@ -772,4 +1029,35 @@ class FleetServer:
             "serve_ms": self.serve_ms,
             "windows_per_sec": throughput,
             "rejected_windows": float(self.windows_rejected),
+        }
+
+    def cohort_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-cohort serving rollups.
+
+        Keys are every cohort that has connected sessions or served
+        windows; values carry the session count plus the cumulative
+        windows served/rejected (latency is shared across cohorts inside
+        a batched call, so it stays fleet-level in :meth:`summary`).
+        """
+        sessions_by_cohort: Dict[str, int] = {}
+        for session in self.sessions.values():
+            sessions_by_cohort[session.cohort] = (
+                sessions_by_cohort.get(session.cohort, 0) + 1
+            )
+        cohorts = (
+            set(sessions_by_cohort)
+            | set(self.cohort_windows_served)
+            | set(self.cohort_windows_rejected)
+        )
+        return {
+            cohort: {
+                "sessions": float(sessions_by_cohort.get(cohort, 0)),
+                "windows_served": float(
+                    self.cohort_windows_served.get(cohort, 0)
+                ),
+                "rejected_windows": float(
+                    self.cohort_windows_rejected.get(cohort, 0)
+                ),
+            }
+            for cohort in sorted(cohorts)
         }

@@ -12,7 +12,7 @@ pretending phones have infinite disks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -43,10 +43,14 @@ class EdgeRuntime:
         edge: EdgeDevice,
         spec: DeviceSpec = MIDRANGE_PHONE,
         storage_budget_fraction: float = 0.01,
+        cohort: Optional[str] = None,
     ) -> None:
         """``storage_budget_fraction`` is the share of device storage the
         app may occupy (1% of a 64 GB phone ≈ 655 MB — generous against the
-        paper's <5 MB)."""
+        paper's <5 MB).  ``cohort`` names the model-registry cohort this
+        device's package came from (``None`` for standalone devices); it
+        is bookkeeping only — the label a fleet server would bind the
+        device's session to."""
         if not 0.0 < storage_budget_fraction <= 1.0:
             raise ResourceExceededError(
                 f"storage_budget_fraction must be in (0, 1], "
@@ -58,6 +62,38 @@ class EdgeRuntime:
             spec.storage_mb * 1024 * 1024 * storage_budget_fraction
         )
         self.stats = RuntimeStats()
+        self.cohort = cohort if cohort is None else str(cohort)
+
+    @classmethod
+    def for_cohort(
+        cls,
+        registry,
+        cohort: Optional[str] = None,
+        spec: DeviceSpec = MIDRANGE_PHONE,
+        storage_budget_fraction: float = 0.01,
+        edge: Optional[EdgeDevice] = None,
+    ) -> "EdgeRuntime":
+        """Provision a resource-accounted device from a cohort's package.
+
+        Installs the cohort's transfer package (resolved through a
+        :class:`~repro.serving.registry.ModelRegistry`; ``None`` means the
+        registry's default cohort) onto ``edge`` — a fresh
+        :class:`~repro.core.edge.EdgeDevice` when omitted — and returns
+        the runtime labeled with that cohort.  Raises
+        :class:`~repro.exceptions.UnknownCohortError` for unknown cohorts
+        and :class:`~repro.exceptions.ConfigurationError` for cohorts
+        published as bare engines (no package to install).
+        """
+        resolved = registry.default_cohort if cohort is None else str(cohort)
+        package = registry.package_for(resolved)
+        device = edge if edge is not None else EdgeDevice()
+        device.install(package)
+        return cls(
+            device,
+            spec=spec,
+            storage_budget_fraction=storage_budget_fraction,
+            cohort=resolved,
+        )
 
     # ------------------------------------------------------------------ #
     # budget checks

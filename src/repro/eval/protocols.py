@@ -16,7 +16,7 @@ per-window calls, so high-overlap evaluation sweeps stay tractable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -195,6 +195,59 @@ class StreamEvalResult:
     mean_confidence: float
     rejected_fraction: float
     latency_ms: float  # summed engine wall-clock over all segments
+    #: Windows evaluated per activity label — the weights that make
+    #: per-activity accuracies mergeable across runs/cohorts.
+    per_activity_windows: Dict[str, int] = field(default_factory=dict)
+
+
+class _StreamAccumulator:
+    """Window-level counting shared by the stream protocols.
+
+    Keeping raw counts (not ratios) is what lets the cohort protocol merge
+    per-cohort results into an exact combined rollup.
+    """
+
+    def __init__(self) -> None:
+        self.correct_by: Dict[str, int] = {}
+        self.total_by: Dict[str, int] = {}
+        self.n_windows = 0
+        self.n_correct = 0
+        self.n_rejected = 0
+        self.confidence_sum = 0.0
+        self.latency_ms = 0.0
+
+    def add(self, batch, label: str) -> None:
+        """Fold one engine batch of a ``label``-segment into the counts."""
+        self.latency_ms += batch.latency_ms
+        k = len(batch)
+        if k == 0:
+            return
+        names = batch.names
+        hits = sum(name == label for name in names)
+        self.n_windows += k
+        self.n_correct += hits
+        self.n_rejected += int(np.count_nonzero(~batch.accepted))
+        self.confidence_sum += float(batch.confidences.sum())
+        self.correct_by[label] = self.correct_by.get(label, 0) + hits
+        self.total_by[label] = self.total_by.get(label, 0) + k
+
+    def result(self) -> StreamEvalResult:
+        if self.n_windows == 0:
+            raise DataShapeError(
+                "no segment was long enough for a complete window"
+            )
+        return StreamEvalResult(
+            n_windows=self.n_windows,
+            overall_accuracy=self.n_correct / self.n_windows,
+            per_activity_accuracy={
+                label: self.correct_by[label] / self.total_by[label]
+                for label in self.total_by
+            },
+            mean_confidence=self.confidence_sum / self.n_windows,
+            rejected_fraction=self.n_rejected / self.n_windows,
+            latency_ms=self.latency_ms,
+            per_activity_windows=dict(self.total_by),
+        )
 
 
 def _segment_batches(
@@ -252,38 +305,84 @@ def run_stream_protocol(
         raise ConfigurationError("segments must be non-empty")
     if chunk_len is not None and chunk_len < 1:
         raise ConfigurationError(f"chunk_len must be >= 1, got {chunk_len}")
-    correct_by: Dict[str, int] = {}
-    total_by: Dict[str, int] = {}
-    n_windows = 0
-    n_correct = 0
-    n_rejected = 0
-    confidence_sum = 0.0
-    latency_ms = 0.0
+    acc = _StreamAccumulator()
     for label, samples in segments:
         for batch in _segment_batches(engine, samples, stride, chunk_len):
-            latency_ms += batch.latency_ms
-            k = len(batch)
-            if k == 0:
-                continue
-            names = batch.names
-            hits = sum(name == label for name in names)
-            n_windows += k
-            n_correct += hits
-            n_rejected += int(np.count_nonzero(~batch.accepted))
-            confidence_sum += float(batch.confidences.sum())
-            correct_by[label] = correct_by.get(label, 0) + hits
-            total_by[label] = total_by.get(label, 0) + k
-    if n_windows == 0:
-        raise DataShapeError(
-            "no segment was long enough for a complete window"
+            acc.add(batch, label)
+    return acc.result()
+
+
+# ---------------------------------------------------------------------- #
+# per-cohort stream evaluation
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CohortStreamEvalResult:
+    """Per-cohort window-level metrics plus the exact combined rollup."""
+
+    per_cohort: Dict[str, StreamEvalResult]
+    combined: StreamEvalResult
+
+    def cohort(self, cohort_id: str) -> StreamEvalResult:
+        try:
+            return self.per_cohort[cohort_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"no evaluation result for cohort {cohort_id!r} "
+                f"(has {sorted(self.per_cohort)})"
+            ) from None
+
+
+def run_cohort_stream_protocol(
+    registry,
+    segments_by_cohort: Mapping[str, Sequence[Tuple[str, np.ndarray]]],
+    stride: Optional[Union[int, Mapping[str, int]]] = None,
+    chunk_len: Optional[int] = None,
+) -> CohortStreamEvalResult:
+    """Evaluate continuous recordings per cohort through a model registry.
+
+    The multi-model twin of :func:`run_stream_protocol`: each cohort's
+    labeled segments are classified by the engine its registry entry
+    resolves to (:meth:`~repro.serving.registry.ModelRegistry.engine_for`
+    — lazily registered cohorts load here), producing one
+    :class:`StreamEvalResult` per cohort *and* an exact combined rollup
+    (raw window counts are merged, so the combined accuracies are the
+    true fleet-level numbers, not averages of averages).
+
+    ``stride`` may be one int for every cohort or a ``{cohort: stride}``
+    mapping (cohorts absent from the mapping use their pipeline stride),
+    mirroring :meth:`~repro.core.engine.FleetServer.step_stream`;
+    ``chunk_len`` switches every cohort to the chunked serving path.
+    Unknown cohorts raise :class:`~repro.exceptions.UnknownCohortError`;
+    a cohort whose segments never complete a window raises
+    :class:`~repro.exceptions.DataShapeError`, like the single-model
+    protocol.
+    """
+    if not segments_by_cohort:
+        raise ConfigurationError("segments_by_cohort must be non-empty")
+    if chunk_len is not None and chunk_len < 1:
+        raise ConfigurationError(f"chunk_len must be >= 1, got {chunk_len}")
+    per_cohort: Dict[str, StreamEvalResult] = {}
+    combined = _StreamAccumulator()
+    for cohort_id, segments in segments_by_cohort.items():
+        cohort_key = str(cohort_id)
+        if not segments:
+            raise ConfigurationError(
+                f"cohort {cohort_key!r} has no segments"
+            )
+        engine = registry.engine_for(cohort_key)
+        cohort_stride = (
+            stride.get(cohort_key) if isinstance(stride, Mapping) else stride
         )
-    return StreamEvalResult(
-        n_windows=n_windows,
-        overall_accuracy=n_correct / n_windows,
-        per_activity_accuracy={
-            label: correct_by[label] / total_by[label] for label in total_by
-        },
-        mean_confidence=confidence_sum / n_windows,
-        rejected_fraction=n_rejected / n_windows,
-        latency_ms=latency_ms,
+        acc = _StreamAccumulator()
+        for label, samples in segments:
+            for batch in _segment_batches(
+                engine, samples, cohort_stride, chunk_len
+            ):
+                acc.add(batch, label)
+                combined.add(batch, label)
+        per_cohort[cohort_key] = acc.result()
+    return CohortStreamEvalResult(
+        per_cohort=per_cohort, combined=combined.result()
     )

@@ -30,6 +30,16 @@ class PrivacyViolationError(MagnetoError):
     """
 
 
+class UnknownCohortError(ConfigurationError):
+    """A cohort id was requested that the model registry does not serve.
+
+    Raised by :class:`~repro.serving.registry.ModelRegistry` lookups and by
+    :class:`~repro.core.engine.FleetServer` when a session is bound to (or
+    served from) a cohort with no published or registered package.  Derives
+    from :class:`ConfigurationError` so existing handlers keep working.
+    """
+
+
 class NotFittedError(MagnetoError):
     """A component that must be fitted/trained was used before fitting."""
 

@@ -132,7 +132,12 @@ class ChunkLocalDenoiserStream:
     the output near chunk boundaries differs marginally from ``apply`` over
     the whole signal (the same caveat class as denoising overlapping
     windows independently).  Used by the chunked pipeline when the
-    configured denoiser has no ``make_stream``.
+    configured denoiser has no ``make_stream`` (in practice: the default
+    Butterworth low-pass at overlapping strides); streams built on this
+    fallback are flagged with
+    :attr:`~repro.preprocessing.pipeline.StreamState.chunk_invariant`
+    ``= False`` so callers can detect that verdicts depend marginally on
+    the chunking.
     """
 
     lookahead = 0

@@ -97,6 +97,39 @@ class TestFleetCommand:
         assert "smoothed fleet accuracy" in out
         assert code == 0
 
+    def test_fleet_cohorts_spec_serves_multi_model(
+        self, saved_package, tmp_path, capsys
+    ):
+        import json
+
+        spec = tmp_path / "cohorts.json"
+        spec.write_text(json.dumps({
+            "default": "wrist",
+            "cohorts": {
+                "wrist": {"sessions": 3},
+                "pocket": {"package": saved_package, "sessions": 2},
+            },
+        }))
+        code = main([
+            "fleet", saved_package,
+            "--cohorts", str(spec), "--ticks", "3", "--seed", "4",
+        ])
+        out = capsys.readouterr().out
+        assert "served 15 windows across 5 sessions" in out
+        assert "cohort wrist: 3 sessions" in out
+        assert "cohort pocket: 2 sessions" in out
+        assert "[default]" in out
+        assert "smoothed fleet accuracy" in out
+        assert code == 0
+
+    def test_fleet_cohorts_bad_spec_raises(self, saved_package, tmp_path):
+        from repro.exceptions import SerializationError
+
+        spec = tmp_path / "broken.json"
+        spec.write_text("{not json")
+        with pytest.raises(SerializationError):
+            main(["fleet", saved_package, "--cohorts", str(spec)])
+
 
 class TestDemoCommand:
     def test_demo_learns_and_reports(self, saved_package, capsys):

@@ -12,6 +12,7 @@ from repro.exceptions import (
     ResourceExceededError,
     SerializationError,
     UnknownActivityError,
+    UnknownCohortError,
 )
 
 
@@ -24,9 +25,14 @@ class TestExceptionHierarchy:
         ResourceExceededError,
         SerializationError,
         UnknownActivityError,
+        UnknownCohortError,
     ])
     def test_all_derive_from_magneto_error(self, exc_cls):
         assert issubclass(exc_cls, MagnetoError)
+
+    def test_unknown_cohort_is_a_configuration_error(self):
+        """Existing handlers catching ConfigurationError keep working."""
+        assert issubclass(UnknownCohortError, ConfigurationError)
 
     def test_magneto_error_is_exception(self):
         assert issubclass(MagnetoError, Exception)
@@ -58,6 +64,7 @@ class TestPublicApi:
         "repro.eval",
         "repro.edge_runtime",
         "repro.federated",
+        "repro.serving",
     ])
     def test_subpackage_all_resolves(self, module_name):
         import importlib
@@ -88,7 +95,7 @@ class TestPublicApi:
         for module_name in (
             "repro", "repro.core", "repro.nn", "repro.sensors",
             "repro.preprocessing", "repro.datasets", "repro.eval",
-            "repro.edge_runtime", "repro.federated",
+            "repro.edge_runtime", "repro.federated", "repro.serving",
         ):
             module = importlib.import_module(module_name)
             assert len(module.__all__) == len(set(module.__all__)), module_name

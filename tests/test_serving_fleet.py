@@ -1,0 +1,385 @@
+"""Tests for cohort-aware fleet serving through a ModelRegistry.
+
+The acceptance bar: a mixed-cohort ``FleetServer.step_stream`` produces
+verdicts identical (1e-9) to routing each session through its cohort's
+engine individually, while issuing exactly one batched engine call per
+distinct model per tick; held sessions keep their pinned package across a
+hot-swap until ``finish_stream``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FleetServer, InferenceEngine
+from repro.edge_runtime import EdgeRuntime
+from repro.eval import run_cohort_stream_protocol, run_stream_protocol
+from repro.exceptions import (
+    ConfigurationError,
+    DataShapeError,
+    UnknownCohortError,
+)
+from repro.preprocessing import PreprocessingPipeline
+from repro.serving import DEFAULT_COHORT, ModelRegistry
+
+PARITY = dict(rtol=0.0, atol=1e-9)
+
+
+@pytest.fixture
+def engines(scenario):
+    """Two distinct engines: the base package and a 6-class variant."""
+    edge_a = scenario.fresh_edge(rng=1)
+    edge_b = scenario.fresh_edge(rng=2)
+    edge_b.learn_activity(
+        "gesture_hi", scenario.sensor_device.record("gesture_hi", 20.0)
+    )
+    assert len(edge_b.engine.class_names) == len(edge_a.engine.class_names) + 1
+    return edge_a.engine, edge_b.engine
+
+
+@pytest.fixture
+def registry(engines):
+    engine_a, engine_b = engines
+    reg = ModelRegistry(default_cohort="a")
+    reg.publish("a", engine_a)
+    reg.publish("b", engine_b)
+    return reg
+
+
+def _count_calls(monkeypatch, engine, counter, key):
+    original = engine.infer_features
+
+    def counted(features):
+        counter[key] += 1
+        return original(features)
+
+    monkeypatch.setattr(engine, "infer_features", counted)
+
+
+class TestMixedCohortStepStream:
+    def test_acceptance_parity_with_individual_routing(
+        self, registry, engines, scenario, monkeypatch
+    ):
+        """Mixed-cohort serving == each session on its own cohort engine."""
+        engine_a, engine_b = engines
+        calls = {"a": 0, "b": 0}
+        _count_calls(monkeypatch, engine_a, calls, "a")
+        _count_calls(monkeypatch, engine_b, calls, "b")
+        server = FleetServer(registry)
+        server.connect_many(["a1", "a2"], cohort="a")
+        server.connect("b1", cohort="b")
+        recordings = {
+            "a1": scenario.sensor_device.record("walk", 5.0).data,
+            "a2": scenario.sensor_device.record("run", 5.0).data,
+            "b1": scenario.sensor_device.record("gesture_hi", 5.0).data,
+        }
+        got = {sid: [] for sid in recordings}
+        ticks = 0
+        for start in range(0, 600, 100):
+            tick = {
+                sid: data[start : start + 100]
+                for sid, data in recordings.items()
+            }
+            ticks += 1
+            for sid, verdicts in server.step_stream(tick).items():
+                got[sid].extend(verdicts)
+        # one batched call per distinct model per tick; ticks where a
+        # model completed no window skip that model's call entirely
+        assert calls["a"] <= ticks and calls["b"] <= ticks
+        assert calls["a"] == calls["b"] == 5  # 600 samples -> 5 windows
+        by_cohort = {"a1": engine_a, "a2": engine_a, "b1": engine_b}
+        for sid, data in recordings.items():
+            ref = by_cohort[sid].infer_stream(data)
+            assert [v.activity for v in got[sid]] == ref.names
+            assert [v.accepted for v in got[sid]] == list(ref.accepted)
+            np.testing.assert_allclose(
+                [v.confidence for v in got[sid]], ref.confidences, **PARITY
+            )
+
+    def test_cohorts_sharing_an_engine_share_a_batch(
+        self, engines, scenario, monkeypatch
+    ):
+        engine_a, _ = engines
+        registry = ModelRegistry(default_cohort="x")
+        registry.publish("x", engine_a)
+        registry.publish("y", engine_a)  # same engine object, two cohorts
+        calls = {"n": 0}
+        _count_calls(monkeypatch, engine_a, calls, "n")
+        server = FleetServer(registry)
+        server.connect("sx", cohort="x")
+        server.connect("sy", cohort="y")
+        data = scenario.sensor_device.record("walk", 2.0).data
+        verdicts = server.step_stream({"sx": data, "sy": data})
+        assert calls["n"] == 1
+        assert len(verdicts["sx"]) == len(verdicts["sy"]) == 2
+
+    def test_per_cohort_stride_mapping(self, registry, scenario):
+        server = FleetServer(registry)
+        server.connect("a1", cohort="a")
+        server.connect("b1", cohort="b")
+        data = scenario.sensor_device.record("walk", 2.0).data
+        verdicts = server.step_stream(
+            {"a1": data, "b1": data}, stride={"a": 60, "b": 120}
+        )
+        assert server.session("a1").stream.stride == 60
+        assert server.session("b1").stream.stride == 120
+        assert len(verdicts["a1"]) == 3  # (240 - 120) // 60 + 1
+        assert len(verdicts["b1"]) == 2
+
+    def test_stride_map_omitting_a_cohort_continues_open_streams(
+        self, registry, scenario
+    ):
+        """A cohort absent from the stride map keeps its locked stride."""
+        server = FleetServer(registry)
+        server.connect("a1", cohort="a")
+        data = scenario.sensor_device.record("walk", 3.0).data
+        server.step_stream({"a1": data[:200]}, stride={"a": 60})
+        # next tick's map names only the other cohort: a1 just continues
+        verdicts = server.step_stream(
+            {"a1": data[200:360]}, stride={"b": 120}
+        )
+        assert server.session("a1").stream.stride == 60
+        assert len(verdicts["a1"]) > 0
+
+    def test_failing_model_does_not_discard_healthy_cohorts(
+        self, registry, engines, scenario, monkeypatch
+    ):
+        """Cohort B's engine raising mid-tick must not desync cohort A."""
+        engine_a, engine_b = engines
+        server = FleetServer(registry)
+        server.connect("a1", cohort="a")
+        server.connect("b1", cohort="b")
+        data = scenario.sensor_device.record("walk", 4.0).data
+        server.step_stream({"a1": data[:200], "b1": data[:200]})
+
+        def boom(features):
+            raise RuntimeError("model fell over")
+
+        monkeypatch.setattr(engine_b, "infer_features", boom)
+        with pytest.raises(RuntimeError, match="fell over"):
+            server.step_stream({"a1": data[200:360], "b1": data[200:360]})
+        # a1's verdicts were folded (smoother/stream stay consistent)...
+        a1 = server.session("a1")
+        assert a1.windows_seen == 3
+        assert a1.last_verdict is not None
+        assert server.cohort_summary()["a"]["windows_served"] == 3.0
+        # ...and after resetting the failed session, serving continues
+        monkeypatch.undo()
+        server.session("b1").reset()
+        more = server.step_stream({"a1": data[360:480], "b1": data[:240]})
+        assert len(more["a1"]) == 1 and len(more["b1"]) == 2
+        # a1's full observed sequence still equals the monolithic pass
+        ref = engine_a.infer_stream(data)
+        assert a1.windows_seen == len(ref.names)
+
+    def test_empty_tick_and_unknown_session_still_guarded(self, registry):
+        server = FleetServer(registry)
+        assert server.step_stream({}) == {}
+        with pytest.raises(ConfigurationError, match="not connected"):
+            server.step_stream({"ghost": np.zeros((10, 22))})
+
+
+class TestCohortBinding:
+    def test_connect_unknown_cohort_rejected_up_front(self, registry):
+        server = FleetServer(registry)
+        with pytest.raises(UnknownCohortError, match="'pocket'"):
+            server.connect("s", cohort="pocket")
+        assert server.n_sessions == 0
+
+    def test_default_cohort_binding(self, registry):
+        server = FleetServer(registry)
+        session = server.connect("s")
+        assert session.cohort == "a"
+
+    def test_single_engine_server_serves_default_cohort(self, edge):
+        server = FleetServer(edge.engine)
+        assert server.connect("s").cohort == DEFAULT_COHORT
+        with pytest.raises(UnknownCohortError, match="'wrist'"):
+            server.connect("t", cohort="wrist")
+
+    def test_unpublished_cohort_fails_on_step(
+        self, registry, scenario
+    ):
+        """Unknown cohort at serve time (unpublished after connect)."""
+        server = FleetServer(registry)
+        server.connect("b1", cohort="b")
+        window = scenario.sensor_device.record("walk", 1.0).data[:120]
+        registry.unpublish("b")
+        with pytest.raises(UnknownCohortError, match="'b'"):
+            server.step({"b1": window})
+        with pytest.raises(UnknownCohortError, match="'b'"):
+            server.step_stream({"b1": window})
+
+    def test_open_stream_outlives_unpublish(self, registry, scenario):
+        """A held session keeps serving from its pinned engine."""
+        server = FleetServer(registry)
+        server.connect("b1", cohort="b")
+        data = scenario.sensor_device.record("gesture_hi", 3.0).data
+        server.step_stream({"b1": data[:200]})
+        registry.unpublish("b")
+        verdicts = server.step_stream({"b1": data[200:360]})  # still pinned
+        assert len(verdicts["b1"]) == 2
+        assert server.finish_stream("b1") == []
+
+
+class TestHotSwap:
+    def test_held_sessions_keep_pinned_package_until_finish(
+        self, engines, scenario
+    ):
+        engine_v1, engine_v2 = engines
+        registry = ModelRegistry(default_cohort="a")
+        registry.publish("a", engine_v1)
+        server = FleetServer(registry)
+        session = server.connect("s")
+        data = scenario.sensor_device.record("walk", 4.0).data
+        server.step_stream({"s": data[:100]})
+        assert session.stream.engine is engine_v1
+        registry.publish("a", engine_v2)  # hot-swap mid-stream
+        got = server.step_stream({"s": data[100:300]})["s"]
+        assert session.stream.engine is engine_v1  # pinned
+        ref = engine_v1.infer_stream(data[:240])
+        assert [v.activity for v in got] == ref.names[-len(got):]
+        server.finish_stream("s")
+        server.step_stream({"s": data[:100]})  # fresh stream
+        assert session.stream.engine is engine_v2
+
+    def test_windowed_step_swaps_immediately(self, engines, scenario):
+        engine_v1, engine_v2 = engines
+        registry = ModelRegistry(default_cohort="a")
+        registry.publish("a", engine_v1)
+        server = FleetServer(registry)
+        server.connect("s")
+        window = scenario.sensor_device.record("walk", 1.0).data[:120]
+        server.step({"s": window})
+        registry.publish("a", engine_v2)
+        verdict = server.step({"s": window})["s"]
+        ref = engine_v2.infer_windows(window[None, :, :])
+        assert verdict.activity == ref.names[0]
+
+
+class TestMixedCohortStep:
+    def test_window_shapes_may_differ_across_cohorts(
+        self, scenario, edge
+    ):
+        """Device classes with different window lengths share a tick."""
+        short_pipeline = PreprocessingPipeline(window_len=60)
+        short_pipeline.fit_normalizer(scenario.campaign.windows)
+        short_engine = InferenceEngine(
+            edge.embedder, edge.ncm, pipeline=short_pipeline
+        )
+        registry = ModelRegistry(default_cohort="long")
+        registry.publish("long", edge.engine)
+        registry.publish("short", short_engine)
+        server = FleetServer(registry)
+        server.connect("l", cohort="long")
+        server.connect("s", cohort="short")
+        data = scenario.sensor_device.record("walk", 1.0).data
+        verdicts = server.step({"l": data[:120], "s": data[:60]})
+        assert set(verdicts) == {"l", "s"}
+        # within one cohort's batch, shapes must still agree
+        server.connect("l2", cohort="long")
+        with pytest.raises(DataShapeError, match="session 'l2'"):
+            server.step({"l": data[:120], "l2": data[:60]})
+
+    def test_per_cohort_rollups(self, registry, scenario):
+        server = FleetServer(registry)
+        server.connect_many(["a1", "a2"], cohort="a")
+        server.connect("b1", cohort="b")
+        window = scenario.sensor_device.record("walk", 1.0).data[:120]
+        server.step({"a1": window, "a2": window, "b1": window})
+        server.step({"a1": window})
+        rollup = server.cohort_summary()
+        assert rollup["a"]["sessions"] == 2.0
+        assert rollup["a"]["windows_served"] == 3.0
+        assert rollup["b"]["sessions"] == 1.0
+        assert rollup["b"]["windows_served"] == 1.0
+        total = server.summary()
+        assert total["windows_served"] == 4.0
+        assert (
+            rollup["a"]["rejected_windows"] + rollup["b"]["rejected_windows"]
+            == total["rejected_windows"]
+        )
+
+
+class TestCohortEvalProtocol:
+    def test_per_cohort_rollups_match_single_model_protocol(
+        self, registry, engines, scenario
+    ):
+        engine_a, engine_b = engines
+        segments = {
+            "a": [
+                ("walk", scenario.sensor_device.record("walk", 3.0).data),
+                ("run", scenario.sensor_device.record("run", 3.0).data),
+            ],
+            "b": [
+                (
+                    "gesture_hi",
+                    scenario.sensor_device.record("gesture_hi", 3.0).data,
+                ),
+            ],
+        }
+        result = run_cohort_stream_protocol(registry, segments)
+        for cohort, engine in (("a", engine_a), ("b", engine_b)):
+            ref = run_stream_protocol(engine, segments[cohort])
+            got = result.cohort(cohort)
+            assert got.n_windows == ref.n_windows
+            assert got.overall_accuracy == pytest.approx(ref.overall_accuracy)
+            assert got.per_activity_windows == ref.per_activity_windows
+        combined = result.combined
+        assert combined.n_windows == sum(
+            r.n_windows for r in result.per_cohort.values()
+        )
+        # exact weighted combination, not an average of averages
+        expected = sum(
+            r.overall_accuracy * r.n_windows
+            for r in result.per_cohort.values()
+        ) / combined.n_windows
+        assert combined.overall_accuracy == pytest.approx(expected)
+
+    def test_unknown_cohort_and_empty_inputs(self, registry):
+        with pytest.raises(ConfigurationError):
+            run_cohort_stream_protocol(registry, {})
+        with pytest.raises(ConfigurationError, match="chunk_len"):
+            run_cohort_stream_protocol(
+                registry,
+                {"a": [("walk", np.zeros((240, 22)))]},
+                chunk_len=0,
+            )
+        with pytest.raises(UnknownCohortError):
+            run_cohort_stream_protocol(
+                registry, {"ghost": [("walk", np.zeros((240, 22)))]}
+            )
+        with pytest.raises(ConfigurationError, match="no segments"):
+            run_cohort_stream_protocol(registry, {"a": []})
+
+    def test_missing_cohort_lookup_names_cohorts(self, registry, scenario):
+        segments = {
+            "a": [("walk", scenario.sensor_device.record("walk", 2.0).data)]
+        }
+        result = run_cohort_stream_protocol(registry, segments)
+        with pytest.raises(ConfigurationError, match="'b'"):
+            result.cohort("b")
+
+
+class TestEdgeRuntimeCohorts:
+    def test_for_cohort_provisions_from_registry(self, scenario):
+        registry = ModelRegistry(default_cohort="wrist")
+        registry.publish("wrist", scenario.package)
+        runtime = EdgeRuntime.for_cohort(registry)
+        assert runtime.cohort == "wrist"
+        assert runtime.edge.is_ready
+        assert runtime.check_storage() > 0
+
+    def test_for_cohort_bare_engine_raises(self, edge):
+        registry = ModelRegistry(default_cohort="wrist")
+        registry.publish("wrist", edge.engine)
+        with pytest.raises(ConfigurationError, match="bare engine"):
+            EdgeRuntime.for_cohort(registry, "wrist")
+
+    def test_for_cohort_unknown_cohort_raises(self, scenario):
+        registry = ModelRegistry()
+        registry.publish(DEFAULT_COHORT, scenario.package)
+        with pytest.raises(UnknownCohortError):
+            EdgeRuntime.for_cohort(registry, "ghost")
+
+    def test_standalone_runtime_has_no_cohort(self, edge):
+        assert EdgeRuntime(edge).cohort is None

@@ -1,0 +1,103 @@
+"""Execute every fenced python block in README.md and docs/*.md.
+
+The documentation promises copy-pasteable examples; this runner keeps that
+promise honest in CI.  For each markdown file, all ```python fences are
+extracted in order and executed sequentially in one shared namespace (so a
+later block can build on an earlier one, exactly as a reader pasting them
+top to bottom would experience).  A block preceded immediately by the HTML
+comment ``<!-- doc-example: skip -->`` is skipped (for snippets that need
+artifacts the CI box does not have).
+
+Usage::
+
+    PYTHONPATH=src python tools/run_doc_examples.py [files...]
+
+With no arguments, README.md and every ``docs/*.md`` of the repository
+root (resolved relative to this script) are checked.  Exits non-zero on
+the first failing block, printing the file, block index and traceback.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+import traceback
+from typing import List, Sequence, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SKIP_MARKER = "<!-- doc-example: skip -->"
+FENCE_RE = re.compile(
+    r"^```python[ \t]*\n(.*?)^```[ \t]*$", re.MULTILINE | re.DOTALL
+)
+
+
+def extract_blocks(text: str) -> List[Tuple[int, bool, str]]:
+    """``(line_number, skipped, source)`` for every python fence."""
+    blocks = []
+    for match in FENCE_RE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        preceding = text[: match.start()].rstrip().splitlines()
+        skipped = bool(preceding) and preceding[-1].strip() == SKIP_MARKER
+        blocks.append((line, skipped, match.group(1)))
+    return blocks
+
+
+def _display(path: pathlib.Path) -> str:
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def run_file(path: pathlib.Path) -> Tuple[int, int]:
+    """Execute one file's blocks; returns (executed, skipped) counts."""
+    blocks = extract_blocks(path.read_text(encoding="utf-8"))
+    namespace = {"__name__": f"doc_example_{path.stem}"}
+    executed = skipped = 0
+    for index, (line, skip, source) in enumerate(blocks, start=1):
+        label = f"{_display(path)} block {index} (line {line})"
+        if skip:
+            print(f"  SKIP {label}")
+            skipped += 1
+            continue
+        try:
+            code = compile(source, f"{path}:{line}", "exec")
+            exec(code, namespace)  # noqa: S102 - that is the whole point
+        except Exception:
+            print(f"  FAIL {label}")
+            traceback.print_exc()
+            raise SystemExit(1)
+        print(f"  ok   {label}")
+        executed += 1
+    return executed, skipped
+
+
+def main(argv: Sequence[str]) -> int:
+    if argv:
+        paths = [pathlib.Path(arg).resolve() for arg in argv]
+    else:
+        paths = [REPO_ROOT / "README.md"]
+        paths += sorted((REPO_ROOT / "docs").glob("*.md"))
+    missing = [path for path in paths if not path.is_file()]
+    if missing:
+        print(f"missing documentation files: {missing}")
+        return 1
+    total = total_skipped = 0
+    for path in paths:
+        print(f"{_display(path)}:")
+        executed, skipped = run_file(path)
+        total += executed
+        total_skipped += skipped
+    print(
+        f"{total} documentation example(s) executed green"
+        + (f", {total_skipped} skipped" if total_skipped else "")
+    )
+    if total == 0:
+        print("no python examples found — docs lost their fences?")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
