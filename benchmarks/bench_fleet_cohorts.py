@@ -36,19 +36,19 @@ import time
 from typing import Dict, Optional, Sequence
 
 import numpy as np
+from conftest import build_cohort_fleet_setup
 
 from repro.core import CloudConfig, FleetServer
 from repro.datasets import build_edge_scenario
 from repro.nn import TrainConfig
 from repro.serving import ModelRegistry
 
-RECORDING_SECONDS = 120.0
 #: Samples per serving tick (10 windows at window_len=120) — small enough
 #: that per-tick dispatch matters, large enough that the tick is not pure
-#: dispatch (see bench_chunked_stream's overhead note).
+#: dispatch (see bench_chunked_stream's overhead note).  The fleet layout
+#: itself (120 s recording, 24 sessions, 3 cohorts) is the shared
+#: ``conftest.build_cohort_fleet_setup`` default.
 CHUNK_SAMPLES = 1200
-N_SESSIONS = 24
-N_COHORTS = 3
 MAX_RATIO_VS_SINGLE = 1.5
 
 
@@ -75,39 +75,28 @@ def _run_fleet(server, session_ids, data, chunk_samples) -> int:
 
 
 def measure_cohort_fleet(
-    scenario,
-    seconds: float = RECORDING_SECONDS,
+    setup,
     chunk_samples: int = CHUNK_SAMPLES,
-    n_sessions: int = N_SESSIONS,
-    n_cohorts: int = N_COHORTS,
     repeats: int = 3,
 ) -> Dict:
-    """Wall-clock of a single-model fleet vs the same fleet split by cohort."""
-    single_engine = scenario.fresh_edge(rng=0).engine
-    cohort_engines = {
-        f"cohort-{k}": scenario.fresh_edge(rng=k + 1).engine
-        for k in range(n_cohorts)
-    }
-    registry = ModelRegistry(default_cohort="cohort-0")
-    for cohort, engine in cohort_engines.items():
-        registry.publish(cohort, engine)
-    data = scenario.sensor_device.record("walk", seconds).data
-    session_ids = [f"dev-{i:03d}" for i in range(n_sessions)]
-    cohorts = [f"cohort-{i % n_cohorts}" for i in range(n_sessions)]
-    single_engine.infer_stream(data)  # warm-up
-    for engine in cohort_engines.values():
-        engine.infer_stream(data)
+    """Wall-clock of a single-model fleet vs the same fleet split by cohort.
 
+    ``setup`` is a :class:`conftest.CohortFleetSetup` — the fleet layout
+    shared with ``bench_async_fleet`` (build one with
+    :func:`conftest.build_cohort_fleet_setup`).
+    """
+    data = setup.data
+    session_ids = setup.session_ids
     served = {}
 
     def single():
-        server = FleetServer(single_engine)
+        server = FleetServer(setup.single_engine)
         server.connect_many(session_ids)
         served["single"] = _run_fleet(server, session_ids, data, chunk_samples)
 
     def cohort_fleet():
-        server = FleetServer(registry)
-        for sid, cohort in zip(session_ids, cohorts):
+        server = FleetServer(setup.registry)
+        for sid, cohort in zip(session_ids, setup.cohorts):
             server.connect(sid, cohort=cohort)
         served["cohorts"] = _run_fleet(server, session_ids, data, chunk_samples)
 
@@ -119,8 +108,8 @@ def measure_cohort_fleet(
     return {
         "windows": k,
         "ticks": ticks,
-        "sessions": n_sessions,
-        "cohorts": n_cohorts,
+        "sessions": setup.n_sessions,
+        "cohorts": setup.n_cohorts,
         "chunk_samples": chunk_samples,
         "recording_samples": int(data.shape[0]),
         "single": {"ms_total": single_s * 1e3, "windows_per_sec": k / single_s},
@@ -134,9 +123,9 @@ def measure_cohort_fleet(
 # ---------------------------------------------------------------------- #
 
 
-def test_bench_cohort_fleet_within_1p5x_of_single_model(bench_scenario):
+def test_bench_cohort_fleet_within_1p5x_of_single_model(cohort_fleet):
     """A 3-cohort fleet tick stays within 1.5x of the single-model fleet."""
-    results = measure_cohort_fleet(bench_scenario)
+    results = measure_cohort_fleet(cohort_fleet)
     ratio = results["ratio_cohort_vs_single"]
     print(
         f"\nE-COHORT: single {results['single']['ms_total']:.1f} ms, "
@@ -228,11 +217,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     scenario = _standalone_scenario(smoke=args.smoke)
     if args.smoke:
-        results = measure_cohort_fleet(
-            scenario, seconds=30.0, n_sessions=6, repeats=2
-        )
+        setup = build_cohort_fleet_setup(scenario, seconds=30.0, n_sessions=6)
+        results = measure_cohort_fleet(setup, repeats=2)
     else:
-        results = measure_cohort_fleet(scenario)
+        results = measure_cohort_fleet(build_cohort_fleet_setup(scenario))
     results["scale"] = "smoke" if args.smoke else "benchmark"
     results["recorded"] = time.strftime("%Y-%m-%d")
 

@@ -9,12 +9,16 @@ footprint E3).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Dict, List
+
 import numpy as np
 import pytest
 
 from repro.core import CloudConfig
 from repro.datasets import build_edge_scenario
 from repro.nn import TrainConfig
+from repro.serving import ModelRegistry
 
 
 def bench_cloud_config() -> CloudConfig:
@@ -36,6 +40,75 @@ def bench_scenario():
         base_test_windows_per_activity=25,
         rng=2024,
     )
+
+
+@dataclass
+class CohortFleetSetup:
+    """The shared multi-model fleet layout of the serving benchmarks.
+
+    One single-model reference engine, ``n_cohorts`` distinct cohort
+    engines published in a registry, one continuous recording every
+    session replays, and a round-robin session→cohort assignment.  Used
+    by ``bench_fleet_cohorts`` (cohort overhead vs single model) and
+    ``bench_async_fleet`` (async fan-out vs serial ticks) so the two
+    gates measure the *same* fleet.
+    """
+
+    single_engine: object
+    cohort_engines: Dict[str, object]
+    registry: ModelRegistry
+    data: np.ndarray
+    session_ids: List[str]
+    cohorts: List[str]
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self.session_ids)
+
+    @property
+    def n_cohorts(self) -> int:
+        return len(self.cohort_engines)
+
+
+def build_cohort_fleet_setup(
+    scenario,
+    seconds: float = 120.0,
+    n_sessions: int = 24,
+    n_cohorts: int = 3,
+) -> CohortFleetSetup:
+    """Build the shared fleet layout (importable by standalone benches).
+
+    Engines are warmed up (one ``infer_stream`` pass each) so the first
+    measured tick does not pay one-off allocation/cache costs.
+    """
+    single_engine = scenario.fresh_edge(rng=0).engine
+    cohort_engines = {
+        f"cohort-{k}": scenario.fresh_edge(rng=k + 1).engine
+        for k in range(n_cohorts)
+    }
+    registry = ModelRegistry(default_cohort="cohort-0")
+    for cohort, engine in cohort_engines.items():
+        registry.publish(cohort, engine)
+    data = scenario.sensor_device.record("walk", seconds).data
+    session_ids = [f"dev-{i:03d}" for i in range(n_sessions)]
+    cohorts = [f"cohort-{i % n_cohorts}" for i in range(n_sessions)]
+    single_engine.infer_stream(data)  # warm-up
+    for engine in cohort_engines.values():
+        engine.infer_stream(data)
+    return CohortFleetSetup(
+        single_engine=single_engine,
+        cohort_engines=cohort_engines,
+        registry=registry,
+        data=data,
+        session_ids=session_ids,
+        cohorts=cohorts,
+    )
+
+
+@pytest.fixture(scope="session")
+def cohort_fleet(bench_scenario):
+    """The benchmark-scale 3-cohort fleet shared by the serving gates."""
+    return build_cohort_fleet_setup(bench_scenario)
 
 
 @pytest.fixture(scope="session")

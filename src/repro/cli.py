@@ -18,11 +18,13 @@ Examples::
     python -m repro demo package.npz --new-activity gesture_hi
     python -m repro fleet package.npz --sessions 50 --ticks 10
     python -m repro fleet package.npz --cohorts cohorts.json --ticks 10
+    python -m repro fleet package.npz --cohorts cohorts.json --async-workers 2
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from typing import List, Optional, Sequence
 
@@ -39,6 +41,7 @@ from .edge_runtime import MagnetoApp, render_prediction, render_session
 from .nn import TrainConfig
 from .serving import (
     DEFAULT_COHORT,
+    AsyncFleetServer,
     ModelRegistry,
     load_cohort_spec,
     registry_from_specs,
@@ -127,6 +130,13 @@ def _add_fleet(subparsers) -> None:
                           "entries without a package are served from the "
                           "positional package, and --sessions is ignored "
                           "in favor of the per-cohort counts")
+    cmd.add_argument("--async-workers", type=int, default=0, metavar="N",
+                     help="serve through AsyncFleetServer, fanning each "
+                          "tick's per-model batched calls out over N "
+                          "worker threads (0 = synchronous serving; "
+                          "verdicts are identical either way, a "
+                          "multi-cohort tick overlaps its models' "
+                          "wall-clock)")
     cmd.add_argument("--seed", type=int, default=11, help="simulation seed")
 
 
@@ -233,10 +243,17 @@ def _cmd_fleet(args) -> int:
     continuous high-overlap traffic.  Without ``--cohorts`` the whole
     fleet shares the positional package; with it, each cohort's sessions
     are served from the cohort's own package through a lazily loaded
-    :class:`~repro.serving.registry.ModelRegistry`.
+    :class:`~repro.serving.registry.ModelRegistry`.  ``--async-workers N``
+    swaps the synchronous server for an
+    :class:`~repro.serving.async_fleet.AsyncFleetServer` whose ticks fan
+    the per-distinct-model batched calls out over ``N`` worker threads —
+    identical verdicts, overlapped per-model wall-clock.
     """
     if not 0.0 <= args.overlap < 1.0:
         print(f"overlap must be in [0, 1), got {args.overlap}")
+        return 2
+    if args.async_workers < 0:
+        print(f"--async-workers must be >= 0, got {args.async_workers}")
         return 2
     if args.cohorts:
         spec = load_cohort_spec(args.cohorts)
@@ -248,7 +265,10 @@ def _cmd_fleet(args) -> int:
         registry = ModelRegistry()
         registry.register_lazy(DEFAULT_COHORT, args.package)
         sessions_by_cohort = {DEFAULT_COHORT: args.sessions}
-    server = FleetServer(registry)
+    if args.async_workers:
+        server = AsyncFleetServer(registry, workers=args.async_workers)
+    else:
+        server = FleetServer(registry)
 
     strides = {}
     phones = {}
@@ -270,14 +290,17 @@ def _cmd_fleet(args) -> int:
 
     correct = 0
     correct_by_cohort = {cohort: 0 for cohort in sessions_by_cohort}
-    for _ in range(args.ticks):
-        chunks = {
+
+    def tick_chunks():
+        return {
             session_id: phones[session_id].record(
                 performed[session_id], args.chunk_seconds
             ).data
             for session_id in phones
         }
-        verdicts = server.step_stream(chunks, stride=strides)
+
+    def score(verdicts) -> None:
+        nonlocal correct
         for sid, session_verdicts in verdicts.items():
             hits = sum(
                 verdict.display == performed[sid]
@@ -285,6 +308,19 @@ def _cmd_fleet(args) -> int:
             )
             correct += hits
             correct_by_cohort[server.session(sid).cohort] += hits
+
+    if args.async_workers:
+        async def drive() -> None:
+            async with server:
+                for _ in range(args.ticks):
+                    score(await server.step_stream(
+                        tick_chunks(), stride=strides
+                    ))
+
+        asyncio.run(drive())
+    else:
+        for _ in range(args.ticks):
+            score(server.step_stream(tick_chunks(), stride=strides))
 
     summary = server.summary()
     total = int(summary["windows_served"])
@@ -295,6 +331,9 @@ def _cmd_fleet(args) -> int:
     )
     print(f"served {total} windows across {server.n_sessions} sessions "
           f"in {args.ticks} ticks")
+    if args.async_workers:
+        print(f"async fan-out: per-model batched calls overlapped on "
+              f"{args.async_workers} worker threads")
     print(f"engine throughput: {summary['windows_per_sec']:.0f} windows/s "
           f"({summary['serve_ms']:.1f} ms total inference)")
     print(f"buffered tail awaiting the next tick: {buffered} samples")

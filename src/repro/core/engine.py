@@ -450,6 +450,36 @@ class StreamSession:
 DEFAULT_COHORT = "default"
 
 
+@dataclass(frozen=True)
+class EngineHandle:
+    """A pinnable reference to one resolved engine version.
+
+    Registries resolve cohorts to engines; a *handle* additionally names
+    which publication the engine came from (``cohort`` + ``version``), so
+    layers that dispatch engine calls to workers — the
+    :class:`~repro.serving.async_fleet.EngineWorkerPool` — can key worker
+    shards and per-worker replica caches on something stable: a hot-swap
+    :meth:`~repro.serving.registry.ModelRegistry.publish` bumps the
+    version, yielding a *new* handle key, while sessions pinned to the old
+    handle keep routing to the replica that buffered their samples.
+
+    ``version`` is ``-1`` for ad-hoc handles wrapping an engine pinned by
+    an open stream whose publication is unknown; :attr:`key` always
+    includes the engine's object identity, so two handles collide only
+    when they reference the very same engine object (the handle holds the
+    engine alive, so the id cannot be recycled while the handle exists).
+    """
+
+    cohort: str
+    version: int
+    engine: InferenceEngine
+
+    @property
+    def key(self) -> Tuple[str, int, int]:
+        """Hashable identity of this engine version (shard/cache key)."""
+        return (self.cohort, self.version, id(self.engine))
+
+
 class _SingleEngineRegistry:
     """Adapter presenting one engine as a single-cohort registry.
 
@@ -474,6 +504,30 @@ class _SingleEngineRegistry:
                 f"FleetServer from a ModelRegistry for multi-model serving"
             )
         return self._engine
+
+    def engine_handle_for(
+        self, cohort_id: Optional[str] = None
+    ) -> EngineHandle:
+        """The single engine as a version-0 handle (never hot-swapped)."""
+        return EngineHandle(
+            cohort=self.default_cohort,
+            version=0,
+            engine=self.engine_for(cohort_id),
+        )
+
+
+class _WindowTickGroup:
+    """One distinct model's share of a windowed ``step`` tick."""
+
+    __slots__ = ("engine", "ids", "arrays")
+
+    def __init__(self, engine: InferenceEngine) -> None:
+        self.engine = engine
+        self.ids: List[str] = []
+        self.arrays: List[np.ndarray] = []
+
+    def stack(self) -> np.ndarray:
+        return np.stack(self.arrays, axis=0)
 
 
 class _StreamTickGroup:
@@ -714,16 +768,44 @@ class FleetServer:
         one per session.  Window shapes must agree *within* each model's
         batch (cohorts may legitimately differ, e.g. different window
         lengths per device class).  All windows are validated before any
-        engine runs; verdicts, smoother state and the serving counters
-        mutate only after every model's batched call succeeded.  Returns
-        the per-session verdicts in input order.
+        engine runs.  Returns the per-session verdicts in input order.
+
+        Failure isolation and tick accounting mirror :meth:`step_stream`
+        exactly: if a model raises, the other models' batched calls still
+        complete and their verdicts fold into their sessions before the
+        first failure is re-raised, and ``ticks``/``serve_ms``/
+        ``windows_served`` only move when at least one model's call
+        succeeded — a tick on which *every* model failed leaves all
+        serving counters untouched.
         """
         if not windows_by_session:
             return {}
-        # engine id -> (engine, session ids, window arrays); insertion
-        # order preserves the first-seen order of models within the tick.
-        groups: Dict[int, Tuple[InferenceEngine, List[str], List[np.ndarray]]]
-        groups = {}
+        groups = self._group_windows(windows_by_session)
+        # One batched call per distinct model.  A failing model must not
+        # discard the other models' verdicts: collect successes, remember
+        # the first failure, re-raise it only after the demux below.
+        results: List[Tuple[_WindowTickGroup, BatchInference]] = []
+        failure: Optional[Exception] = None
+        for group in groups.values():
+            try:
+                batch = group.engine.infer_windows(group.stack())
+            except Exception as exc:
+                if failure is None:
+                    failure = exc
+                continue
+            results.append((group, batch))
+        return self._demux_window_results(windows_by_session, results, failure)
+
+    def _group_windows(
+        self, windows_by_session: Mapping[str, np.ndarray]
+    ) -> Dict[int, _WindowTickGroup]:
+        """Validate a windowed tick and group it by serving engine.
+
+        Nothing mutates: unknown sessions/cohorts and shape mismatches
+        raise before any engine runs.  Keyed by engine identity; insertion
+        order preserves the first-seen order of models within the tick.
+        """
+        groups: Dict[int, _WindowTickGroup] = {}
         for session_id, window in windows_by_session.items():
             session = self.session(session_id)  # raises for unknown ids
             engine = self._serving_engine(session)  # raises unknown cohorts
@@ -733,27 +815,35 @@ class FleetServer:
                     f"session {session.session_id!r} window must be 2-D "
                     f"(samples, channels), got {arr.shape}"
                 )
-            _, ids, stacked = groups.setdefault(
-                id(engine), (engine, [], [])
-            )
-            if stacked and arr.shape != stacked[0].shape:
+            group = groups.setdefault(id(engine), _WindowTickGroup(engine))
+            if group.arrays and arr.shape != group.arrays[0].shape:
                 raise DataShapeError(
                     f"session {session.session_id!r} window shape {arr.shape} "
-                    f"differs from the batch shape {stacked[0].shape} "
-                    f"(session {ids[0]!r})"
+                    f"differs from the batch shape {group.arrays[0].shape} "
+                    f"(session {group.ids[0]!r})"
                 )
-            ids.append(session.session_id)
-            stacked.append(arr)
-        # One batched call per distinct model; collect every batch before
-        # mutating any session so a failing model leaves the fleet intact.
-        batches = [
-            (engine.infer_windows(np.stack(stacked, axis=0)), ids)
-            for engine, ids, stacked in groups.values()
-        ]
+            group.ids.append(session.session_id)
+            group.arrays.append(arr)
+        return groups
+
+    def _demux_window_results(
+        self,
+        windows_by_session: Mapping[str, np.ndarray],
+        results: "List[Tuple[_WindowTickGroup, BatchInference]]",
+        failure: Optional[Exception],
+        extra_ms: float = 0.0,
+    ) -> Dict[str, SessionVerdict]:
+        """Fold windowed batches into sessions/counters; re-raise failures.
+
+        The tick counts (and ``extra_ms`` — e.g. a separate featurize
+        wall-clock on the async path — is charged) only when at least one
+        model's batched call succeeded, keeping the accounting identical
+        between :meth:`step`, :meth:`step_stream` and their async twins.
+        """
         verdicts: Dict[str, SessionVerdict] = {}
-        for batch, ids in batches:
+        for group, batch in results:
             names = batch.names
-            for i, session_id in enumerate(ids):
+            for i, session_id in enumerate(group.ids):
                 session = self.sessions[session_id]
                 verdicts[session_id] = session.observe(
                     names[i], batch.confidences[i], batch.accepted[i]
@@ -762,7 +852,11 @@ class FleetServer:
                     session.cohort, 1, int(not batch.accepted[i])
                 )
             self.serve_ms += batch.latency_ms
-        self.ticks += 1
+        if results:
+            self.ticks += 1
+            self.serve_ms += extra_ms
+        if failure is not None:
+            raise failure
         return {str(sid): verdicts[str(sid)] for sid in windows_by_session}
 
     def _stream_engine(self, session: EdgeSession) -> InferenceEngine:
@@ -861,7 +955,45 @@ class FleetServer:
         """
         if not chunks_by_session:
             return {}
-        # --- validation pass: nothing mutates until every chunk is checked.
+        groups = self._validate_stream_tick(chunks_by_session, stride)
+        featurize_timer = Timer().__enter__()
+        self._featurize_stream_groups(groups)
+        featurize_timer.__exit__()
+        # --- inference pass: one batched call per distinct model.  The
+        # featurize pass above already consumed this tick's completed
+        # windows from every session's stream buffer, so a failing model
+        # must not discard healthy cohorts' work: groups whose batched
+        # call succeeds are demuxed normally (smoothers, counters), and
+        # the first failure is re-raised after that demux.
+        results: List[Tuple[_StreamTickGroup, BatchInference]] = []
+        failure: Optional[Exception] = None
+        for group in groups.values():
+            if sum(group.counts) == 0:
+                continue
+            try:
+                batch = group.engine.infer_features(
+                    np.concatenate(group.blocks, axis=0)
+                )
+            except Exception as exc:
+                if failure is None:
+                    failure = exc
+                continue
+            results.append((group, batch))
+        return self._demux_stream_results(
+            chunks_by_session,
+            groups,
+            results,
+            failure,
+            featurize_timer.elapsed_ms,
+        )
+
+    def _validate_stream_tick(
+        self,
+        chunks_by_session: Mapping[str, np.ndarray],
+        stride: "Optional[Union[int, Mapping[str, int]]]" = None,
+    ) -> Dict[int, _StreamTickGroup]:
+        """Validation pass of a stream tick: nothing mutates until every
+        chunk is checked.  Groups sessions by serving engine identity."""
         groups: Dict[int, _StreamTickGroup] = {}  # keyed by engine identity
         for session_id, chunk in chunks_by_session.items():
             session = self.session(session_id)  # raises for unknown ids
@@ -901,8 +1033,20 @@ class FleetServer:
             group.ids.append(session.session_id)
             group.arrays.append(arr)
             group.strides.append(stride_val)
-        # --- featurize pass: fold chunks into each session's carry-over.
-        featurize_timer = Timer().__enter__()
+        return groups
+
+    def _featurize_stream_groups(
+        self, groups: Dict[int, _StreamTickGroup]
+    ) -> None:
+        """Featurize pass: fold chunks into each session's carry-over.
+
+        Opens a :class:`StreamSession` (pinning the group's engine) for
+        sessions without one, consumes every chunk into its stream state
+        and fills each group's per-session feature blocks.  From here on
+        the tick's completed windows only exist in those blocks — which
+        is why a later per-model failure must not discard the other
+        models' blocks (see :meth:`_demux_stream_results`).
+        """
         for group in groups.values():
             pipeline = group.engine.pipeline
             for session_id, arr, stride_val in zip(
@@ -916,52 +1060,42 @@ class FleetServer:
                 group.blocks.append(
                     pipeline.process_chunk(session.stream.state, arr)
                 )
-        featurize_timer.__exit__()
+
+    def _demux_stream_results(
+        self,
+        chunks_by_session: Mapping[str, np.ndarray],
+        groups: Dict[int, _StreamTickGroup],
+        results: "List[Tuple[_StreamTickGroup, BatchInference]]",
+        failure: Optional[Exception],
+        featurize_ms: float,
+    ) -> Dict[str, List[SessionVerdict]]:
+        """Demux pass of a stream tick; shared with the async server.
+
+        Serving stats move only for models whose batched call succeeded,
+        so an engine exception mid-tick cannot leave the counters claiming
+        service that never happened.  The failing model's windows for this
+        tick are lost with the exception — callers should
+        ``finish_stream()``/``reset()`` its sessions — while healthy
+        sessions' observed verdicts stay consistent with their stream
+        state (visible via ``EdgeSession.last_verdict`` even though the
+        tick's return value is lost to the raise).  Featurization is part
+        of serving — charged to ``serve_ms`` so the summary throughput
+        stays comparable with :meth:`step`'s fused timing.
+        """
         verdicts: Dict[str, List[SessionVerdict]] = {
             str(sid): [] for sid in chunks_by_session
         }
         total = sum(sum(group.counts) for group in groups.values())
-        if total == 0:
+        if total == 0 and failure is None:
             # Nothing to classify: the tick still happened and its
             # featurization (buffer fills) is charged to serving time.
             self.ticks += 1
-            self.serve_ms += featurize_timer.elapsed_ms
+            self.serve_ms += featurize_ms
             return verdicts
-        # --- inference pass: one batched call per distinct model.  The
-        # featurize pass above already consumed this tick's completed
-        # windows from every session's stream buffer, so a failing model
-        # must not discard healthy cohorts' work: groups whose batched
-        # call succeeds are demuxed normally (smoothers, counters), and
-        # the first failure is re-raised after that demux.  The failing
-        # model's windows for this tick are lost with the exception —
-        # callers should finish_stream()/reset() its sessions — while
-        # healthy sessions' observed verdicts stay consistent with their
-        # stream state (visible via ``EdgeSession.last_verdict`` even
-        # though the tick's return value is lost to the raise).
-        batches: List[Tuple[BatchInference, List[str], List[int]]] = []
-        failure: Optional[Exception] = None
-        for group in groups.values():
-            counts = group.counts
-            if sum(counts) == 0:
-                continue
-            try:
-                batch = group.engine.infer_features(
-                    np.concatenate(group.blocks, axis=0)
-                )
-            except Exception as exc:
-                if failure is None:
-                    failure = exc
-                continue
-            batches.append((batch, group.ids, counts))
-        # --- demux pass.  Serving stats move only for models whose
-        # batched call succeeded, so an engine exception mid-tick cannot
-        # leave the counters claiming service that never happened.
-        # Featurization is part of serving — charge it to serve_ms so the
-        # summary throughput stays comparable with step()'s fused timing.
-        for batch, ids, counts in batches:
+        for group, batch in results:
             names = batch.names
             offset = 0
-            for session_id, count in zip(ids, counts):
+            for session_id, count in zip(group.ids, group.counts):
                 session = self.sessions[session_id]
                 session.stream.windows_inferred += count
                 rejected = 0
@@ -976,12 +1110,12 @@ class FleetServer:
                 offset += count
             self.serve_ms += batch.latency_ms
         if failure is not None:
-            if batches:  # some models did serve: the tick happened
+            if results:  # some models did serve: the tick happened
                 self.ticks += 1
-                self.serve_ms += featurize_timer.elapsed_ms
+                self.serve_ms += featurize_ms
             raise failure
         self.ticks += 1
-        self.serve_ms += featurize_timer.elapsed_ms
+        self.serve_ms += featurize_ms
         return verdicts
 
     def finish_stream(self, session_id: str) -> List[SessionVerdict]:

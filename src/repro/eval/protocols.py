@@ -15,6 +15,7 @@ per-window calls, so high-overlap evaluation sweeps stay tractable.
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -216,6 +217,24 @@ class _StreamAccumulator:
         self.confidence_sum = 0.0
         self.latency_ms = 0.0
 
+    def merge(self, other: "_StreamAccumulator") -> None:
+        """Fold another accumulator's raw counts into this one.
+
+        Because everything is kept as counts/sums (never ratios), merging
+        per-cohort accumulators reproduces exactly what one interleaved
+        accumulator would have counted — the property the async cohort
+        driver relies on for its exact combined rollup.
+        """
+        for label, n in other.total_by.items():
+            self.total_by[label] = self.total_by.get(label, 0) + n
+        for label, n in other.correct_by.items():
+            self.correct_by[label] = self.correct_by.get(label, 0) + n
+        self.n_windows += other.n_windows
+        self.n_correct += other.n_correct
+        self.n_rejected += other.n_rejected
+        self.confidence_sum += other.confidence_sum
+        self.latency_ms += other.latency_ms
+
     def add(self, batch, label: str) -> None:
         """Fold one engine batch of a ``label``-segment into the counts."""
         self.latency_ms += batch.latency_ms
@@ -386,3 +405,108 @@ def run_cohort_stream_protocol(
     return CohortStreamEvalResult(
         per_cohort=per_cohort, combined=combined.result()
     )
+
+
+def _accumulate_cohort_segments(
+    engine: InferenceEngine,
+    segments: Sequence[Tuple[str, np.ndarray]],
+    stride: Optional[int],
+    chunk_len: Optional[int],
+) -> _StreamAccumulator:
+    """One cohort's whole evaluation as a pool task.
+
+    Module-level (and returning the plain-attribute accumulator) so the
+    async driver can run it on thread *or* process workers; in process
+    mode only the labeled sample arrays and the raw counts cross the
+    boundary, never the engine (the pool ships that once per shard).
+    """
+    acc = _StreamAccumulator()
+    for label, samples in segments:
+        for batch in _segment_batches(engine, samples, stride, chunk_len):
+            acc.add(batch, label)
+    return acc
+
+
+async def run_cohort_stream_protocol_async(
+    registry,
+    segments_by_cohort: Mapping[str, Sequence[Tuple[str, np.ndarray]]],
+    stride: Optional[Union[int, Mapping[str, int]]] = None,
+    chunk_len: Optional[int] = None,
+    pool=None,
+    workers: int = 2,
+) -> CohortStreamEvalResult:
+    """Async :func:`run_cohort_stream_protocol`: cohorts evaluate in parallel.
+
+    The fan-out twin of the cohort protocol for multi-model sweeps: every
+    cohort's labeled segments are dispatched to an
+    :class:`~repro.serving.async_fleet.EngineWorkerPool` worker (each
+    distinct model is sharded to one worker, so a k-cohort evaluation
+    overlaps up to ``min(k, workers)`` engines' wall-clock), then the raw
+    window counts are merged **in cohort order** into the same exact
+    combined rollup the serial protocol produces — per-cohort and combined
+    accuracies, window and rejection counts are identical; only the
+    latency fields reflect the parallel run's timing.
+
+    ``pool`` shares an existing worker pool (the caller keeps ownership);
+    otherwise a thread pool of ``workers`` is created for this call and
+    closed before returning.  Errors mirror the serial protocol: unknown
+    cohorts raise :class:`~repro.exceptions.UnknownCohortError` before any
+    evaluation runs, a cohort whose segments never complete a window
+    raises :class:`~repro.exceptions.DataShapeError`.
+    """
+    # Imported here (not at module top) to keep repro.eval importable
+    # without dragging the serving layer in for the plain protocols.
+    from ..serving.async_fleet import EngineWorkerPool
+
+    if not segments_by_cohort:
+        raise ConfigurationError("segments_by_cohort must be non-empty")
+    if chunk_len is not None and chunk_len < 1:
+        raise ConfigurationError(f"chunk_len must be >= 1, got {chunk_len}")
+    owns_pool = pool is None
+    if owns_pool:
+        pool = EngineWorkerPool(workers=workers, mode="thread")
+    try:
+        pending = []
+        for cohort_id, segments in segments_by_cohort.items():
+            cohort_key = str(cohort_id)
+            if not segments:
+                raise ConfigurationError(
+                    f"cohort {cohort_key!r} has no segments"
+                )
+            if hasattr(registry, "engine_handle_for"):
+                handle = registry.engine_handle_for(cohort_key)
+            else:  # duck-typed registries: pin the resolved engine itself
+                from ..core.engine import EngineHandle
+
+                handle = EngineHandle(
+                    cohort=cohort_key,
+                    version=-1,
+                    engine=registry.engine_for(cohort_key),
+                )
+            cohort_stride = (
+                stride.get(cohort_key)
+                if isinstance(stride, Mapping)
+                else stride
+            )
+            pending.append((
+                cohort_key,
+                pool.submit_call(
+                    handle,
+                    _accumulate_cohort_segments,
+                    list(segments),
+                    cohort_stride,
+                    chunk_len,
+                ),
+            ))
+        per_cohort: Dict[str, StreamEvalResult] = {}
+        combined = _StreamAccumulator()
+        for cohort_key, future in pending:
+            acc = await asyncio.wrap_future(future)
+            combined.merge(acc)
+            per_cohort[cohort_key] = acc.result()
+        return CohortStreamEvalResult(
+            per_cohort=per_cohort, combined=combined.result()
+        )
+    finally:
+        if owns_pool:
+            pool.close()

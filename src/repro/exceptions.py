@@ -40,6 +40,18 @@ class UnknownCohortError(ConfigurationError):
     """
 
 
+class BackpressureError(MagnetoError):
+    """An async fleet tick was refused because too many are in flight.
+
+    Raised by :class:`~repro.serving.async_fleet.AsyncFleetServer` when a
+    new ``step``/``step_stream`` call arrives while ``max_inflight`` ticks
+    are already being served.  The refused call consumed **nothing** — no
+    chunk was folded into any session's stream buffer and no counter moved
+    — so the caller still holds its windows and can retry once in-flight
+    ticks drain (or construct the server with a deeper queue).
+    """
+
+
 class NotFittedError(MagnetoError):
     """A component that must be fitted/trained was used before fitting."""
 

@@ -7,6 +7,12 @@ Everything needed to serve a heterogeneous device fleet from one process:
 - :class:`~repro.core.engine.FleetServer` (re-exported) — binds each
   session to a cohort and issues one batched engine call per distinct
   model per tick;
+- :class:`~repro.serving.async_fleet.AsyncFleetServer` /
+  :class:`~repro.serving.async_fleet.EngineWorkerPool` — the asyncio
+  front: ``await step_stream(...)`` fans the per-distinct-model batched
+  calls of one tick out over worker threads/processes (same verdicts,
+  overlapped wall-clock), with per-session ordering, bounded in-flight
+  ticks and hot-swap pinning via :class:`~repro.core.engine.EngineHandle`;
 - :class:`~repro.serving.cohorts.CohortSpec` /
   :func:`~repro.serving.cohorts.load_cohort_spec` — declarative fleet
   layouts for the CLI and benchmarks.
@@ -32,9 +38,11 @@ Quickstart::
 from ..core.engine import (
     DEFAULT_COHORT,
     EdgeSession,
+    EngineHandle,
     FleetServer,
     SessionVerdict,
 )
+from .async_fleet import AsyncFleetServer, EngineWorkerPool
 from .cohorts import (
     CohortSpec,
     FleetSpec,
@@ -45,9 +53,12 @@ from .cohorts import (
 from .registry import ModelRegistry, engine_from_package
 
 __all__ = [
+    "AsyncFleetServer",
     "CohortSpec",
     "DEFAULT_COHORT",
     "EdgeSession",
+    "EngineHandle",
+    "EngineWorkerPool",
     "FleetSpec",
     "FleetServer",
     "ModelRegistry",

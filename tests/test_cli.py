@@ -122,6 +122,25 @@ class TestFleetCommand:
         assert "smoothed fleet accuracy" in out
         assert code == 0
 
+    def test_fleet_async_workers_serves_identically(
+        self, saved_package, capsys
+    ):
+        """--async-workers serves the same windows through the async path."""
+        code = main([
+            "fleet", saved_package,
+            "--sessions", "6", "--ticks", "3", "--seed", "4",
+            "--async-workers", "2",
+        ])
+        out = capsys.readouterr().out
+        assert "served 18 windows across 6 sessions" in out
+        assert "async fan-out" in out and "2 worker threads" in out
+        assert code == 0
+
+    def test_fleet_async_workers_rejects_negative(self, saved_package):
+        assert main([
+            "fleet", saved_package, "--async-workers", "-1",
+        ]) == 2
+
     def test_fleet_cohorts_bad_spec_raises(self, saved_package, tmp_path):
         from repro.exceptions import SerializationError
 

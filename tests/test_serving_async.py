@@ -1,0 +1,614 @@
+"""Tests for async fan-out fleet serving (AsyncFleetServer + worker pool).
+
+The acceptance bar: ``await step_stream``/``await step`` produce verdicts
+identical (1e-9) to the synchronous ``FleetServer`` at any stride/chunking
+— while per-model batched calls run on worker threads/processes — and the
+concurrency semantics hold: per-session ordering, bounded in-flight ticks
+(typed backpressure error, nothing dropped), hot-swap ``publish`` racing
+an in-flight tick leaves open streams pinned, and one model failing never
+loses another cohort's windows.
+"""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import FleetServer
+from repro.eval import (
+    run_cohort_stream_protocol,
+    run_cohort_stream_protocol_async,
+)
+from repro.exceptions import (
+    BackpressureError,
+    ConfigurationError,
+    UnknownCohortError,
+)
+from repro.serving import (
+    AsyncFleetServer,
+    EngineHandle,
+    EngineWorkerPool,
+    ModelRegistry,
+)
+
+PARITY = dict(rtol=0.0, atol=1e-9)
+WINDOW = 120  # the default pipeline window length
+
+
+@pytest.fixture
+def engines(scenario):
+    """Two distinct engines: the base package and a 6-class variant."""
+    edge_a = scenario.fresh_edge(rng=1)
+    edge_b = scenario.fresh_edge(rng=2)
+    edge_b.learn_activity(
+        "gesture_hi", scenario.sensor_device.record("gesture_hi", 20.0)
+    )
+    return edge_a.engine, edge_b.engine
+
+
+@pytest.fixture
+def registry(engines):
+    engine_a, engine_b = engines
+    reg = ModelRegistry(default_cohort="a")
+    reg.publish("a", engine_a)
+    reg.publish("b", engine_b)
+    return reg
+
+
+def drive(coro):
+    """Run one async test body with a safety timeout."""
+    async def bounded():
+        return await asyncio.wait_for(coro, timeout=60)
+
+    return asyncio.run(bounded())
+
+
+def _verdict_tuples(verdicts):
+    return [
+        (v.activity, v.display, round(v.confidence, 12), v.accepted)
+        for v in verdicts
+    ]
+
+
+def _blocking(monkeypatch, engine, release: threading.Event, calls=None):
+    """Patch ``engine.infer_features`` to wait for ``release`` first."""
+    original = engine.infer_features
+
+    def blocked(features):
+        if calls is not None:
+            calls.append(int(features.shape[0]))
+        assert release.wait(timeout=30), "release event never set"
+        return original(features)
+
+    monkeypatch.setattr(engine, "infer_features", blocked)
+
+
+class TestVerdictParity:
+    @pytest.mark.parametrize("stride_map", [None, {"a": WINDOW, "b": 60}])
+    def test_step_stream_parity_with_sync_server_ragged_ticks(
+        self, registry, engines, scenario, stride_map
+    ):
+        """Async == sync at strides {w, w/2}, ragged 1-sample ticks incl."""
+        data = scenario.sensor_device.record("walk", 8.0).data
+        session_ids = ["a1", "a2", "b1"]
+        cohorts = {"a1": "a", "a2": "a", "b1": "b"}
+        # ragged tick sizes, including 1-sample ticks straddling windows
+        sizes = [1, 119, 1, 179, 240, 60, 1, 1, 358]
+
+        def ticks():
+            start = 0
+            for size in sizes:
+                yield data[start : start + size]
+                start += size
+
+        sync_server = FleetServer(registry)
+        for sid in session_ids:
+            sync_server.connect(sid, cohort=cohorts[sid])
+        sync_got = {sid: [] for sid in session_ids}
+        for chunk in ticks():
+            tick = sync_server.step_stream(
+                {sid: chunk for sid in session_ids}, stride=stride_map
+            )
+            for sid, verdicts in tick.items():
+                sync_got[sid].extend(verdicts)
+        for sid in session_ids:
+            sync_got[sid].extend(sync_server.finish_stream(sid))
+
+        async def run():
+            got = {sid: [] for sid in session_ids}
+            async with AsyncFleetServer(registry, workers=2) as server:
+                for sid in session_ids:
+                    server.connect(sid, cohort=cohorts[sid])
+                for chunk in ticks():
+                    tick = await server.step_stream(
+                        {sid: chunk for sid in session_ids},
+                        stride=stride_map,
+                    )
+                    for sid, verdicts in tick.items():
+                        got[sid].extend(verdicts)
+                for sid in session_ids:
+                    got[sid].extend(await server.finish_stream(sid))
+                return got, server.summary(), server.cohort_summary()
+
+        async_got, summary, cohort_summary = drive(run())
+        for sid in session_ids:
+            assert _verdict_tuples(async_got[sid]) == _verdict_tuples(
+                sync_got[sid]
+            )
+            np.testing.assert_allclose(
+                [v.confidence for v in async_got[sid]],
+                [v.confidence for v in sync_got[sid]],
+                **PARITY,
+            )
+        sync_summary = sync_server.summary()
+        assert summary["windows_served"] == sync_summary["windows_served"]
+        assert summary["ticks"] == sync_summary["ticks"]
+        assert (
+            cohort_summary["a"]["windows_served"]
+            == sync_server.cohort_summary()["a"]["windows_served"]
+        )
+
+    def test_step_parity_with_sync_server(self, registry, scenario):
+        window = scenario.sensor_device.record("walk", 1.0).data[:WINDOW]
+        sync_server = FleetServer(registry)
+        sync_server.connect_many(["a1", "a2"], cohort="a")
+        sync_server.connect("b1", cohort="b")
+        sync_tick = sync_server.step(
+            {"a1": window, "a2": window, "b1": window}
+        )
+
+        async def run():
+            async with AsyncFleetServer(registry, workers=2) as server:
+                server.connect_many(["a1", "a2"], cohort="a")
+                server.connect("b1", cohort="b")
+                return await server.step(
+                    {"a1": window, "a2": window, "b1": window}
+                )
+
+        async_tick = drive(run())
+        assert set(async_tick) == set(sync_tick)
+        for sid, verdict in async_tick.items():
+            assert verdict.activity == sync_tick[sid].activity
+            assert verdict.accepted == sync_tick[sid].accepted
+            assert verdict.confidence == pytest.approx(
+                sync_tick[sid].confidence, abs=1e-9
+            )
+
+    def test_process_mode_parity(self, registry, scenario):
+        """Process shards serve replicas with identical verdicts."""
+        data = scenario.sensor_device.record("walk", 3.0).data
+        sync_server = FleetServer(registry)
+        sync_server.connect("a1", cohort="a")
+        sync_server.connect("b1", cohort="b")
+        sync_tick = sync_server.step_stream({"a1": data, "b1": data})
+
+        async def run():
+            async with AsyncFleetServer(
+                registry, workers=2, mode="process"
+            ) as server:
+                server.connect("a1", cohort="a")
+                server.connect("b1", cohort="b")
+                return await server.step_stream({"a1": data, "b1": data})
+
+        async_tick = drive(run())
+        for sid in ("a1", "b1"):
+            assert _verdict_tuples(async_tick[sid]) == _verdict_tuples(
+                sync_tick[sid]
+            )
+
+
+class TestBackpressure:
+    def test_saturation_raises_typed_error_and_drops_nothing(
+        self, registry, engines, scenario, monkeypatch
+    ):
+        engine_a, _ = engines
+        data = scenario.sensor_device.record("walk", 4.0).data
+        release = threading.Event()
+        _blocking(monkeypatch, engine_a, release)
+
+        async def run():
+            async with AsyncFleetServer(
+                registry, workers=1, max_inflight=1
+            ) as server:
+                server.connect("s1", cohort="a")
+                server.connect("s2", cohort="a")
+                inflight = asyncio.create_task(
+                    server.step_stream({"s1": data[:240]})
+                )
+                await asyncio.sleep(0.05)  # let it reach the worker await
+                assert server.inflight == 1
+                with pytest.raises(BackpressureError, match="no chunks"):
+                    await server.step_stream({"s2": data[:240]})
+                # the refused tick consumed nothing
+                s2 = server.session("s2")
+                assert s2.stream is None and s2.windows_seen == 0
+                release.set()
+                first = await inflight
+                assert server.inflight == 0
+                # the slot drained: the retried chunk now serves fully
+                retried = await server.step_stream({"s2": data[:240]})
+                return first, retried
+
+        first, retried = drive(run())
+        assert len(first["s1"]) == 2
+        # same chunk, same model: the retried session saw every window
+        assert _verdict_tuples(retried["s2"]) == _verdict_tuples(first["s1"])
+
+    def test_finish_stream_waits_for_inflight_tick(
+        self, registry, engines, scenario, monkeypatch
+    ):
+        """A flush racing an in-flight tick serializes on the session."""
+        engine_a, _ = engines
+        data = scenario.sensor_device.record("walk", 4.0).data
+        release = threading.Event()
+
+        async def run():
+            async with AsyncFleetServer(
+                registry, workers=2, max_inflight=2
+            ) as server:
+                server.connect("s", cohort="a")
+                _blocking(monkeypatch, engine_a, release)
+                tick = asyncio.create_task(
+                    server.step_stream({"s": data[:300]})
+                )
+                await asyncio.sleep(0.05)
+                flush = asyncio.create_task(server.finish_stream("s"))
+                await asyncio.sleep(0.05)
+                assert not flush.done()  # blocked on the session lock
+                release.set()
+                tick_verdicts = await tick
+                await flush
+                assert server.session("s").stream is None
+                return tick_verdicts
+
+        tick_verdicts = drive(run())
+        assert len(tick_verdicts["s"]) == 2  # 300 samples -> 2 windows
+
+    def test_bad_configuration(self, registry):
+        with pytest.raises(ConfigurationError, match="max_inflight"):
+            AsyncFleetServer(registry, max_inflight=0)
+        with pytest.raises(ConfigurationError, match="workers"):
+            EngineWorkerPool(workers=0)
+        with pytest.raises(ConfigurationError, match="mode"):
+            EngineWorkerPool(mode="fiber")
+
+
+class TestOrdering:
+    def test_same_session_ticks_serialize_in_arrival_order(
+        self, registry, engines, scenario, monkeypatch
+    ):
+        """Tick 2 of a session cannot overtake tick 1 mid-await."""
+        engine_a, _ = engines
+        data = scenario.sensor_device.record("walk", 4.0).data
+        release = threading.Event()
+        calls = []
+        # Block only the FIRST engine call, so if tick 2 could run it
+        # would finish well before tick 1.
+        original = engine_a.infer_features
+
+        def first_blocked(features):
+            calls.append(int(features.shape[0]))
+            if len(calls) == 1:
+                assert release.wait(timeout=30)
+            return original(features)
+
+        monkeypatch.setattr(engine_a, "infer_features", first_blocked)
+
+        async def run():
+            async with AsyncFleetServer(
+                registry, workers=2, max_inflight=2
+            ) as server:
+                server.connect("s", cohort="a")
+                t1 = asyncio.create_task(server.step_stream({"s": data[:300]}))
+                await asyncio.sleep(0.05)
+                t2 = asyncio.create_task(
+                    server.step_stream({"s": data[300:600]})
+                )
+                await asyncio.sleep(0.05)
+                assert calls == [2]  # tick 2 still queued on the lock
+                release.set()
+                v1 = await t1
+                v2 = await t2
+                return v1["s"] + v2["s"]
+
+        got = drive(run())
+        ref = engines[0].infer_stream(data[:600])
+        assert [v.activity for v in got] == ref.names
+        np.testing.assert_allclose(
+            [v.confidence for v in got], ref.confidences, **PARITY
+        )
+
+
+class TestHotSwapRace:
+    def test_publish_racing_inflight_tick_keeps_stream_pinned(
+        self, engines, scenario, monkeypatch
+    ):
+        engine_v1, engine_v2 = engines
+        registry = ModelRegistry(default_cohort="a")
+        registry.publish("a", engine_v1)
+        data = scenario.sensor_device.record("walk", 6.0).data
+        release = threading.Event()
+
+        async def run():
+            async with AsyncFleetServer(registry, workers=2) as server:
+                session = server.connect("s")
+                await server.step_stream({"s": data[:200]})
+                _blocking(monkeypatch, engine_v1, release)
+                inflight = asyncio.create_task(
+                    server.step_stream({"s": data[200:440]})
+                )
+                await asyncio.sleep(0.05)
+                registry.publish("a", engine_v2)  # racing hot-swap
+                release.set()
+                got = await inflight
+                assert session.stream.engine is engine_v1  # still pinned
+                monkeypatch.undo()
+                more = await server.step_stream({"s": data[440:600]})
+                await server.finish_stream("s")
+                # a fresh stream binds the newly published engine
+                await server.step_stream({"s": data[:240]})
+                assert session.stream.engine is engine_v2
+                return got["s"] + more["s"]
+
+        pinned_verdicts = drive(run())
+        # everything served mid-race came from the pinned v1 engine
+        ref = engine_v1.infer_stream(data[:600])
+        assert [v.activity for v in pinned_verdicts] == ref.names[1:]
+
+    def test_windowed_step_resolves_latest_publication(
+        self, engines, scenario
+    ):
+        engine_v1, engine_v2 = engines
+        registry = ModelRegistry(default_cohort="a")
+        registry.publish("a", engine_v1)
+        window = scenario.sensor_device.record("walk", 1.0).data[:WINDOW]
+
+        async def run():
+            async with AsyncFleetServer(registry, workers=2) as server:
+                server.connect("s")
+                await server.step({"s": window})
+                registry.publish("a", engine_v2)
+                return await server.step({"s": window})
+
+        verdict = drive(run())["s"]
+        ref = engine_v2.infer_windows(window[None, :, :])
+        assert verdict.activity == ref.names[0]
+
+
+class TestFailureIsolation:
+    def test_failing_model_keeps_other_cohorts_and_accounting(
+        self, registry, engines, scenario, monkeypatch
+    ):
+        engine_a, engine_b = engines
+        data = scenario.sensor_device.record("walk", 4.0).data
+
+        def boom(features):
+            raise RuntimeError("model fell over")
+
+        async def run():
+            async with AsyncFleetServer(registry, workers=2) as server:
+                server.connect("a1", cohort="a")
+                server.connect("b1", cohort="b")
+                await server.step_stream({"a1": data[:200], "b1": data[:200]})
+                monkeypatch.setattr(engine_b, "infer_features", boom)
+                with pytest.raises(RuntimeError, match="fell over"):
+                    await server.step_stream(
+                        {"a1": data[200:360], "b1": data[200:360]}
+                    )
+                # cohort a's verdicts were folded before the re-raise
+                a1 = server.session("a1")
+                assert a1.windows_seen == 3
+                assert server.cohort_summary()["a"]["windows_served"] == 3.0
+                assert server.ticks == 2  # the failing tick still served a
+                monkeypatch.undo()
+                server.session("b1").reset()
+                more = await server.step_stream(
+                    {"a1": data[360:480], "b1": data[:240]}
+                )
+                assert len(more["a1"]) == 1 and len(more["b1"]) == 2
+                return a1.windows_seen
+
+        assert drive(run()) == 4
+
+    def test_all_models_failing_leaves_tick_counters_untouched(
+        self, registry, engines, scenario, monkeypatch
+    ):
+        engine_a, engine_b = engines
+        data = scenario.sensor_device.record("walk", 2.0).data
+
+        def boom(features):
+            raise RuntimeError("model fell over")
+
+        async def run():
+            async with AsyncFleetServer(registry, workers=2) as server:
+                server.connect("a1", cohort="a")
+                server.connect("b1", cohort="b")
+                monkeypatch.setattr(engine_a, "infer_features", boom)
+                monkeypatch.setattr(engine_b, "infer_features", boom)
+                with pytest.raises(RuntimeError):
+                    await server.step_stream({"a1": data, "b1": data})
+                assert server.ticks == 0
+                assert server.serve_ms == 0.0
+                assert server.summary()["windows_served"] == 0.0
+                assert server.inflight == 0  # the slot was released
+                return True
+
+        assert drive(run())
+
+
+class TestDisconnectSafety:
+    def test_disconnect_refuses_while_tick_in_flight(
+        self, registry, engines, scenario, monkeypatch
+    ):
+        """Yanking a session from under an awaiting tick is a typed error."""
+        engine_a, _ = engines
+        data = scenario.sensor_device.record("walk", 3.0).data
+        release = threading.Event()
+        _blocking(monkeypatch, engine_a, release)
+
+        async def run():
+            async with AsyncFleetServer(registry, workers=2) as server:
+                server.connect("s", cohort="a")
+                tick = asyncio.create_task(server.step_stream({"s": data}))
+                await asyncio.sleep(0.05)
+                with pytest.raises(ConfigurationError, match="in flight"):
+                    server.disconnect("s")
+                release.set()
+                verdicts = await tick
+                server.disconnect("s")  # fine once the tick drained
+                assert server.n_sessions == 0
+                return verdicts
+
+        assert len(drive(run())["s"]) == 3
+
+    def test_unknown_session_never_mints_a_lock(self, registry, scenario):
+        """A refused tick naming a bad id leaks no per-session state."""
+        chunk = scenario.sensor_device.record("walk", 1.0).data
+
+        async def run():
+            async with AsyncFleetServer(registry, workers=1) as server:
+                with pytest.raises(ConfigurationError, match="not connected"):
+                    await server.step_stream({"ghost": chunk})
+                with pytest.raises(ConfigurationError, match="not connected"):
+                    await server.step({"ghost": chunk[:WINDOW]})
+                return len(server._session_locks)
+
+        assert drive(run()) == 0
+
+
+class TestWorkerPool:
+    def test_process_shard_reships_evicted_replicas(
+        self, scenario, engines
+    ):
+        """More distinct handles than the worker cache holds still serve.
+
+        The parent mirrors the worker-side FIFO eviction, so a handle
+        whose replica was evicted is re-shipped on next use instead of
+        failing with a missing-replica error forever.
+        """
+        from repro.serving.async_fleet import _WORKER_CACHE_LIMIT
+
+        engine_a, _ = engines
+        data = scenario.sensor_device.record("walk", 2.0).data
+        features = engine_a.pipeline.process_stream(data)
+        ref = engine_a.infer_features(features).names
+        handles = [
+            EngineHandle("a", version, engine_a)
+            for version in range(_WORKER_CACHE_LIMIT + 2)
+        ]
+        with EngineWorkerPool(workers=1, mode="process") as pool:
+            first = handles[0]
+            assert pool.submit(
+                first, "infer_features", features
+            ).result(30).names == ref
+            for handle in handles[1:]:  # overflow the replica cache
+                pool.submit(handle, "infer_features", features).result(30)
+            # the first handle's replica was evicted; it must re-ship
+            assert pool.submit(
+                first, "infer_features", features
+            ).result(30).names == ref
+    def test_sticky_round_robin_sharding(self, engines):
+        engine_a, engine_b = engines
+        pool = EngineWorkerPool(workers=2)
+        try:
+            handle_a = EngineHandle("a", 1, engine_a)
+            handle_b = EngineHandle("b", 1, engine_b)
+            assert pool.shard_of(handle_a) == 0
+            assert pool.shard_of(handle_b) == 1
+            # sticky: repeat lookups never migrate a model
+            assert pool.shard_of(handle_a) == 0
+            # a hot-swapped version is a new key -> next shard round-robin
+            handle_a2 = EngineHandle("a", 2, engine_b)
+            assert pool.shard_of(handle_a2) == 0
+        finally:
+            pool.close()
+
+    def test_submit_runs_engine_methods(self, engines, scenario):
+        engine_a, _ = engines
+        data = scenario.sensor_device.record("walk", 2.0).data
+        features = engine_a.pipeline.process_stream(data)
+        with EngineWorkerPool(workers=2) as pool:
+            handle = EngineHandle("a", 1, engine_a)
+            batch = pool.submit(handle, "infer_features", features).result(30)
+        ref = engine_a.infer_features(features)
+        assert batch.names == ref.names
+        with pytest.raises(ConfigurationError, match="closed"):
+            pool.submit(handle, "infer_features", features)
+
+    def test_shared_pool_is_not_closed_by_server(self, registry):
+        pool = EngineWorkerPool(workers=1)
+        try:
+            async def run():
+                async with AsyncFleetServer(registry, pool=pool) as server:
+                    assert server.pool is pool
+                return True
+
+            assert drive(run())
+            assert not pool.closed  # caller keeps ownership
+        finally:
+            pool.close()
+
+    def test_registry_handles_track_publications(self, registry, engines):
+        engine_a, engine_b = engines
+        handle = registry.engine_handle_for("a")
+        assert handle.engine is engine_a
+        assert handle.cohort == "a" and handle.version == 1
+        registry.publish("a", engine_b)
+        swapped = registry.engine_handle_for("a")
+        assert swapped.version == 2 and swapped.engine is engine_b
+        assert swapped.key != handle.key
+        with pytest.raises(UnknownCohortError):
+            registry.engine_handle_for("ghost")
+
+
+class TestAsyncEvalDriver:
+    def test_matches_serial_cohort_protocol_exactly(
+        self, registry, scenario
+    ):
+        segments = {
+            "a": [
+                ("walk", scenario.sensor_device.record("walk", 3.0).data),
+                ("run", scenario.sensor_device.record("run", 3.0).data),
+            ],
+            "b": [
+                (
+                    "gesture_hi",
+                    scenario.sensor_device.record("gesture_hi", 3.0).data,
+                ),
+            ],
+        }
+        serial = run_cohort_stream_protocol(registry, segments, chunk_len=100)
+        parallel = drive(
+            run_cohort_stream_protocol_async(
+                registry, segments, chunk_len=100, workers=2
+            )
+        )
+        assert parallel.combined.n_windows == serial.combined.n_windows
+        assert (
+            parallel.combined.overall_accuracy
+            == serial.combined.overall_accuracy
+        )
+        assert (
+            parallel.combined.per_activity_windows
+            == serial.combined.per_activity_windows
+        )
+        for cohort in segments:
+            got, ref = parallel.cohort(cohort), serial.cohort(cohort)
+            assert got.n_windows == ref.n_windows
+            assert got.per_activity_accuracy == ref.per_activity_accuracy
+            assert got.mean_confidence == pytest.approx(
+                ref.mean_confidence, abs=1e-12
+            )
+
+    def test_error_paths_match_serial_protocol(self, registry):
+        with pytest.raises(ConfigurationError):
+            drive(run_cohort_stream_protocol_async(registry, {}))
+        with pytest.raises(UnknownCohortError):
+            drive(
+                run_cohort_stream_protocol_async(
+                    registry, {"ghost": [("walk", np.zeros((240, 22)))]}
+                )
+            )
+        with pytest.raises(ConfigurationError, match="no segments"):
+            drive(run_cohort_stream_protocol_async(registry, {"a": []}))

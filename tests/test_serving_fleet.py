@@ -178,6 +178,75 @@ class TestMixedCohortStepStream:
             server.step_stream({"ghost": np.zeros((10, 22))})
 
 
+class TestTickAccountingConsistency:
+    """step and step_stream agree on failure isolation + tick accounting."""
+
+    def test_step_failing_model_does_not_discard_healthy_cohorts(
+        self, registry, engines, scenario, monkeypatch
+    ):
+        """Like step_stream: healthy cohorts fold, then the error re-raises."""
+        _, engine_b = engines
+        server = FleetServer(registry)
+        server.connect("a1", cohort="a")
+        server.connect("b1", cohort="b")
+        window = scenario.sensor_device.record("walk", 1.0).data[:120]
+
+        def boom(windows):
+            raise RuntimeError("model fell over")
+
+        monkeypatch.setattr(engine_b, "infer_windows", boom)
+        with pytest.raises(RuntimeError, match="fell over"):
+            server.step({"a1": window, "b1": window})
+        a1 = server.session("a1")
+        assert a1.windows_seen == 1 and a1.last_verdict is not None
+        assert server.ticks == 1  # the tick served cohort a
+        assert server.summary()["windows_served"] == 1.0
+        assert server.cohort_summary()["a"]["windows_served"] == 1.0
+        assert server.cohort_summary()["b"]["windows_served"] == 0.0
+
+    def test_step_all_models_failing_leaves_counters_untouched(
+        self, registry, engines, scenario, monkeypatch
+    ):
+        """A tick on which every model failed never happened, counter-wise."""
+        engine_a, engine_b = engines
+        server = FleetServer(registry)
+        server.connect("a1", cohort="a")
+        server.connect("b1", cohort="b")
+        window = scenario.sensor_device.record("walk", 1.0).data[:120]
+
+        def boom(windows):
+            raise RuntimeError("model fell over")
+
+        monkeypatch.setattr(engine_a, "infer_windows", boom)
+        monkeypatch.setattr(engine_b, "infer_windows", boom)
+        with pytest.raises(RuntimeError):
+            server.step({"a1": window, "b1": window})
+        assert server.ticks == 0
+        assert server.serve_ms == 0.0
+        assert server.summary()["windows_served"] == 0.0
+        assert server.session("a1").windows_seen == 0
+
+    def test_step_stream_all_models_failing_matches_step_accounting(
+        self, registry, engines, scenario, monkeypatch
+    ):
+        engine_a, engine_b = engines
+        server = FleetServer(registry)
+        server.connect("a1", cohort="a")
+        server.connect("b1", cohort="b")
+        data = scenario.sensor_device.record("walk", 2.0).data
+
+        def boom(features):
+            raise RuntimeError("model fell over")
+
+        monkeypatch.setattr(engine_a, "infer_features", boom)
+        monkeypatch.setattr(engine_b, "infer_features", boom)
+        with pytest.raises(RuntimeError):
+            server.step_stream({"a1": data, "b1": data})
+        assert server.ticks == 0
+        assert server.serve_ms == 0.0
+        assert server.summary()["windows_served"] == 0.0
+
+
 class TestCohortBinding:
     def test_connect_unknown_cohort_rejected_up_front(self, registry):
         server = FleetServer(registry)

@@ -1,0 +1,252 @@
+"""Run every CI-gated benchmark through one manifest-driven harness.
+
+The CI workflow used to carry one "bench assertions" + "bench smoke" step
+pair per benchmark; every new benchmark made ``ci.yml`` two steps longer.
+This runner replaces all of those pairs: the :data:`GATES` manifest below
+names each gated benchmark once, and for every entry the harness runs
+
+1. **assertions** — ``pytest -x -q benchmarks/<file>`` (the regression
+   gates: ratio thresholds, verdict parity), and
+2. **smoke** — ``python benchmarks/<file> --smoke`` under the entry's
+   time budget (the standalone path users run, at a tiny scale; with
+   ``--artifacts DIR`` its ``BENCH_<name>.json`` output is written there
+   for the CI artifact upload),
+
+then prints a summary table and exits non-zero if anything failed.  A new
+benchmark registers itself by adding ONE manifest row — not two workflow
+steps.
+
+Usage::
+
+    PYTHONPATH=src python tools/run_bench_gates.py                # all gates
+    PYTHONPATH=src python tools/run_bench_gates.py --only async   # one gate
+    PYTHONPATH=src python tools/run_bench_gates.py --list
+    PYTHONPATH=src python tools/run_bench_gates.py --artifacts out/
+
+The whole run shares one wall-clock budget (``--budget``, default 900 s):
+when it is exhausted, remaining steps are reported as ``SKIP`` and the run
+fails, so a hung benchmark cannot stall CI to the job timeout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+
+@dataclass(frozen=True)
+class BenchGate:
+    """One CI-gated benchmark: a file plus its smoke budget and claim."""
+
+    name: str  # short id (--only, artifact file name)
+    file: str  # benchmarks/<file>
+    smoke_budget: int  # seconds the --smoke run may take
+    claim: str  # the headline threshold the assertions enforce
+
+
+#: The manifest.  Order is execution order (cheapest first, so a broken
+#: engine fails the run early).  Benchmarks not listed here still run
+#: under plain ``pytest benchmarks/<file>`` manually but are not CI gates.
+GATES: List[BenchGate] = [
+    BenchGate(
+        name="engine",
+        file="bench_engine_throughput.py",
+        smoke_budget=30,
+        claim="batch-256 engine >= 5x the per-window loop",
+    ),
+    BenchGate(
+        name="stream",
+        file="bench_stream_features.py",
+        smoke_budget=60,
+        claim="streaming features >= 3x @50% / >= 8x @90% overlap",
+    ),
+    BenchGate(
+        name="chunked",
+        file="bench_chunked_stream.py",
+        smoke_budget=120,
+        claim="chunked serving <= 1.5x monolithic infer_stream",
+    ),
+    BenchGate(
+        name="fleet",
+        file="bench_fleet_cohorts.py",
+        smoke_budget=120,
+        claim="3-cohort fleet tick <= 1.5x single-model",
+    ),
+    BenchGate(
+        name="async",
+        file="bench_async_fleet.py",
+        smoke_budget=120,
+        claim="async fan-out tick <= 1.0x serial (1.25x on 1 core)",
+    ),
+]
+
+
+@dataclass
+class StepResult:
+    gate: str
+    step: str  # "assert" | "smoke"
+    status: str  # "ok" | "FAIL" | "SKIP"
+    seconds: float
+    detail: str = ""
+
+
+def _run_step(
+    cmd: Sequence[str], timeout: float, env: dict
+) -> "tuple[str, float, str]":
+    """Run one subprocess; returns (status, seconds, detail)."""
+    start = time.perf_counter()
+    try:
+        proc = subprocess.run(
+            list(cmd),
+            cwd=REPO_ROOT,
+            env=env,
+            timeout=timeout,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+    except subprocess.TimeoutExpired:
+        return "FAIL", time.perf_counter() - start, f"timeout after {timeout:.0f}s"
+    elapsed = time.perf_counter() - start
+    if proc.returncode != 0:
+        sys.stdout.write(proc.stdout or "")
+        return "FAIL", elapsed, f"exit {proc.returncode}"
+    return "ok", elapsed, ""
+
+
+def run_gates(
+    gates: Sequence[BenchGate],
+    budget: float,
+    artifacts: Optional[pathlib.Path],
+    skip_smoke: bool,
+) -> List[StepResult]:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    if artifacts is not None:
+        artifacts.mkdir(parents=True, exist_ok=True)
+    results: List[StepResult] = []
+    deadline = time.perf_counter() + budget
+
+    def remaining() -> float:
+        return deadline - time.perf_counter()
+
+    for gate in gates:
+        bench = BENCH_DIR / gate.file
+        steps = [
+            (
+                "assert",
+                [sys.executable, "-m", "pytest", "-x", "-q", str(bench)],
+                # assertions measure at benchmark scale; give them the
+                # leftover budget rather than the (smaller) smoke budget
+                max(gate.smoke_budget, 300),
+            ),
+        ]
+        if not skip_smoke:
+            smoke_cmd = [sys.executable, str(bench), "--smoke"]
+            if artifacts is not None:
+                smoke_cmd += [
+                    "--out", str(artifacts / f"BENCH_{gate.name}.json")
+                ]
+            steps.append(("smoke", smoke_cmd, gate.smoke_budget))
+        for step_name, cmd, step_budget in steps:
+            if remaining() <= 0:
+                results.append(
+                    StepResult(gate.name, step_name, "SKIP", 0.0,
+                               "run budget exhausted")
+                )
+                continue
+            print(f">> {gate.name} {step_name}: {' '.join(cmd)}", flush=True)
+            status, seconds, detail = _run_step(
+                cmd, timeout=min(step_budget, remaining()), env=env
+            )
+            results.append(
+                StepResult(gate.name, step_name, status, seconds, detail)
+            )
+    return results
+
+
+def print_summary(results: Sequence[StepResult]) -> None:
+    claims = {gate.name: gate.claim for gate in GATES}
+    name_w = max(len(r.gate) for r in results)
+    print()
+    print(f"{'gate':<{name_w}}  {'step':<6}  {'status':<6}  "
+          f"{'seconds':>7}  gate claim / detail")
+    print("-" * (name_w + 70))
+    for r in results:
+        note = r.detail if r.detail else (
+            claims.get(r.gate, "") if r.step == "assert" else ""
+        )
+        print(f"{r.gate:<{name_w}}  {r.step:<6}  {r.status:<6}  "
+              f"{r.seconds:>7.1f}  {note}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run all CI bench gates from the manifest"
+    )
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="NAME",
+                        help="run only this gate (repeatable)")
+    parser.add_argument("--budget", type=float, default=900.0,
+                        help="overall wall-clock budget in seconds "
+                             "(default 900)")
+    parser.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="write each smoke run's BENCH_<name>.json "
+                             "into this directory (CI artifact upload)")
+    parser.add_argument("--skip-smoke", action="store_true",
+                        help="run only the pytest assertions")
+    parser.add_argument("--list", action="store_true",
+                        help="print the manifest and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for gate in GATES:
+            print(f"{gate.name:>8}: benchmarks/{gate.file} "
+                  f"(smoke <= {gate.smoke_budget}s) — {gate.claim}")
+        return 0
+
+    gates = GATES
+    if args.only:
+        unknown = set(args.only) - {gate.name for gate in GATES}
+        if unknown:
+            print(f"unknown gate(s) {sorted(unknown)}; "
+                  f"have {[gate.name for gate in GATES]}")
+            return 2
+        gates = [gate for gate in GATES if gate.name in set(args.only)]
+
+    missing = [gate.file for gate in gates if not (BENCH_DIR / gate.file).is_file()]
+    if missing:
+        print(f"manifest names missing benchmark files: {missing}")
+        return 2
+
+    results = run_gates(
+        gates,
+        budget=args.budget,
+        artifacts=(
+            pathlib.Path(args.artifacts).resolve() if args.artifacts else None
+        ),
+        skip_smoke=args.skip_smoke,
+    )
+    print_summary(results)
+    failed = [r for r in results if r.status != "ok"]
+    if failed:
+        print(f"\n{len(failed)} bench gate step(s) failed")
+        return 1
+    print(f"\nall {len(results)} bench gate steps green")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
