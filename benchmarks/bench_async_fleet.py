@@ -86,7 +86,11 @@ def _best_seconds(fn, repeats: int = 3) -> float:
 
 
 def _run_serial(setup, chunk_samples: int) -> int:
-    server = FleetServer(setup.registry)
+    # Both legs pin shared-backbone fusion off: this gate measures the
+    # per-model fan-out claim, and the setup's cohort engines share one
+    # backbone (they would collapse into a single call per tick — that
+    # path is gated in bench_backbone_fusion).
+    server = FleetServer(setup.registry, shared_backbone=False)
     for sid, cohort in zip(setup.session_ids, setup.cohorts):
         server.connect(sid, cohort=cohort)
     served = 0
@@ -104,7 +108,9 @@ def _run_async(setup, chunk_samples: int, workers: int) -> int:
     async def drive() -> int:
         served = 0
         data = setup.data
-        async with AsyncFleetServer(setup.registry, workers=workers) as server:
+        async with AsyncFleetServer(
+            setup.registry, workers=workers, shared_backbone=False
+        ) as server:
             for sid, cohort in zip(setup.session_ids, setup.cohorts):
                 server.connect(sid, cohort=cohort)
             for start in range(0, data.shape[0], chunk_samples):

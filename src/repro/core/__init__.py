@@ -13,9 +13,11 @@ from .engine import (
     BatchInference,
     EdgeSession,
     FleetServer,
+    FusedCohortEngine,
     InferenceEngine,
     SessionVerdict,
     StreamSession,
+    backbone_fingerprint_of,
 )
 from .incremental import (
     IncrementalConfig,
@@ -41,19 +43,21 @@ from .privacy import (
 )
 from .smoothing import HysteresisSmoother, MajorityVoteSmoother
 from .support_set import SELECTION_STRATEGIES, SupportSet, herding_selection
-from .transfer import TransferPackage
+from .transfer import CohortHead, TransferPackage, engine_from_head
 
 __all__ = [
     "BatchInference",
     "CLOUD_TO_EDGE",
     "DEFAULT_COHORT",
     "CloudConfig",
+    "CohortHead",
     "CloudInitializer",
     "DriftMonitor",
     "EDGE_TO_CLOUD",
     "EdgeDevice",
     "EdgeSession",
     "FleetServer",
+    "FusedCohortEngine",
     "HysteresisSmoother",
     "IncrementalConfig",
     "IncrementalLearner",
@@ -78,6 +82,8 @@ __all__ = [
     "UNKNOWN_LABEL",
     "UNKNOWN_NAME",
     "UpdateResult",
+    "backbone_fingerprint_of",
+    "engine_from_head",
     "open_set_report",
     "herding_selection",
 ]

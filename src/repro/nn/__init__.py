@@ -53,7 +53,13 @@ from .optim import (
 )
 from .pairs import all_pairs, sample_pairs
 from .serialization import load_network, network_bundle_bytes, save_network
-from .siamese import SiameseEmbedder, SiameseTrainer, TrainConfig, TrainHistory
+from .siamese import (
+    SharedBackbone,
+    SiameseEmbedder,
+    SiameseTrainer,
+    TrainConfig,
+    TrainHistory,
+)
 
 __all__ = [
     "Adam",
@@ -72,6 +78,7 @@ __all__ = [
     "ReLU",
     "SGD",
     "Sequential",
+    "SharedBackbone",
     "SiameseEmbedder",
     "SiameseTrainer",
     "StepLR",

@@ -69,6 +69,7 @@ from ..core.engine import (
     BatchInference,
     EngineHandle,
     FleetServer,
+    FusedCohortEngine,
     InferenceEngine,
     SessionVerdict,
 )
@@ -117,6 +118,18 @@ def _worker_call(key, fn, args):
 def _call_engine_method(engine: InferenceEngine, method: str, array):
     """The default pool task: one batched engine entry-point call."""
     return getattr(engine, method)(array)
+
+
+def _call_fused_features(engine, engines, blocks):
+    """Pool task for one backbone group: one embed pass, K head gathers.
+
+    ``engine`` is the group's representative (the handle the call was
+    submitted under); the fused pass runs over the full member list, so it
+    is accepted and ignored.  Thread-mode only — the engines list crossing
+    a process boundary would defeat the ship-once replica cache, which is
+    why :meth:`AsyncFleetServer._fusion_enabled` disables fusion there.
+    """
+    return FusedCohortEngine(engines).infer_features_multi(blocks)
 
 
 class EngineWorkerPool:
@@ -319,6 +332,15 @@ class AsyncFleetServer(FleetServer):
     pool:
         An existing :class:`EngineWorkerPool` to share; the caller keeps
         ownership (``close()`` will not shut it down).
+    shared_backbone:
+        As for ``FleetServer``: engines sharing a backbone content
+        fingerprint are fused into one embedding pass per tick.  On an
+        async server the fan-out then operates over *backbone groups*
+        rather than models — each group is one pool task on its
+        representative member's shard.  Only active with thread pools;
+        process pools keep the per-model fan-out (see
+        :meth:`_fusion_enabled`).  Verdicts are pinned identical either
+        way.
     """
 
     def __init__(
@@ -329,8 +351,13 @@ class AsyncFleetServer(FleetServer):
         mode: str = "thread",
         max_inflight: int = 4,
         pool: Optional[EngineWorkerPool] = None,
+        shared_backbone: bool = True,
     ) -> None:
-        super().__init__(engine, smoother_factory=smoother_factory)
+        super().__init__(
+            engine,
+            smoother_factory=smoother_factory,
+            shared_backbone=shared_backbone,
+        )
         if max_inflight < 1:
             raise ConfigurationError(
                 f"max_inflight must be >= 1, got {max_inflight}"
@@ -465,10 +492,29 @@ class AsyncFleetServer(FleetServer):
     # serving
     # ------------------------------------------------------------------ #
 
+    def _fusion_enabled(self) -> bool:
+        """Fuse backbone groups only on thread pools.
+
+        A process shard caches *one pickled engine per handle* and ships
+        only feature rows afterwards; a fused call would re-pickle the
+        whole member engine list on every tick, costing more than the
+        saved matmuls.  Process-mode servers therefore keep the per-model
+        fan-out (which is the point of process workers: one shard per
+        model), while thread pools — shared engine objects, zero shipping
+        — run the fused call on the representative member's shard.
+        """
+        return self.shared_backbone and self._pool.mode == "thread"
+
     async def _await_group_batches(
         self, pending
     ) -> "Tuple[list, Optional[Exception]]":
-        """Await ``(group, future)`` pairs; collect successes + 1st failure.
+        """Await ``(groups, future)`` pairs; collect successes + 1st failure.
+
+        Each pending entry carries the tick groups its future serves: a
+        singleton list with a future of one :class:`BatchInference` (the
+        per-model call), or a backbone cluster with a future of the fused
+        call's per-member batch list.  A fused failure loses every member
+        of its cluster — they shared one matrix pass.
 
         Futures were all submitted before the first await, so the pool
         runs them concurrently regardless of the sequential collection
@@ -477,14 +523,17 @@ class AsyncFleetServer(FleetServer):
         """
         results = []
         failure: Optional[Exception] = None
-        for group, future in pending:
+        for members, future in pending:
             try:
-                batch = await asyncio.wrap_future(future)
+                outcome = await asyncio.wrap_future(future)
             except Exception as exc:
                 if failure is None:
                     failure = exc
                 continue
-            results.append((group, batch))
+            if len(members) == 1:
+                results.append((members[0], outcome))
+            else:
+                results.extend(zip(members, outcome))
         return results, failure
 
     async def step(
@@ -517,18 +566,27 @@ class AsyncFleetServer(FleetServer):
                 groups = self._group_windows(windows_by_session)
                 timer = Timer().__enter__()
                 pending = []
-                for group in groups.values():
-                    features = group.engine.pipeline.process_windows(
-                        group.stack()
-                    )
-                    pending.append((
-                        group,
-                        self._pool.submit(
-                            handles[id(group.engine)],
+                for cluster in self._fusion_plan(groups):
+                    blocks = [
+                        group.engine.pipeline.process_windows(group.stack())
+                        for group in cluster
+                    ]
+                    if len(cluster) == 1:
+                        future = self._pool.submit(
+                            handles[id(cluster[0].engine)],
                             "infer_features",
-                            features,
-                        ),
-                    ))
+                            blocks[0],
+                        )
+                    else:
+                        # One fused call for the backbone group, submitted
+                        # on the representative member's shard.
+                        future = self._pool.submit_call(
+                            handles[id(cluster[0].engine)],
+                            _call_fused_features,
+                            [group.engine for group in cluster],
+                            blocks,
+                        )
+                    pending.append((cluster, future))
                 timer.__exit__()
                 results, failure = await self._await_group_batches(pending)
                 return self._demux_window_results(
@@ -582,18 +640,30 @@ class AsyncFleetServer(FleetServer):
                             id(session.stream.engine)
                         ]
                 pending = []
-                for group in groups.values():
-                    if sum(group.counts) == 0:
+                for cluster in self._fusion_plan(groups):
+                    members = [
+                        group for group in cluster if sum(group.counts) > 0
+                    ]
+                    if not members:
                         continue
-                    features = np.concatenate(group.blocks, axis=0)
-                    pending.append((
-                        group,
-                        self._pool.submit(
-                            handles[id(group.engine)],
+                    blocks = [
+                        np.concatenate(group.blocks, axis=0)
+                        for group in members
+                    ]
+                    if len(members) == 1:
+                        future = self._pool.submit(
+                            handles[id(members[0].engine)],
                             "infer_features",
-                            features,
-                        ),
-                    ))
+                            blocks[0],
+                        )
+                    else:
+                        future = self._pool.submit_call(
+                            handles[id(members[0].engine)],
+                            _call_fused_features,
+                            [group.engine for group in members],
+                            blocks,
+                        )
+                    pending.append((members, future))
                 results, failure = await self._await_group_batches(pending)
                 return self._demux_stream_results(
                     chunks_by_session,

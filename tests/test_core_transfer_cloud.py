@@ -3,9 +3,22 @@
 import numpy as np
 import pytest
 
-from repro.core import CloudConfig, CloudInitializer, TransferPackage
-from repro.exceptions import ConfigurationError, SerializationError
-from repro.nn import TrainConfig
+from repro.core import (
+    CloudConfig,
+    CloudInitializer,
+    CohortHead,
+    InferenceEngine,
+    OpenSetNCM,
+    TransferPackage,
+    engine_from_head,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    NotFittedError,
+    SerializationError,
+)
+from repro.nn import SharedBackbone, TrainConfig
+from repro.serving import engine_from_package
 
 
 class TestTransferPackage:
@@ -58,6 +71,110 @@ class TestTransferPackage:
         logical = package.size_bytes()
         # The wire format is float32 npz: same order of magnitude.
         assert 0.5 * logical < wire < 3.0 * logical
+
+    def test_save_and_wire_format_share_one_encoding(
+        self, scenario, tmp_path
+    ):
+        """save() and serialized_bytes() differ only in dtype casting."""
+        package = scenario.package
+        path = tmp_path / "package.npz"
+        package.save(path)
+        saved = np.load(path)
+        wire = package._collect_arrays(dtype=np.float32)
+        assert set(saved.files) == set(wire)
+        for key in saved.files:
+            if key.startswith(("model/", "support/")):
+                assert wire[key].dtype == np.float32
+                np.testing.assert_allclose(
+                    saved[key].astype(np.float32), wire[key], rtol=0, atol=0
+                )
+
+
+class TestSharedBackboneSplit:
+    def test_fingerprint_stable_across_clones(self, scenario):
+        backbone = scenario.package.backbone()
+        clone = scenario.package.embedder.clone()
+        assert (
+            SharedBackbone.fingerprint_of(clone.network)
+            == backbone.fingerprint
+        )
+        assert backbone.fingerprint == backbone.fingerprint  # cached
+
+    def test_fingerprint_tracks_weight_content(self, scenario):
+        backbone = scenario.package.backbone()
+        perturbed = scenario.package.embedder.clone()
+        state = {
+            key: value.copy()
+            for key, value in perturbed.network.state_dict().items()
+        }
+        first = sorted(state)[0]
+        state[first] = state[first] + 1e-3
+        perturbed.network.load_state_dict(state)
+        assert (
+            SharedBackbone.fingerprint_of(perturbed.network)
+            != backbone.fingerprint
+        )
+
+    def test_split_rebuild_matches_package_engine(self, scenario, rng):
+        package = scenario.package
+        backbone, head = package.split()
+        rebuilt = engine_from_head(backbone, head)
+        # the backbone is shared by object, not copied
+        assert rebuilt.embedder.network is package.embedder.network
+        ref = engine_from_package(package)
+        feats = package.pipeline.process_windows(
+            scenario.base_test.windows[:6]
+        )
+        got, want = rebuilt.infer_features(feats), ref.infer_features(feats)
+        assert got.names == want.names
+        np.testing.assert_allclose(
+            got.distances, want.distances, rtol=0, atol=1e-9
+        )
+
+    def test_split_with_open_set_carries_thresholds(self, scenario):
+        package = scenario.package
+        backbone, head = package.split(open_set=OpenSetNCM(ratio=0.3))
+        assert head.thresholds is not None and head.ratio == 0.3
+        rebuilt = engine_from_head(backbone, head)
+        ref_os = OpenSetNCM(ratio=0.3)
+        ref_os.fit_from_support_set(package.embedder, package.support_set)
+        ref = InferenceEngine(
+            package.embedder, ref_os, pipeline=package.pipeline
+        )
+        feats = package.pipeline.process_windows(
+            scenario.base_test.windows[:6]
+        )
+        got, want = rebuilt.infer_features(feats), ref.infer_features(feats)
+        assert got.names == want.names
+        assert list(got.accepted) == list(want.accepted)
+        np.testing.assert_allclose(
+            got.distances, want.distances, rtol=0, atol=1e-9
+        )
+
+    def test_head_carries_support_metadata_and_is_light(self, scenario):
+        package = scenario.package
+        backbone, head = package.split()
+        assert head.class_names == package.support_set.class_names
+        assert head.support_counts == package.support_set.counts()
+        assert head.support_capacity == package.support_set.capacity_per_class
+        assert head.size_bytes() < backbone.size_bytes()
+
+    def test_head_shape_validation(self, scenario):
+        package = scenario.package
+        with pytest.raises(NotFittedError, match="prototypes"):
+            CohortHead(
+                class_names=("a", "b"),
+                prototypes=np.zeros((3, 8)),
+                pipeline=package.pipeline,
+            )
+        backbone, head = package.split()
+        wrong_dim = CohortHead(
+            class_names=head.class_names,
+            prototypes=np.zeros((len(head.class_names), 3)),
+            pipeline=head.pipeline,
+        )
+        with pytest.raises(NotFittedError, match="dims"):
+            engine_from_head(backbone, wrong_dim)
 
 
 class TestCloudInitializer:

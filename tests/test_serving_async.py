@@ -30,6 +30,7 @@ from repro.serving import (
     EngineHandle,
     EngineWorkerPool,
     ModelRegistry,
+    backbone_fingerprint_of,
 )
 
 PARITY = dict(rtol=0.0, atol=1e-9)
@@ -560,6 +561,127 @@ class TestWorkerPool:
         assert swapped.key != handle.key
         with pytest.raises(UnknownCohortError):
             registry.engine_handle_for("ghost")
+
+
+class TestBackboneFusionAsync:
+    """Thread-mode fan-out fuses same-backbone cohorts into one pass."""
+
+    @pytest.fixture
+    def shared_engines(self, scenario):
+        """Two cohort heads over byte-identical backbone clones."""
+        engine_x = scenario.fresh_edge(rng=1).engine
+        engine_y = scenario.fresh_edge(rng=3).engine
+        assert backbone_fingerprint_of(engine_x) == backbone_fingerprint_of(
+            engine_y
+        )
+        return engine_x, engine_y
+
+    @pytest.fixture
+    def shared_registry(self, shared_engines):
+        engine_x, engine_y = shared_engines
+        reg = ModelRegistry(default_cohort="x")
+        reg.publish("x", engine_x)
+        reg.publish("y", engine_y)
+        return reg
+
+    def test_thread_mode_fuses_one_embedding_pass_and_parity(
+        self, shared_registry, shared_engines, scenario, monkeypatch
+    ):
+        engine_x, engine_y = shared_engines
+        data = scenario.sensor_device.record("walk", 3.0).data
+        refs = {"sx": engine_x.infer_stream(data),
+                "sy": engine_y.infer_stream(data)}
+        embeds = []
+        features_calls = []
+        for engine in (engine_x, engine_y):
+            original_embed = engine.embedder.embed
+            original_features = engine.infer_features
+
+            def counted_embed(features, _original=original_embed):
+                embeds.append(int(features.shape[0]))
+                return _original(features)
+
+            def counted_features(features, _original=original_features):
+                features_calls.append(int(features.shape[0]))
+                return _original(features)
+
+            monkeypatch.setattr(engine.embedder, "embed", counted_embed)
+            monkeypatch.setattr(engine, "infer_features", counted_features)
+
+        async def run():
+            async with AsyncFleetServer(shared_registry, workers=2) as server:
+                server.connect("sx", cohort="x")
+                server.connect("sy", cohort="y")
+                return await server.step_stream({"sx": data, "sy": data})
+
+        got = drive(run())
+        assert len(embeds) == 1  # one fused pass across both cohorts
+        assert features_calls == []  # the per-model path was skipped
+        for sid in ("sx", "sy"):
+            assert [v.activity for v in got[sid]] == refs[sid].names
+            np.testing.assert_allclose(
+                [v.confidence for v in got[sid]],
+                refs[sid].confidences,
+                **PARITY,
+            )
+
+    def test_process_mode_falls_back_to_per_model_calls(
+        self, shared_registry, shared_engines, scenario
+    ):
+        """Process shards keep the ship-once replica cache: no fusion."""
+        engine_x, engine_y = shared_engines
+        data = scenario.sensor_device.record("walk", 3.0).data
+
+        async def run():
+            async with AsyncFleetServer(
+                shared_registry, workers=2, mode="process"
+            ) as server:
+                assert not server._fusion_enabled()
+                server.connect("sx", cohort="x")
+                server.connect("sy", cohort="y")
+                return await server.step_stream({"sx": data, "sy": data})
+
+        got = drive(run())
+        for sid, engine in (("sx", engine_x), ("sy", engine_y)):
+            ref = engine.infer_stream(data)
+            assert [v.activity for v in got[sid]] == ref.names
+
+    def test_hot_swap_head_does_not_rebind_sibling_streams(
+        self, shared_registry, shared_engines, scenario
+    ):
+        """A new head for one cohort leaves the group's siblings pinned."""
+        engine_x, engine_y = shared_engines
+        new_y = scenario.fresh_edge(rng=4).engine
+        data = scenario.sensor_device.record("walk", 4.0).data
+
+        async def run():
+            got_x = []
+            async with AsyncFleetServer(shared_registry, workers=2) as server:
+                server.connect("sx", cohort="x")
+                server.connect("sy", cohort="y")
+                first = await server.step_stream(
+                    {"sx": data[:200], "sy": data[:200]}
+                )
+                got_x.extend(first["sx"])
+                shared_registry.publish("y", new_y)  # same backbone group
+                assert len(shared_registry.backbone_groups()) == 1
+                more = await server.step_stream(
+                    {"sx": data[200:440], "sy": data[200:440]}
+                )
+                got_x.extend(more["sx"])
+                assert server.session("sx").stream.engine is engine_x
+                assert server.session("sy").stream.engine is engine_y
+                await server.finish_stream("sy")
+                await server.step_stream({"sy": data[:240]})
+                assert server.session("sy").stream.engine is new_y
+            return got_x
+
+        got_x = drive(run())
+        ref = engine_x.infer_stream(data[:440])
+        assert [v.activity for v in got_x] == ref.names
+        np.testing.assert_allclose(
+            [v.confidence for v in got_x], ref.confidences, **PARITY
+        )
 
 
 class TestAsyncEvalDriver:

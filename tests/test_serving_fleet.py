@@ -19,7 +19,11 @@ from repro.exceptions import (
     UnknownCohortError,
 )
 from repro.preprocessing import PreprocessingPipeline
-from repro.serving import DEFAULT_COHORT, ModelRegistry
+from repro.serving import (
+    DEFAULT_COHORT,
+    ModelRegistry,
+    backbone_fingerprint_of,
+)
 
 PARITY = dict(rtol=0.0, atol=1e-9)
 
@@ -323,6 +327,128 @@ class TestHotSwap:
         verdict = server.step({"s": window})["s"]
         ref = engine_v2.infer_windows(window[None, :, :])
         assert verdict.activity == ref.names[0]
+
+
+class TestBackboneFusion:
+    """Same-backbone cohorts fuse into one embedding pass per tick."""
+
+    @pytest.fixture
+    def shared_engines(self, scenario):
+        """Two cohort heads over byte-identical backbone clones."""
+        engine_x = scenario.fresh_edge(rng=1).engine
+        engine_y = scenario.fresh_edge(rng=3).engine
+        assert backbone_fingerprint_of(engine_x) == backbone_fingerprint_of(
+            engine_y
+        )
+        return engine_x, engine_y
+
+    @pytest.fixture
+    def shared_registry(self, shared_engines):
+        engine_x, engine_y = shared_engines
+        reg = ModelRegistry(default_cohort="x")
+        reg.publish("x", engine_x)
+        reg.publish("y", engine_y)
+        return reg
+
+    def test_fused_tick_one_embedding_pass_and_parity(
+        self, shared_registry, shared_engines, scenario, monkeypatch
+    ):
+        """One matrix pass serves both cohorts; verdicts stay pinned."""
+        engine_x, engine_y = shared_engines
+        data = scenario.sensor_device.record("walk", 3.0).data
+        refs = {"sx": engine_x.infer_stream(data),
+                "sy": engine_y.infer_stream(data)}
+        embeds = {"n": 0}
+        for engine in (engine_x, engine_y):
+            original = engine.embedder.embed
+
+            def counted(features, _original=original):
+                embeds["n"] += 1
+                return _original(features)
+
+            monkeypatch.setattr(engine.embedder, "embed", counted)
+        calls = {"x": 0, "y": 0}
+        _count_calls(monkeypatch, engine_x, calls, "x")
+        _count_calls(monkeypatch, engine_y, calls, "y")
+        server = FleetServer(shared_registry)
+        server.connect("sx", cohort="x")
+        server.connect("sy", cohort="y")
+        got = server.step_stream({"sx": data, "sy": data})
+        assert embeds["n"] == 1  # one fused pass for the whole group
+        assert calls == {"x": 0, "y": 0}  # the per-model path was skipped
+        for sid in ("sx", "sy"):
+            assert [v.activity for v in got[sid]] == refs[sid].names
+            np.testing.assert_allclose(
+                [v.confidence for v in got[sid]],
+                refs[sid].confidences,
+                **PARITY,
+            )
+
+    def test_fusion_off_serves_one_call_per_model(
+        self, shared_registry, shared_engines, scenario, monkeypatch
+    ):
+        engine_x, engine_y = shared_engines
+        calls = {"x": 0, "y": 0}
+        _count_calls(monkeypatch, engine_x, calls, "x")
+        _count_calls(monkeypatch, engine_y, calls, "y")
+        server = FleetServer(shared_registry, shared_backbone=False)
+        server.connect("sx", cohort="x")
+        server.connect("sy", cohort="y")
+        data = scenario.sensor_device.record("walk", 2.0).data
+        server.step_stream({"sx": data, "sy": data})
+        assert calls == {"x": 1, "y": 1}
+
+    def test_hot_swap_head_does_not_rebind_sibling_streams(
+        self, shared_registry, shared_engines, scenario
+    ):
+        """A new head for one cohort leaves the group's siblings pinned."""
+        engine_x, engine_y = shared_engines
+        new_y = scenario.fresh_edge(rng=4).engine
+        server = FleetServer(shared_registry)
+        server.connect("sx", cohort="x")
+        server.connect("sy", cohort="y")
+        data = scenario.sensor_device.record("walk", 4.0).data
+        got_x = list(
+            server.step_stream({"sx": data[:200], "sy": data[:200]})["sx"]
+        )
+        shared_registry.publish("y", new_y)  # same backbone, new head
+        assert len(shared_registry.backbone_groups()) == 1  # group intact
+        more = server.step_stream({"sx": data[200:440], "sy": data[200:440]})
+        got_x.extend(more["sx"])
+        assert server.session("sx").stream.engine is engine_x  # sibling
+        assert server.session("sy").stream.engine is engine_y  # pinned
+        server.finish_stream("sy")
+        server.step_stream({"sy": data[:240]})  # fresh stream rebinds
+        assert server.session("sy").stream.engine is new_y
+        # the sibling's fused verdicts equal its monolithic pass
+        ref = engine_x.infer_stream(data[:440])
+        assert [v.activity for v in got_x] == ref.names
+        np.testing.assert_allclose(
+            [v.confidence for v in got_x], ref.confidences, **PARITY
+        )
+
+    def test_publishing_new_backbone_splits_group(
+        self, shared_registry, shared_engines, engines, scenario, monkeypatch
+    ):
+        """A retrained backbone falls back to one call per model."""
+        engine_x, _ = shared_engines
+        _, engine_b = engines  # fine-tuned backbone: distinct fingerprint
+        fp_x = backbone_fingerprint_of(engine_x)
+        fp_b = backbone_fingerprint_of(engine_b)
+        assert fp_b != fp_x
+        shared_registry.publish("y", engine_b)
+        groups = shared_registry.backbone_groups()
+        assert groups[fp_x] == ("x",)
+        assert groups[fp_b] == ("y",)
+        calls = {"x": 0, "b": 0}
+        _count_calls(monkeypatch, engine_x, calls, "x")
+        _count_calls(monkeypatch, engine_b, calls, "b")
+        server = FleetServer(shared_registry)
+        server.connect("sx", cohort="x")
+        server.connect("sy", cohort="y")
+        data = scenario.sensor_device.record("walk", 2.0).data
+        server.step_stream({"sx": data, "sy": data})
+        assert calls == {"x": 1, "b": 1}  # split: per-model batches again
 
 
 class TestMixedCohortStep:

@@ -87,6 +87,12 @@ GATES: List[BenchGate] = [
         smoke_budget=120,
         claim="async fan-out tick <= 1.0x serial (1.25x on 1 core)",
     ),
+    BenchGate(
+        name="backbone",
+        file="bench_backbone_fusion.py",
+        smoke_budget=120,
+        claim="3-cohort shared-backbone tick <= 1.1x single-model",
+    ),
 ]
 
 
