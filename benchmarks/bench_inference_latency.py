@@ -7,15 +7,86 @@ This bench measures the full on-device path (denoise -> features ->
 normalize -> embed -> NCM) for (a) the reduced benchmark backbone and
 (b) the paper's full-size [1024, 512, 128, 64] -> 128 backbone, and prints
 the per-stage breakdown.
+
+Run under pytest (the CI gate's assertion step), or standalone to record
+a baseline file::
+
+    PYTHONPATH=src python benchmarks/bench_inference_latency.py \
+        --out BENCH_latency.json          # full benchmark scale
+    PYTHONPATH=src python benchmarks/bench_inference_latency.py --smoke
 """
+
+import argparse
+import json
+import time
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 import pytest
+from conftest import build_benchmark_scenario
 
 from repro.core import NCMClassifier, SupportSet
 from repro.eval import print_table
 from repro.nn import SiameseEmbedder, build_mlp
 from repro.utils import Timer
+
+#: The gate's headline bound: generous vs the paper's "a few ms" so CI
+#: machines with noisy neighbours still pass, tight enough that a
+#: regression to per-window re-featurization (or an accidental O(n^2)
+#: stage) fails loudly.
+MEDIAN_TOTAL_MS_BOUND = 50.0
+
+
+def build_paper_size_edge(scenario):
+    """An edge stack whose model has the paper's published dimensions."""
+    pipeline = scenario.package.pipeline
+    embedder = SiameseEmbedder(build_mlp(input_dim=pipeline.n_features, rng=0))
+    support = SupportSet(capacity_per_class=200, rng=1)
+    source = scenario.package.support_set
+    for name in source.class_names:
+        support.add_class(name, source.features_of(name))
+    ncm = NCMClassifier().fit_from_support_set(embedder, support)
+    return pipeline, embedder, ncm
+
+
+def measure_latency(scenario, iterations: int = 50) -> Dict:
+    """Per-stage one-window latency of the paper-size stack (ms)."""
+    pipeline, embedder, ncm = build_paper_size_edge(scenario)
+    window = scenario.sensor_device.record("walk", 1.0).data
+
+    # Warm-up: first call pays numpy allocator / BLAS thread spin-up.
+    ncm.predict(embedder.embed(pipeline.process_window(window)[None, :]))
+
+    stages: Dict[str, list] = {
+        "preprocess_ms": [], "embed_ms": [], "ncm_ms": [], "total_ms": []
+    }
+    for _ in range(iterations):
+        with Timer() as t_all:
+            with Timer() as t_pre:
+                features = pipeline.process_window(window)
+            with Timer() as t_emb:
+                z = embedder.embed(features[None, :])
+            with Timer() as t_ncm:
+                ncm.predict(z)
+        stages["preprocess_ms"].append(t_pre.elapsed_ms)
+        stages["embed_ms"].append(t_emb.elapsed_ms)
+        stages["ncm_ms"].append(t_ncm.elapsed_ms)
+        stages["total_ms"].append(t_all.elapsed_ms)
+
+    results: Dict = {"iterations": iterations, "stages": {}}
+    for stage, vals in stages.items():
+        results["stages"][stage] = {
+            "median_ms": float(np.median(vals)),
+            "p95_ms": float(np.percentile(vals, 95)),
+        }
+    results["median_total_ms"] = results["stages"]["total_ms"]["median_ms"]
+    results["bound_ms"] = MEDIAN_TOTAL_MS_BOUND
+    return results
+
+
+# ---------------------------------------------------------------------- #
+# pytest entry points (ride the shared bench scenario)
+# ---------------------------------------------------------------------- #
 
 
 @pytest.fixture(scope="module")
@@ -26,14 +97,7 @@ def window(bench_scenario):
 @pytest.fixture(scope="module")
 def paper_size_edge(bench_scenario):
     """An edge stack whose model has the paper's published dimensions."""
-    pipeline = bench_scenario.package.pipeline
-    embedder = SiameseEmbedder(build_mlp(input_dim=pipeline.n_features, rng=0))
-    support = SupportSet(capacity_per_class=200, rng=1)
-    source = bench_scenario.package.support_set
-    for name in source.class_names:
-        support.add_class(name, source.features_of(name))
-    ncm = NCMClassifier().fit_from_support_set(embedder, support)
-    return pipeline, embedder, ncm
+    return build_paper_size_edge(bench_scenario)
 
 
 def test_bench_window_inference_reduced_model(benchmark, bench_scenario, window):
@@ -42,7 +106,7 @@ def test_bench_window_inference_reduced_model(benchmark, bench_scenario, window)
     result = benchmark(edge.infer_window, window)
     assert result.activity in edge.classes
     # "a few milliseconds" — generous ceiling for CI machines.
-    assert benchmark.stats["mean"] * 1e3 < 50.0
+    assert benchmark.stats["mean"] * 1e3 < MEDIAN_TOTAL_MS_BOUND
 
 
 def test_bench_window_inference_paper_model(benchmark, paper_size_edge, window):
@@ -58,27 +122,13 @@ def test_bench_window_inference_paper_model(benchmark, paper_size_edge, window):
     assert benchmark.stats["mean"] * 1e3 < 100.0
 
 
-def test_bench_latency_breakdown_table(benchmark, paper_size_edge, window):
+def test_bench_latency_breakdown_table(benchmark, bench_scenario, window):
     """Per-stage latency of the paper-size stack (the E1 series)."""
-    pipeline, embedder, ncm = paper_size_edge
-
-    stages = {"preprocess_ms": [], "embed_ms": [], "ncm_ms": [], "total_ms": []}
-    for _ in range(50):
-        with Timer() as t_all:
-            with Timer() as t_pre:
-                features = pipeline.process_window(window)
-            with Timer() as t_emb:
-                z = embedder.embed(features[None, :])
-            with Timer() as t_ncm:
-                ncm.predict(z)
-        stages["preprocess_ms"].append(t_pre.elapsed_ms)
-        stages["embed_ms"].append(t_emb.elapsed_ms)
-        stages["ncm_ms"].append(t_ncm.elapsed_ms)
-        stages["total_ms"].append(t_all.elapsed_ms)
+    results = measure_latency(bench_scenario)
 
     rows = [
-        [stage, float(np.median(vals)), float(np.percentile(vals, 95))]
-        for stage, vals in stages.items()
+        [stage, stats["median_ms"], stats["p95_ms"]]
+        for stage, stats in results["stages"].items()
     ]
     print_table(
         ["stage", "median_ms", "p95_ms"],
@@ -86,5 +136,48 @@ def test_bench_latency_breakdown_table(benchmark, paper_size_edge, window):
         title="E1: per-stage inference latency, paper-size backbone "
         "(claim: total = a few ms)",
     )
+    pipeline = bench_scenario.package.pipeline
     benchmark(pipeline.process_window, window)
-    assert float(np.median(stages["total_ms"])) < 50.0
+    assert results["median_total_ms"] < MEDIAN_TOTAL_MS_BOUND
+
+
+# ---------------------------------------------------------------------- #
+# standalone baseline recorder
+# ---------------------------------------------------------------------- #
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="measure one-window edge latency; optionally record "
+                    "a baseline"
+    )
+    parser.add_argument("--out", default=None,
+                        help="write the results as JSON to this path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny scenario for a fast CI smoke run")
+    args = parser.parse_args(argv)
+
+    scenario = build_benchmark_scenario(smoke=args.smoke)
+    results = measure_latency(scenario, iterations=10 if args.smoke else 50)
+    results["scale"] = "smoke" if args.smoke else "benchmark"
+    results["recorded"] = time.strftime("%Y-%m-%d")
+
+    for stage, stats in results["stages"].items():
+        print(f"{stage:>14}: median {stats['median_ms']:.3f} ms, "
+              f"p95 {stats['p95_ms']:.3f} ms")
+    print(f"median total: {results['median_total_ms']:.3f} ms "
+          f"(bound {MEDIAN_TOTAL_MS_BOUND:.0f} ms)")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {args.out}")
+    if results["median_total_ms"] >= MEDIAN_TOTAL_MS_BOUND:
+        print("FAIL: median one-window latency above the gate bound")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

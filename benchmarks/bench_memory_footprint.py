@@ -10,10 +10,23 @@ Paper claims:
 This bench assembles the *paper-size* package — the [1024, 512, 128, 64]
 -> 128 backbone, 200 exemplars/class for the five base activities, the
 fitted pipeline — and prints the component breakdown.
+
+Run under pytest (the CI gate's assertion step), or standalone to record
+a baseline file::
+
+    PYTHONPATH=src python benchmarks/bench_memory_footprint.py \
+        --out BENCH_memory.json           # full benchmark scale
+    PYTHONPATH=src python benchmarks/bench_memory_footprint.py --smoke
 """
+
+import argparse
+import json
+import time
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 import pytest
+from conftest import build_benchmark_scenario
 
 from repro.core import SupportSet, TransferPackage
 from repro.eval import print_table
@@ -22,16 +35,21 @@ from repro.utils import format_bytes
 
 MB = 1024 * 1024
 
+#: The paper's headline bound on the whole Edge payload.
+TOTAL_BOUND_BYTES = 5 * MB
+#: "roughly 0.5 MB" for the 200-exemplar/class support set.
+SUPPORT_BOUND_BYTES = int(0.5 * MB)
 
-@pytest.fixture(scope="module")
-def paper_package(bench_scenario):
-    pipeline = bench_scenario.package.pipeline
+
+def build_paper_package(scenario) -> TransferPackage:
+    """The deployment-size package: paper backbone + 200 exemplars/class."""
+    pipeline = scenario.package.pipeline
     embedder = SiameseEmbedder(build_mlp(input_dim=pipeline.n_features, rng=0))
     support = SupportSet(capacity_per_class=200, rng=1)
     rng = np.random.default_rng(2)
     # 200 exemplars per class at the pipeline's feature width, as deployed.
-    for name in bench_scenario.package.support_set.class_names:
-        stored = bench_scenario.package.support_set.features_of(name)
+    for name in scenario.package.support_set.class_names:
+        stored = scenario.package.support_set.features_of(name)
         if stored.shape[0] < 200:
             extra = rng.normal(size=(200 - stored.shape[0], stored.shape[1]))
             stored = np.concatenate([stored, extra])
@@ -39,6 +57,36 @@ def paper_package(bench_scenario):
     return TransferPackage(
         pipeline=pipeline, embedder=embedder, support_set=support
     )
+
+
+def measure_footprint(scenario) -> Dict:
+    """Component sizes (logical + wire) of the paper-size package."""
+    package = build_paper_package(scenario)
+    sizes = package.component_sizes()
+    total = package.size_bytes()
+    wire = package.serialized_bytes()
+    return {
+        "components": {name: int(size) for name, size in sizes.items()},
+        "total_bytes": int(total),
+        "wire_bytes": int(wire),
+        "total_bound_bytes": TOTAL_BOUND_BYTES,
+        "support_bound_bytes": SUPPORT_BOUND_BYTES,
+        "within_bounds": bool(
+            total < TOTAL_BOUND_BYTES
+            and wire < TOTAL_BOUND_BYTES
+            and sizes["support_set"] <= SUPPORT_BOUND_BYTES
+        ),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# pytest entry points (ride the shared bench scenario)
+# ---------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def paper_package(bench_scenario):
+    return build_paper_package(bench_scenario)
 
 
 def test_bench_footprint_breakdown(benchmark, paper_package):
@@ -61,10 +109,10 @@ def test_bench_footprint_breakdown(benchmark, paper_package):
     )
 
     # The headline claims.
-    assert total < 5 * MB
-    assert wire < 5 * MB
+    assert total < TOTAL_BOUND_BYTES
+    assert wire < TOTAL_BOUND_BYTES
     # Support set: 5 classes x 200 x 80 float32 = 320 kB -> "roughly 0.5 MB".
-    assert 0.2 * MB < sizes["support_set"] <= 0.5 * MB
+    assert 0.2 * MB < sizes["support_set"] <= SUPPORT_BOUND_BYTES
     # Model dominates but stays under 4 MB.
     assert sizes["model"] < 4 * MB
 
@@ -82,3 +130,45 @@ def test_bench_save_load_roundtrip(benchmark, paper_package, tmp_path):
         paper_package.support_set.class_names
     )
     assert path.stat().st_size < 10 * MB
+
+
+# ---------------------------------------------------------------------- #
+# standalone baseline recorder
+# ---------------------------------------------------------------------- #
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="measure the paper-size Edge footprint; optionally "
+                    "record a baseline"
+    )
+    parser.add_argument("--out", default=None,
+                        help="write the results as JSON to this path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny scenario for a fast CI smoke run")
+    args = parser.parse_args(argv)
+
+    scenario = build_benchmark_scenario(smoke=args.smoke)
+    results = measure_footprint(scenario)
+    results["scale"] = "smoke" if args.smoke else "benchmark"
+    results["recorded"] = time.strftime("%Y-%m-%d")
+
+    for name, size in results["components"].items():
+        print(f"{name:>14}: {format_bytes(size)}")
+    print(f"total (logical): {format_bytes(results['total_bytes'])}, "
+          f"wire .npz: {format_bytes(results['wire_bytes'])} "
+          f"(bound {format_bytes(TOTAL_BOUND_BYTES)})")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {args.out}")
+    if not results["within_bounds"]:
+        print("FAIL: footprint exceeds the paper's published bounds")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

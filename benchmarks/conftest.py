@@ -30,9 +30,28 @@ def bench_cloud_config() -> CloudConfig:
     )
 
 
-@pytest.fixture(scope="session")
-def bench_scenario():
-    """The benchmark-scale pre-trained scenario (shared, read-only)."""
+def build_benchmark_scenario(smoke: bool = False):
+    """The shared scenario, buildable outside pytest (standalone mains).
+
+    ``smoke=False`` matches the :func:`bench_scenario` fixture exactly
+    (same seeds, same scale) so recorded baselines and pytest assertions
+    measure the same fleet; ``smoke=True`` is the tiny-config variant CI
+    smoke runs use.
+    """
+    if smoke:
+        config = CloudConfig(
+            backbone_dims=(64, 32),
+            embedding_dim=16,
+            train=TrainConfig(epochs=5, batch_pairs=32, lr=1e-3),
+            support_capacity=25,
+        )
+        return build_edge_scenario(
+            cloud_config=config,
+            n_users=2,
+            windows_per_user_per_activity=10,
+            base_test_windows_per_activity=5,
+            rng=2024,
+        )
     return build_edge_scenario(
         cloud_config=bench_cloud_config(),
         n_users=6,
@@ -40,6 +59,12 @@ def bench_scenario():
         base_test_windows_per_activity=25,
         rng=2024,
     )
+
+
+@pytest.fixture(scope="session")
+def bench_scenario():
+    """The benchmark-scale pre-trained scenario (shared, read-only)."""
+    return build_benchmark_scenario(smoke=False)
 
 
 @dataclass

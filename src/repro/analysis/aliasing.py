@@ -1,0 +1,171 @@
+"""``array-alias`` / ``view-return`` — no shared ring buffers in sessions.
+
+PR 3's carried-tail bug: a streaming session stored a slice of the
+caller's chunk array (``self._tail = chunk[-keep:]``) — callers reusing a
+preallocated ring buffer then silently mutated the session's carry-over
+state between ticks.  The fix is always the same: ``.copy()`` on the way
+in, ``.copy()`` on the way out.  This checker mechanizes that rule for
+every stateful streaming class (any class whose name contains ``Stream``,
+``Session``, ``State`` or ``Buffer``):
+
+* ``array-alias`` — ``self.<attr> = <param>`` (or a subscript/slice of a
+  param) where the parameter is array-like — by annotation
+  (``np.ndarray`` / ``NDArray``) or by name (``chunk``, ``data``,
+  ``windows``, ``buffer``, ``tail``, ...) — without a defensive copy.
+  ``np.asarray(param)`` does **not** count as a copy: it aliases whenever
+  the dtype already matches, which is exactly how the PR 3 bug shipped.
+* ``view-return`` — ``return self.<attr>[a:b]`` (a live view over the
+  internal buffer) or ``return self.<attr>`` for array-named attributes,
+  without ``.copy()``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Optional, Set
+
+from .core import Checker, SourceFile, Violation
+
+__all__ = ["ArrayAliasingChecker"]
+
+#: Classes the rule applies to (stateful streaming / session classes).
+STATEFUL_CLASS_RE = re.compile(r"Stream|Session|State|Buffer")
+
+#: Parameter / attribute names presumed to carry numpy arrays.
+ARRAYISH_NAMES = frozenset(
+    {
+        "chunk", "chunks", "data", "windows", "window", "buffer", "tail",
+        "signal", "samples", "arr", "array", "frames", "block", "blocks",
+        "features", "embeddings",
+    }
+)
+
+#: Callees that produce a fresh array (safe to store / return).
+COPYING_CALLS = frozenset({"copy", "array", "concatenate", "stack"})
+
+
+def _is_arrayish_param(arg: ast.arg) -> bool:
+    if arg.annotation is not None:
+        note = ast.unparse(arg.annotation)
+        if "ndarray" in note or "NDArray" in note or "ArrayLike" in note:
+            return True
+    return arg.arg.lstrip("_") in ARRAYISH_NAMES
+
+
+def _param_names(func: ast.AST) -> Set[str]:
+    args = func.args
+    every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    return {a.arg for a in every[1:] if _is_arrayish_param(a)}  # skip self
+
+
+def _is_copying_call(node: ast.AST) -> bool:
+    """``x.copy()``, ``np.copy(x)``, ``np.array(x)``, ``np.concatenate``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in COPYING_CALLS
+    if isinstance(func, ast.Name):
+        return func.id in COPYING_CALLS
+    return False
+
+
+def _aliased_param(value: ast.AST, params: Set[str]) -> Optional[str]:
+    """The array parameter a stored value aliases, if any."""
+    if isinstance(value, ast.Name) and value.id in params:
+        return value.id
+    if isinstance(value, ast.Subscript):
+        base = value.value
+        if isinstance(base, ast.Name) and base.id in params:
+            return base.id
+    if isinstance(value, ast.Call) and not _is_copying_call(value):
+        # np.asarray(chunk) / np.ascontiguousarray(chunk): alias when the
+        # dtype already matches — the treacherous case.
+        for arg in value.args:
+            if isinstance(arg, ast.Name) and arg.id in params:
+                return arg.id
+    return None
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _has_slice(sub: ast.Subscript) -> bool:
+    idx = sub.slice
+    if isinstance(idx, ast.Slice):
+        return True
+    if isinstance(idx, ast.Tuple):
+        return any(isinstance(elt, ast.Slice) for elt in idx.elts)
+    return False
+
+
+class ArrayAliasingChecker(Checker):
+    name = "array-aliasing"
+    rules = ("array-alias", "view-return")
+
+    def check(self, src: SourceFile) -> Iterable[Violation]:
+        for cls in ast.walk(src.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not STATEFUL_CLASS_RE.search(cls.name):
+                continue
+            for func in cls.body:
+                if not isinstance(
+                    func, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                yield from self._check_method(src, cls, func)
+
+    def _check_method(self, src, cls, func) -> Iterable[Violation]:
+        params = _param_names(func)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and params:
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr is None:
+                        continue
+                    aliased = _aliased_param(node.value, params)
+                    if aliased is not None:
+                        yield src.violation(
+                            "array-alias",
+                            node,
+                            f"{cls.name}.{attr} stores caller array "
+                            f"{aliased!r} without .copy() — a reused ring "
+                            "buffer would mutate this session's state "
+                            "(the PR 3 carried-tail bug class)",
+                        )
+            elif isinstance(node, ast.Return) and node.value is not None:
+                value = node.value
+                if isinstance(value, ast.Subscript) and _has_slice(value):
+                    attr = _self_attr(value.value)
+                    if attr is not None and (
+                        attr.lstrip("_") in ARRAYISH_NAMES
+                    ):
+                        yield src.violation(
+                            "view-return",
+                            node,
+                            f"{cls.name}.{func.name} returns a slice view "
+                            f"of internal buffer self.{attr} — .copy() it "
+                            "so later pushes cannot mutate what the "
+                            "caller already holds",
+                        )
+                else:
+                    attr = _self_attr(value)
+                    if attr is not None and (
+                        attr.lstrip("_") in ARRAYISH_NAMES
+                    ):
+                        yield src.violation(
+                            "view-return",
+                            node,
+                            f"{cls.name}.{func.name} returns internal "
+                            f"buffer self.{attr} by reference — .copy() "
+                            "it (or document immutability with a pragma)",
+                        )

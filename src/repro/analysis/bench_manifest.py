@@ -1,0 +1,119 @@
+"""``bench-gate`` / ``bench-ungated`` — every benchmark has a gate.
+
+ROADMAP invariant: performance claims live in ``benchmarks/bench_*.py``,
+their recorded baselines in ``BENCH_<name>.json``, and CI runs each gated
+benchmark through the :data:`GATES` manifest of
+``tools/run_bench_gates.py``.  Three artifact families that agree only by
+convention — this checker cross-checks them:
+
+* **errors** (``bench-gate``) — a manifest row naming a benchmark file
+  that does not exist, or a gate whose ``BENCH_<name>.json`` baseline is
+  missing: CI would either crash or gate against nothing.
+* **warnings** (``bench-ungated``) — a ``benchmarks/bench_*.py`` script
+  no manifest row runs (its claims regress silently), or a stale
+  ``BENCH_*.json`` baseline no gate reads.  Warnings never fail the run;
+  they are the checker's work-list.  A deliberately ungated benchmark can
+  justify itself with a file-level pragma.
+
+The manifest is read **statically** (AST of ``tools/run_bench_gates.py``,
+``name=``/``file=`` keywords of each ``BenchGate(...)`` row), so linting
+never imports or runs benchmark code.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Iterable, List, Tuple
+
+from .core import RepoChecker, Violation
+
+__all__ = ["BenchManifestChecker", "read_gate_rows"]
+
+MANIFEST = "tools/run_bench_gates.py"
+
+
+def read_gate_rows(manifest: pathlib.Path) -> List[Tuple[str, str, int]]:
+    """``(name, file, line)`` for every ``BenchGate(...)`` manifest row."""
+    tree = ast.parse(manifest.read_text(encoding="utf-8"))
+    rows: List[Tuple[str, str, int]] = []
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "BenchGate"
+        ):
+            continue
+        fields = {
+            kw.arg: kw.value.value
+            for kw in node.keywords
+            if isinstance(kw.value, ast.Constant)
+        }
+        if "name" in fields and "file" in fields:
+            rows.append((fields["name"], fields["file"], node.lineno))
+    return rows
+
+
+class BenchManifestChecker(RepoChecker):
+    name = "bench-manifest"
+    rules = ("bench-gate", "bench-ungated")
+
+    def check_repo(self, root: pathlib.Path) -> Iterable[Violation]:
+        manifest = root / MANIFEST
+        bench_dir = root / "benchmarks"
+        if not manifest.is_file() or not bench_dir.is_dir():
+            return  # not this repository layout — nothing to cross-check
+        rows = read_gate_rows(manifest)
+        gated_files = {file for _, file, _ in rows}
+        gate_names = {name for name, _, _ in rows}
+
+        for name, file, line in rows:
+            if not (bench_dir / file).is_file():
+                yield Violation(
+                    rule="bench-gate",
+                    path=MANIFEST,
+                    line=line,
+                    message=(
+                        f"gate {name!r} names benchmarks/{file}, which "
+                        "does not exist — dangling manifest row"
+                    ),
+                )
+            if not (root / f"BENCH_{name}.json").is_file():
+                yield Violation(
+                    rule="bench-gate",
+                    path=MANIFEST,
+                    line=line,
+                    message=(
+                        f"gate {name!r} has no recorded baseline — run "
+                        f"PYTHONPATH=src python benchmarks/{file} "
+                        f"--out BENCH_{name}.json"
+                    ),
+                )
+
+        for bench in sorted(bench_dir.glob("bench_*.py")):
+            if bench.name not in gated_files:
+                yield Violation(
+                    rule="bench-ungated",
+                    path=f"benchmarks/{bench.name}",
+                    line=1,
+                    message=(
+                        f"benchmarks/{bench.name} has no row in the "
+                        f"{MANIFEST} GATES manifest — its claims can "
+                        "regress without CI noticing"
+                    ),
+                    severity="warning",
+                )
+
+        for baseline in sorted(root.glob("BENCH_*.json")):
+            name = baseline.stem[len("BENCH_"):]
+            if name not in gate_names:
+                yield Violation(
+                    rule="bench-ungated",
+                    path=baseline.name,
+                    line=1,
+                    message=(
+                        f"{baseline.name} is a baseline no gate reads — "
+                        "stale recording or missing manifest row"
+                    ),
+                    severity="warning",
+                )

@@ -1,0 +1,381 @@
+"""The ``reprolint`` framework: checkers, violations, pragmas, reports.
+
+ROADMAP.md's standing invariants ("all inference goes through
+``InferenceEngine``", "typed exceptions from ``repro.exceptions``", "every
+benchmark has a gate", ...) used to live only in reviewer memory.  This
+module mechanizes them: a :class:`Checker` walks one parsed source file
+(or, for repo-wide contracts, the repository layout) and yields
+:class:`Violation` records; :func:`lint_paths` drives a set of checkers
+over a file tree, applies ``# reprolint:`` pragma suppression, and hands
+the surviving violations to the text/JSON reporters.
+
+Pragma syntax
+-------------
+
+Two forms, both requiring a *written justification* under ``--strict``::
+
+    # reprolint: disable=broad-except — one failing model loses only its
+    #   own windows (justification text follows an em-dash, "--" or ":")
+
+* **Line-level** — a trailing comment on the offending line suppresses
+  the named rule(s) for that line only::
+
+      except Exception as exc:  # reprolint: disable=broad-except — <why>
+
+* **File-level** — a pragma comment on a line of its own suppresses the
+  rule(s) for the whole file::
+
+      # reprolint: disable=entry-point — baselines bypass the engine on
+      # purpose: they are the comparison points.
+
+Unjustified pragmas are reported as ``pragma-justification`` errors in
+strict mode, so every suppression in the tree documents *why* the
+invariant does not apply.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Checker",
+    "RepoChecker",
+    "Pragma",
+    "SourceFile",
+    "Violation",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+    "format_text",
+    "format_json",
+]
+
+#: ``# reprolint: disable=rule-a,rule-b — justification``.  The rule list
+#: is a leading run of identifiers; everything after the first separator
+#: (em-dash, ``--`` or ``:``) is the justification.
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_-]+(?:\s*,\s*[A-Za-z0-9_-]+)*)"
+    r"\s*(.*)$"
+)
+_JUSTIFICATION_RE = re.compile(r"^(?:—|--|:)\s*(\S.*)$")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach at a specific place in the tree.
+
+    ``severity`` is ``"error"`` (fails the run) or ``"warning"``
+    (reported, never fatal — e.g. an ungated benchmark).
+    """
+
+    rule: str
+    path: str  # repo-relative, posix separators
+    line: int
+    message: str
+    severity: str = "error"
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}: {self.severity}: "
+            f"[{self.rule}] {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``# reprolint: disable=...`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+    file_level: bool  # comment-only line -> suppresses the whole file
+
+    def covers(self, violation: Violation) -> bool:
+        if violation.rule not in self.rules:
+            return False
+        return self.file_level or violation.line == self.line
+
+
+def _parse_pragmas(lines: Sequence[str]) -> List[Pragma]:
+    pragmas: List[Pragma] = []
+    for lineno, text in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            rule.strip() for rule in match.group(1).split(",") if rule.strip()
+        )
+        tail = match.group(2).strip()
+        just = _JUSTIFICATION_RE.match(tail)
+        justification = just.group(1).strip() if just else ""
+        file_level = text[: match.start()].strip() == ""
+        pragmas.append(Pragma(lineno, rules, justification, file_level))
+    return pragmas
+
+
+class SourceFile:
+    """One parsed python file: text, lines, AST, pragmas.
+
+    ``path`` is the on-disk location; ``rel`` the repo-relative display
+    path every :class:`Violation` carries.  Parsing is eager so a syntax
+    error surfaces as a ``parse-error`` violation, not an exception.
+    """
+
+    def __init__(self, path: pathlib.Path, rel: str, text: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.lines = text.splitlines()
+        self.pragmas = _parse_pragmas(self.lines)
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[Violation] = None
+        try:
+            self.tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            self.parse_error = Violation(
+                rule="parse-error",
+                path=rel,
+                line=exc.lineno or 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+
+    @classmethod
+    def read(cls, path: pathlib.Path, root: pathlib.Path) -> "SourceFile":
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        return cls(path, rel, path.read_text(encoding="utf-8"))
+
+    def violation(
+        self, rule: str, node: ast.AST, message: str,
+        severity: str = "error",
+    ) -> Violation:
+        """Build a violation anchored at an AST node of this file."""
+        return Violation(
+            rule=rule,
+            path=self.rel,
+            line=getattr(node, "lineno", 1),
+            message=message,
+            severity=severity,
+        )
+
+
+class Checker:
+    """Base class of the per-file AST checkers.
+
+    Subclasses set ``name`` (the checker id shown by ``--list-rules``)
+    and ``rules`` (every rule id they may emit — the ids pragmas refer
+    to), and implement :meth:`check`.
+    """
+
+    name: str = "checker"
+    rules: Tuple[str, ...] = ()
+
+    def check(self, src: SourceFile) -> Iterable[Violation]:
+        raise NotImplementedError
+
+
+class RepoChecker:
+    """Base class of repository-layout checkers (no single file to walk).
+
+    ``check_repo`` receives the repository root and yields violations
+    whose paths name the files they are about; pragma suppression still
+    applies when the named file is a parseable python file.
+    """
+
+    name: str = "repo-checker"
+    rules: Tuple[str, ...] = ()
+
+    def check_repo(self, root: pathlib.Path) -> Iterable[Violation]:
+        raise NotImplementedError
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, pre- and post-suppression."""
+
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: List[Tuple[Violation, Pragma]] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> List[Violation]:
+        return [v for v in self.violations if v.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Violation]:
+        return [v for v in self.violations if v.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def _iter_python_files(paths: Sequence[pathlib.Path]) -> List[pathlib.Path]:
+    files: List[pathlib.Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    # De-duplicate while preserving order (a file given twice lints once).
+    seen = set()
+    unique = []
+    for file in files:
+        key = file.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(file)
+    return unique
+
+
+def _strict_pragma_violations(src: SourceFile) -> List[Violation]:
+    """Every pragma must carry a written justification (strict mode)."""
+    return [
+        Violation(
+            rule="pragma-justification",
+            path=src.rel,
+            line=pragma.line,
+            message=(
+                f"suppression of {', '.join(pragma.rules)} carries no "
+                "justification — follow the rule list with "
+                "'— <why this invariant does not apply here>'"
+            ),
+        )
+        for pragma in src.pragmas
+        if not pragma.justification
+    ]
+
+
+def lint_paths(
+    paths: Sequence[pathlib.Path],
+    checkers: Sequence[Checker],
+    root: pathlib.Path,
+    repo_checkers: Sequence[RepoChecker] = (),
+    strict: bool = False,
+) -> LintReport:
+    """Run ``checkers`` over every python file under ``paths``.
+
+    ``root`` anchors the repo-relative paths in the report and is where
+    ``repo_checkers`` look for the repository layout.  Suppression: a
+    violation covered by a pragma of its file is moved to
+    ``report.suppressed``; in ``strict`` mode pragmas without a written
+    justification add ``pragma-justification`` errors.
+    """
+    report = LintReport()
+    sources: Dict[str, SourceFile] = {}
+    raw: List[Violation] = []
+    for path in _iter_python_files(paths):
+        src = SourceFile.read(path, root)
+        sources[src.rel] = src
+        report.files_checked += 1
+        if src.parse_error is not None:
+            raw.append(src.parse_error)
+            continue
+        for checker in checkers:
+            raw.extend(checker.check(src))
+        if strict:
+            raw.extend(_strict_pragma_violations(src))
+    for repo_checker in repo_checkers:
+        for violation in repo_checker.check_repo(root):
+            raw.append(violation)
+            # Load the named file's pragmas so e.g. a deliberately
+            # ungated benchmark can justify itself file-level.
+            rel = violation.path
+            if rel not in sources:
+                candidate = root / rel
+                if candidate.is_file() and candidate.suffix == ".py":
+                    src = SourceFile.read(candidate, root)
+                    sources[rel] = src
+                    if strict:
+                        raw.extend(_strict_pragma_violations(src))
+    for violation in raw:
+        src = sources.get(violation.path)
+        pragma = None
+        if src is not None and violation.rule != "pragma-justification":
+            pragma = next(
+                (p for p in src.pragmas if p.covers(violation)), None
+            )
+        if pragma is not None:
+            report.suppressed.append((violation, pragma))
+        else:
+            report.violations.append(violation)
+    report.violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return report
+
+
+def lint_source(
+    source: str,
+    checkers: Sequence[Checker],
+    path: str = "<snippet>.py",
+    strict: bool = False,
+) -> List[Violation]:
+    """Lint one in-memory snippet — the unit-test / docs entry point."""
+    src = SourceFile(pathlib.Path(path), path, source)
+    if src.parse_error is not None:
+        return [src.parse_error]
+    violations: List[Violation] = []
+    for checker in checkers:
+        violations.extend(checker.check(src))
+    if strict:
+        violations.extend(_strict_pragma_violations(src))
+    kept = [
+        v for v in violations
+        if v.rule == "pragma-justification"
+        or not any(p.covers(v) for p in src.pragmas)
+    ]
+    kept.sort(key=lambda v: (v.line, v.rule))
+    return kept
+
+
+def format_text(report: LintReport, verbose: bool = False) -> str:
+    """Human-readable report: one line per violation, then a summary."""
+    lines = [v.format() for v in report.violations]
+    if verbose and report.suppressed:
+        lines.append("suppressed:")
+        for violation, pragma in report.suppressed:
+            scope = "file" if pragma.file_level else "line"
+            why = pragma.justification or "(no justification)"
+            lines.append(f"  {violation.format()}  [{scope} pragma: {why}]")
+    lines.append(
+        f"{report.files_checked} file(s) checked: "
+        f"{len(report.errors)} error(s), {len(report.warnings)} warning(s), "
+        f"{len(report.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """Machine-readable report (CI annotations, editors)."""
+    payload = {
+        "files_checked": report.files_checked,
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
+        "violations": [
+            {
+                "rule": v.rule,
+                "path": v.path,
+                "line": v.line,
+                "severity": v.severity,
+                "message": v.message,
+            }
+            for v in report.violations
+        ],
+        "suppressed": [
+            {
+                "rule": v.rule,
+                "path": v.path,
+                "line": v.line,
+                "pragma_line": p.line,
+                "justification": p.justification,
+            }
+            for v, p in report.suppressed
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,110 @@
+"""``raw-raise`` / ``broad-except`` — the typed-exception taxonomy.
+
+Every error this library raises derives from
+:class:`repro.exceptions.MagnetoError`, so callers can catch one base
+class and each failure domain stays actionable
+(``DataShapeError`` vs ``ConfigurationError`` vs ``NotFittedError`` ...).
+A ``raise ValueError(...)`` punches a hole in that contract: the caller's
+``except MagnetoError`` misses it, and tests asserting on types drift.
+
+Rules:
+
+* ``raw-raise`` — a ``raise`` whose exception is a builtin type
+  (``ValueError``, ``RuntimeError``, ``TypeError``, ``KeyError``, ...).
+  ``NotImplementedError`` (abstract-method convention) and ``SystemExit``
+  (CLI entry points) are exempt; bare re-raises and raising variables
+  bound in an ``except`` clause are always fine.
+* ``broad-except`` — ``except Exception`` / ``except BaseException`` /
+  bare ``except:`` whose handler does not re-raise.  Failure-isolation
+  catches that intentionally swallow (a fleet tick losing one model's
+  windows) must carry a pragma justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterable
+
+from .core import Checker, SourceFile, Violation
+
+__all__ = ["ExceptionTaxonomyChecker"]
+
+#: Builtin exceptions a raise may still use directly.
+EXEMPT_RAISES = frozenset({"NotImplementedError", "SystemExit"})
+
+#: Every builtin exception type name (computed, so new pythons keep up).
+BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+FLAGGED_RAISES = BUILTIN_EXCEPTIONS - EXEMPT_RAISES
+
+BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+
+def _raised_name(node: ast.Raise) -> str:
+    """The name of the exception type a ``raise`` statement uses, if any."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return ""
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains a ``raise`` of its own.
+
+    Nested function/class definitions are skipped: a closure that raises
+    later does not make *this* handler re-raise.
+    """
+    stack = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+class ExceptionTaxonomyChecker(Checker):
+    name = "exception-taxonomy"
+    rules = ("raw-raise", "broad-except")
+
+    def check(self, src: SourceFile) -> Iterable[Violation]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Raise):
+                name = _raised_name(node)
+                if name in FLAGGED_RAISES:
+                    yield src.violation(
+                        "raw-raise",
+                        node,
+                        f"raise of builtin {name} — use (or add) a "
+                        "repro.exceptions type so 'except MagnetoError' "
+                        "keeps catching every library failure",
+                    )
+            elif isinstance(node, ast.ExceptHandler):
+                broad = node.type is None or (
+                    isinstance(node.type, ast.Name)
+                    and node.type.id in BROAD_TYPES
+                )
+                if broad and not _handler_reraises(node):
+                    what = (
+                        f"except {node.type.id}"
+                        if isinstance(node.type, ast.Name)
+                        else "bare except"
+                    )
+                    yield src.violation(
+                        "broad-except",
+                        node,
+                        f"{what} without a re-raise — narrow the type, "
+                        "re-raise, or pragma-justify the swallow",
+                    )

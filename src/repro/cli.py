@@ -26,7 +26,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

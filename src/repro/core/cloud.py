@@ -10,7 +10,7 @@ is involved — the campaign is the simulated "openly collected" corpus.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

@@ -1061,7 +1061,7 @@ class FleetServer:
                     batches = fused.infer_windows_multi(
                         [group.stack() for group in cluster]
                     )
-            except Exception as exc:
+            except Exception as exc:  # reprolint: disable=broad-except — failure isolation: one failing model loses only its own sessions' windows; the first failure is re-raised after healthy clusters demux
                 if failure is None:
                     failure = exc
                 continue
@@ -1266,7 +1266,7 @@ class FleetServer:
                             for group in members
                         ]
                     )
-            except Exception as exc:
+            except Exception as exc:  # reprolint: disable=broad-except — failure isolation: the featurize pass already consumed this tick's windows, so healthy cohorts must still demux; the first failure is re-raised afterwards
                 if failure is None:
                     failure = exc
                 continue

@@ -24,7 +24,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, DataShapeError
+from ..exceptions import DataShapeError
 from ..nn.siamese import SiameseEmbedder, SiameseTrainer, TrainConfig, TrainHistory
 from ..utils import RngLike, check_2d, ensure_rng, spawn_rng
 from .support_set import SupportSet

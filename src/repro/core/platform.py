@@ -18,7 +18,6 @@ from .cloud import CloudConfig, CloudInitializer, PretrainReport
 from .edge import EdgeDevice
 from .incremental import IncrementalConfig
 from .privacy import NetworkLink, PrivacyGuard
-from .transfer import TransferPackage
 
 
 @dataclass

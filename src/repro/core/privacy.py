@@ -18,8 +18,8 @@ the source of the Cloud approach's inference latency penalty (Figure 1).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from ..exceptions import ConfigurationError, PrivacyViolationError
 from ..utils import RngLike, ensure_rng

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from .app import AppEvent, AppState, PredictionFrame
+from .app import AppEvent, PredictionFrame
 
 _PANEL_WIDTH = 38
 

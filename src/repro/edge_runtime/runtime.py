@@ -11,8 +11,8 @@ pretending phones have infinite disks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
 
 import numpy as np
 

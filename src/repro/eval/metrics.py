@@ -11,7 +11,7 @@ the continual-learning quantities the incremental experiments report:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

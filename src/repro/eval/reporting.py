@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Union
 
+from ..exceptions import DataShapeError
+
 Cell = Union[str, int, float]
 
 
@@ -36,7 +38,7 @@ def render_table(
     widths = [len(h) for h in headers]
     for row in str_rows:
         if len(row) != len(headers):
-            raise ValueError(
+            raise DataShapeError(
                 f"row has {len(row)} cells, expected {len(headers)}"
             )
         for i, cell in enumerate(row):

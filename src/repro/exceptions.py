@@ -56,6 +56,15 @@ class NotFittedError(MagnetoError):
     """A component that must be fitted/trained was used before fitting."""
 
 
+class TrainingStateError(MagnetoError):
+    """A training-time operation was invoked from an invalid state.
+
+    Raised by :mod:`repro.nn` layers when ``backward`` is called without a
+    preceding *training* forward pass (inference-mode forwards do not
+    cache the activations backpropagation needs).
+    """
+
+
 class UnknownActivityError(MagnetoError):
     """An activity label was requested that the component does not know."""
 

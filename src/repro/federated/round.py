@@ -25,7 +25,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.edge import EdgeDevice
-from ..core.privacy import EDGE_TO_CLOUD, CLOUD_TO_EDGE, NetworkLink, PrivacyGuard
+from ..core.privacy import EDGE_TO_CLOUD, CLOUD_TO_EDGE, NetworkLink
 from ..exceptions import ConfigurationError, NotFittedError
 from ..nn.siamese import SiameseTrainer, TrainConfig
 from ..utils import RngLike, ensure_rng, spawn_rng

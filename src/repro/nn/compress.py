@@ -25,7 +25,7 @@ compression benchmark (E15) sweeps them against accuracy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, DataShapeError
+from ..exceptions import ConfigurationError, DataShapeError, TrainingStateError
 from ..utils import RngLike, ensure_rng
 from .initializers import get_initializer
 
@@ -99,7 +99,7 @@ class Linear(Layer):
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._x is None:
-            raise RuntimeError("backward called before a training forward pass")
+            raise TrainingStateError("backward called before a training forward pass")
         grad_out = np.asarray(grad_out, dtype=np.float64)
         self.weight.grad += self._x.T @ grad_out
         self.bias.grad += grad_out.sum(axis=0)
@@ -131,7 +131,7 @@ class ReLU(Layer):
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
-            raise RuntimeError("backward called before a training forward pass")
+            raise TrainingStateError("backward called before a training forward pass")
         return grad_out * self._mask
 
     def to_config(self) -> Dict:
@@ -152,7 +152,7 @@ class Tanh(Layer):
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._out is None:
-            raise RuntimeError("backward called before a training forward pass")
+            raise TrainingStateError("backward called before a training forward pass")
         return grad_out * (1.0 - self._out**2)
 
     def to_config(self) -> Dict:
@@ -180,7 +180,7 @@ class Dropout(Layer):
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
-            raise RuntimeError("backward called before a training forward pass")
+            raise TrainingStateError("backward called before a training forward pass")
         return grad_out * self._mask
 
     def to_config(self) -> Dict:
@@ -231,7 +231,7 @@ class BatchNorm1d(Layer):
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
-            raise RuntimeError("backward called before a training forward pass")
+            raise TrainingStateError("backward called before a training forward pass")
         x_hat, var = self._cache
         n = grad_out.shape[0]
         self.gamma.grad += (grad_out * x_hat).sum(axis=0)

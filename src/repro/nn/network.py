@@ -10,7 +10,7 @@ that by default (on top of the 80-dimensional feature input), and
 from __future__ import annotations
 
 import copy
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 

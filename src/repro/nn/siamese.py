@@ -16,11 +16,11 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, DataShapeError
+from ..exceptions import ConfigurationError, DataShapeError, NotFittedError
 from ..utils import RngLike, check_2d, check_labels, ensure_rng
 from .layers import Linear
 from .losses import contrastive_loss, distillation_loss
@@ -154,7 +154,7 @@ class TrainHistory:
 
     def final_loss(self) -> float:
         if not self.total:
-            raise ValueError("history is empty")
+            raise NotFittedError("history is empty")
         return self.total[-1]
 
 

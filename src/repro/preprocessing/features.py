@@ -21,7 +21,7 @@ zero-crossing rate (of the de-meaned signal) and linear slope.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
 import numpy as np

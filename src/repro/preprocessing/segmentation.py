@@ -8,7 +8,6 @@ overlapping) case; :func:`segment_recording` is the convenience wrapper for
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

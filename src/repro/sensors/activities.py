@@ -24,7 +24,7 @@ capability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Tuple
 
 from ..exceptions import ConfigurationError, UnknownActivityError

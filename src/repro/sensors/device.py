@@ -33,7 +33,7 @@ Synthesis model (per recording):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -20,7 +20,7 @@ such a user until their activity is re-calibrated with their own data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 import numpy as np

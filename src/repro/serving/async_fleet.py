@@ -526,7 +526,7 @@ class AsyncFleetServer(FleetServer):
         for members, future in pending:
             try:
                 outcome = await asyncio.wrap_future(future)
-            except Exception as exc:
+            except Exception as exc:  # reprolint: disable=broad-except — failure isolation: a worker-pool model failure loses only its own cluster's windows; the first failure is re-raised after the tick's demux
                 if failure is None:
                     failure = exc
                 continue

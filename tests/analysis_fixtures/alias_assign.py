@@ -1,0 +1,33 @@
+"""Fixture: the PR 3 carried-tail bug class — aliasing assignments and
+view returns in a streaming class.  Never imported; parsed by reprolint
+in tests.  Expected: 3x array-alias, 2x view-return."""
+
+import numpy as np
+
+
+class ChunkStreamState:
+    def __init__(self, chunk: np.ndarray, window_len: int) -> None:
+        self.window_len = int(window_len)  # scalar: not flagged
+        self.tail = chunk  # array-alias: stores the caller's array
+        self.head = chunk[: self.window_len]  # array-alias: stores a view
+        self.safe = chunk.copy()  # copied: not flagged
+
+    def push(self, chunk: np.ndarray) -> None:
+        self.tail = np.asarray(chunk)  # array-alias: asarray may alias
+        self.safe = np.array(chunk)  # np.array copies: not flagged
+
+    def pending(self) -> np.ndarray:
+        return self.tail[1:]  # view-return: live view of internal state
+
+    def buffer_of(self) -> np.ndarray:
+        return self.tail  # view-return: internal buffer by reference
+
+    def pending_copy(self) -> np.ndarray:
+        return self.tail[1:].copy()  # copied out: not flagged
+
+
+class PlainExtractor:
+    """Class name matches no stateful pattern — exempt from the rule."""
+
+    def __init__(self, chunk: np.ndarray) -> None:
+        self.chunk = chunk  # not flagged: not a Stream/Session/State class

@@ -1,0 +1,26 @@
+"""Fixture: blocking calls on the event loop.  Never imported; parsed by
+reprolint in tests.  Expected: 2x async-blocking (time.sleep + direct
+engine call); the sync closure and the pool submission are legal."""
+
+import asyncio
+import time
+
+
+async def tick(engine, windows, pool):
+    time.sleep(0.01)  # async-blocking: blocks the event loop
+    batch = engine.infer_windows(windows)  # async-blocking: sync engine call
+    await asyncio.sleep(0)
+    return batch, pool.submit(engine, "infer_windows", windows)  # fine
+
+
+async def tick_via_pool(handle, windows, pool):
+    def payload():
+        return handle.engine.infer_windows(windows)  # fine: pool payload
+
+    future = pool.submit_fn(payload)
+    return await asyncio.wrap_future(future)
+
+
+def sync_path(engine, windows):
+    time.sleep(0.01)  # fine: not on the event loop
+    return engine.infer_windows(windows)  # fine: the sync path may block

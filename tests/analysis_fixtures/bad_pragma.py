@@ -1,0 +1,10 @@
+"""Fixture: a suppression pragma with no justification text.  Legal in
+default mode, a ``pragma-justification`` error under ``--strict``.
+Expected: 0 violations default / 1 error strict."""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:  # reprolint: disable=broad-except
+        return None

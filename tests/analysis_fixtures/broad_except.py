@@ -1,0 +1,26 @@
+"""Fixture: broad exception handlers.  Never imported; parsed by
+reprolint in tests.  Expected: 1x broad-except (the silent swallow);
+the re-raising and pragma-justified handlers are legal."""
+
+from repro.exceptions import MagnetoError
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:  # broad-except: swallows silently
+        return None
+
+
+def annotate_and_reraise(fn):
+    try:
+        return fn()
+    except Exception as exc:  # fine: re-raises
+        raise MagnetoError("context") from exc
+
+
+def isolated(fn):
+    try:
+        return fn()
+    except Exception:  # reprolint: disable=broad-except — failure isolation fixture: the caller folds the None into its own error accounting
+        return None

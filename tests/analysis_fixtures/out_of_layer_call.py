@@ -1,0 +1,13 @@
+"""Fixture: serving-layer code re-implementing the pipeline.  Never
+imported; parsed by reprolint in tests (the checker decides by *path*,
+so tests lint it under a synthetic ``src/repro/serving/`` path).
+Expected: 5x entry-point (two restricted imports, two restricted name
+references, one NCM distance-internal call)."""
+
+from repro.preprocessing import FeatureExtractor, sliding_windows
+
+
+def serve_windows(ncm, data, window_len):
+    windows = sliding_windows(data, window_len, window_len)
+    features = FeatureExtractor().extract(windows)
+    return ncm.distances(features)

@@ -1,0 +1,26 @@
+"""Fixture: raises bypassing the repro.exceptions taxonomy.  Never
+imported; parsed by reprolint in tests.  Expected: 3x raw-raise."""
+
+from repro.exceptions import DataShapeError
+
+
+def validate(windows):
+    if windows.ndim != 3:
+        raise ValueError(f"expected 3-D, got {windows.ndim}-D")  # raw-raise
+    if windows.shape[0] == 0:
+        raise RuntimeError("empty batch")  # raw-raise
+    if not hasattr(windows, "dtype"):
+        raise TypeError("not an array")  # raw-raise
+    if windows.shape[1] < 1:
+        raise DataShapeError("window_len must be >= 1")  # typed: fine
+
+
+def todo():
+    raise NotImplementedError  # conventional: exempt
+
+
+def reraise():
+    try:
+        validate(None)
+    except AttributeError:
+        raise  # bare re-raise: fine

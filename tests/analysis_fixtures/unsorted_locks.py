@@ -1,0 +1,33 @@
+"""Fixture: asyncio locks acquired in arrival (unsorted) order.  Never
+imported; parsed by reprolint in tests.  Expected: 1x lock-order."""
+
+import asyncio
+
+LOCKS = {}
+
+
+def _lock_for(session_id):
+    return LOCKS.setdefault(session_id, asyncio.Lock())
+
+
+async def acquire_unsorted(session_ids):
+    locks = [_lock_for(sid) for sid in session_ids]  # arrival order!
+    acquired = []
+    for lock in locks:  # lock-order: iterable has no sorted() provenance
+        await lock.acquire()
+        acquired.append(lock)
+    return acquired
+
+
+async def acquire_sorted(session_ids):
+    locks = [_lock_for(sid) for sid in sorted(session_ids)]
+    acquired = []
+    for lock in locks:  # fine: provenance includes sorted()
+        await lock.acquire()
+        acquired.append(lock)
+    return acquired
+
+
+async def acquire_sorted_inline(session_ids):
+    for sid in sorted(session_ids):  # fine: sorted() right in the iterable
+        await _lock_for(sid).acquire()

@@ -1,0 +1,125 @@
+"""Bench/gate manifest cross-check against synthetic repository layouts."""
+
+import textwrap
+
+from repro.analysis import BenchManifestChecker, lint_paths
+from repro.analysis.bench_manifest import read_gate_rows
+
+MANIFEST_SOURCE = textwrap.dedent(
+    '''\
+    """Synthetic gate manifest for the cross-check tests."""
+
+    from dataclasses import dataclass
+
+
+    @dataclass(frozen=True)
+    class BenchGate:
+        name: str
+        file: str
+        smoke_budget: int
+        claim: str
+
+
+    GATES = [
+        BenchGate(
+            name="alpha",
+            file="bench_alpha.py",
+            smoke_budget=10,
+            claim="alpha stays fast",
+        ),
+        BenchGate(
+            name="ghost",
+            file="bench_ghost.py",
+            smoke_budget=10,
+            claim="points at nothing",
+        ),
+    ]
+    '''
+)
+
+
+def build_repo(tmp_path):
+    """alpha is healthy; ghost dangles; orphan/stale are ungated."""
+    tools = tmp_path / "tools"
+    tools.mkdir()
+    (tools / "run_bench_gates.py").write_text(MANIFEST_SOURCE)
+    bench = tmp_path / "benchmarks"
+    bench.mkdir()
+    (bench / "bench_alpha.py").write_text("def main():\n    return 0\n")
+    (bench / "bench_orphan.py").write_text("def main():\n    return 0\n")
+    (tmp_path / "BENCH_alpha.json").write_text("{}")
+    (tmp_path / "BENCH_stale.json").write_text("{}")
+    return tmp_path
+
+
+def check(root):
+    return sorted(
+        BenchManifestChecker().check_repo(root),
+        key=lambda v: (v.path, v.line, v.message),
+    )
+
+
+class TestReadGateRows:
+    def test_rows_parsed_statically(self, tmp_path):
+        root = build_repo(tmp_path)
+        rows = read_gate_rows(root / "tools" / "run_bench_gates.py")
+        assert [(name, file) for name, file, _ in rows] == [
+            ("alpha", "bench_alpha.py"),
+            ("ghost", "bench_ghost.py"),
+        ]
+        assert all(line > 0 for _, _, line in rows)
+
+
+class TestBenchManifestChecker:
+    def test_dangling_gate_row_is_two_errors(self, tmp_path):
+        """ghost: benchmark file missing AND baseline missing."""
+        violations = check(build_repo(tmp_path))
+        ghost = [v for v in violations if "'ghost'" in v.message]
+        assert len(ghost) == 2
+        assert all(v.rule == "bench-gate" for v in ghost)
+        assert all(v.severity == "error" for v in ghost)
+        assert all(v.path == "tools/run_bench_gates.py" for v in ghost)
+
+    def test_ungated_benchmark_and_stale_baseline_warn(self, tmp_path):
+        violations = check(build_repo(tmp_path))
+        warnings = [v for v in violations if v.severity == "warning"]
+        assert {(v.rule, v.path) for v in warnings} == {
+            ("bench-ungated", "benchmarks/bench_orphan.py"),
+            ("bench-ungated", "BENCH_stale.json"),
+        }
+
+    def test_healthy_gate_is_silent(self, tmp_path):
+        violations = check(build_repo(tmp_path))
+        assert not any("'alpha'" in v.message for v in violations)
+
+    def test_missing_baseline_message_says_how_to_record(self, tmp_path):
+        violations = check(build_repo(tmp_path))
+        baseline_errors = [
+            v for v in violations if "no recorded baseline" in v.message
+        ]
+        assert len(baseline_errors) == 1
+        assert "--out BENCH_ghost.json" in baseline_errors[0].message
+
+    def test_non_repo_layout_yields_nothing(self, tmp_path):
+        assert check(tmp_path) == []
+
+    def test_file_level_pragma_excuses_ungated_benchmark(self, tmp_path):
+        """lint_paths lazily loads the named file's pragmas."""
+        root = build_repo(tmp_path)
+        (root / "benchmarks" / "bench_orphan.py").write_text(
+            "# reprolint: disable=bench-ungated — exploratory probe, "
+            "deliberately ungated\n"
+            "def main():\n    return 0\n"
+        )
+        report = lint_paths(
+            [root / "benchmarks" / "bench_alpha.py"],
+            checkers=[],
+            root=root,
+            repo_checkers=[BenchManifestChecker()],
+            strict=True,
+        )
+        suppressed_paths = [v.path for v, _ in report.suppressed]
+        assert "benchmarks/bench_orphan.py" in suppressed_paths
+        assert not any(
+            v.path == "benchmarks/bench_orphan.py" for v in report.violations
+        )

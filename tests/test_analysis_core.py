@@ -1,0 +1,204 @@
+"""Tests for the reprolint framework: pragmas, suppression, reports."""
+
+import json
+import pathlib
+
+from repro.analysis import (
+    ExceptionTaxonomyChecker,
+    LintReport,
+    Violation,
+    format_json,
+    format_text,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.core import Pragma, SourceFile, _parse_pragmas
+
+SWALLOW = """\
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:{pragma}
+        return None
+"""
+
+
+class TestPragmaParsing:
+    def test_trailing_pragma_is_line_level(self):
+        lines = [
+            "except Exception:  "
+            "# reprolint: disable=broad-except — isolation"
+        ]
+        (pragma,) = _parse_pragmas(lines)
+        assert pragma.rules == ("broad-except",)
+        assert pragma.justification == "isolation"
+        assert not pragma.file_level
+        assert pragma.line == 1
+
+    def test_standalone_pragma_is_file_level(self):
+        lines = ["# reprolint: disable=entry-point — baseline on purpose"]
+        (pragma,) = _parse_pragmas(lines)
+        assert pragma.file_level
+
+    def test_multiple_rules_in_one_pragma(self):
+        lines = ["# reprolint: disable=array-alias, view-return — frozen"]
+        (pragma,) = _parse_pragmas(lines)
+        assert pragma.rules == ("array-alias", "view-return")
+
+    def test_justification_separators(self):
+        for sep in ("—", "--", ":"):
+            lines = [f"# reprolint: disable=raw-raise {sep} because reasons"]
+            (pragma,) = _parse_pragmas(lines)
+            assert pragma.justification == "because reasons", sep
+
+    def test_missing_justification_is_empty(self):
+        lines = ["# reprolint: disable=broad-except"]
+        (pragma,) = _parse_pragmas(lines)
+        assert pragma.justification == ""
+
+    def test_non_pragma_comments_ignored(self):
+        assert _parse_pragmas(["# plain comment", "x = 1  # noqa"]) == []
+
+    def test_covers_matches_rule_and_line(self):
+        pragma = Pragma(
+            line=3, rules=("raw-raise",), justification="x", file_level=False
+        )
+        hit = Violation("raw-raise", "a.py", 3, "m")
+        assert pragma.covers(hit)
+        assert not pragma.covers(Violation("raw-raise", "a.py", 4, "m"))
+        assert not pragma.covers(Violation("broad-except", "a.py", 3, "m"))
+
+    def test_file_level_covers_any_line(self):
+        pragma = Pragma(
+            line=1, rules=("raw-raise",), justification="x", file_level=True
+        )
+        assert pragma.covers(Violation("raw-raise", "a.py", 99, "m"))
+
+
+class TestLintSource:
+    def test_violation_reported(self):
+        violations = lint_source(
+            SWALLOW.format(pragma=""), [ExceptionTaxonomyChecker()]
+        )
+        assert [v.rule for v in violations] == ["broad-except"]
+        assert violations[0].line == 4
+
+    def test_line_pragma_suppresses(self):
+        source = SWALLOW.format(
+            pragma="  # reprolint: disable=broad-except — swallow fixture"
+        )
+        assert lint_source(source, [ExceptionTaxonomyChecker()]) == []
+
+    def test_file_pragma_suppresses(self):
+        source = (
+            "# reprolint: disable=broad-except — whole-file fixture\n"
+            + SWALLOW.format(pragma="")
+        )
+        assert lint_source(source, [ExceptionTaxonomyChecker()]) == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        source = SWALLOW.format(
+            pragma="  # reprolint: disable=raw-raise — wrong rule"
+        )
+        violations = lint_source(source, [ExceptionTaxonomyChecker()])
+        assert [v.rule for v in violations] == ["broad-except"]
+
+    def test_strict_flags_unjustified_pragma(self):
+        source = SWALLOW.format(pragma="  # reprolint: disable=broad-except")
+        violations = lint_source(
+            source, [ExceptionTaxonomyChecker()], strict=True
+        )
+        assert [v.rule for v in violations] == ["pragma-justification"]
+        assert violations[0].severity == "error"
+
+    def test_strict_accepts_justified_pragma(self):
+        source = SWALLOW.format(
+            pragma="  # reprolint: disable=broad-except — justified here"
+        )
+        assert lint_source(
+            source, [ExceptionTaxonomyChecker()], strict=True
+        ) == []
+
+    def test_syntax_error_becomes_parse_error_violation(self):
+        violations = lint_source("def broken(:\n", [ExceptionTaxonomyChecker()])
+        assert [v.rule for v in violations] == ["parse-error"]
+
+
+class TestReport:
+    def test_ok_tracks_errors_not_warnings(self):
+        report = LintReport()
+        assert report.ok
+        report.violations.append(
+            Violation("bench-ungated", "b.py", 1, "m", severity="warning")
+        )
+        assert report.ok and report.warnings
+        report.violations.append(Violation("raw-raise", "a.py", 1, "m"))
+        assert not report.ok and len(report.errors) == 1
+
+    def test_format_text_summary_line(self):
+        report = LintReport(files_checked=2)
+        report.violations.append(Violation("raw-raise", "a.py", 3, "bad"))
+        text = format_text(report)
+        assert "a.py:3: error: [raw-raise] bad" in text
+        assert "2 file(s) checked: 1 error(s), 0 warning(s)" in text
+
+    def test_format_text_verbose_lists_suppressions(self):
+        report = LintReport(files_checked=1)
+        report.suppressed.append((
+            Violation("broad-except", "a.py", 3, "m"),
+            Pragma(3, ("broad-except",), "isolation", False),
+        ))
+        text = format_text(report, verbose=True)
+        assert "suppressed:" in text and "isolation" in text
+
+    def test_format_json_round_trips(self):
+        report = LintReport(files_checked=1)
+        report.violations.append(Violation("raw-raise", "a.py", 3, "bad"))
+        payload = json.loads(format_json(report))
+        assert payload["errors"] == 1
+        assert payload["violations"][0]["rule"] == "raw-raise"
+
+
+class TestLintPaths:
+    def test_walks_tree_and_reports_relative_paths(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text('raise ValueError("x")\n')
+        (pkg / "good.py").write_text("x = 1\n")
+        report = lint_paths(
+            [tmp_path], [ExceptionTaxonomyChecker()], root=tmp_path
+        )
+        assert report.files_checked == 2
+        assert [v.path for v in report.errors] == ["pkg/bad.py"]
+
+    def test_duplicate_paths_lint_once(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text('raise ValueError("x")\n')
+        report = lint_paths(
+            [target, target], [ExceptionTaxonomyChecker()], root=tmp_path
+        )
+        assert report.files_checked == 1
+        assert len(report.errors) == 1
+
+    def test_suppressed_moves_out_of_violations(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "try:\n    pass\n"
+            "except Exception:"
+            "  # reprolint: disable=broad-except — fixture\n"
+            "    pass\n"
+        )
+        report = lint_paths(
+            [target], [ExceptionTaxonomyChecker()], root=tmp_path, strict=True
+        )
+        assert report.ok
+        assert len(report.suppressed) == 1
+        violation, pragma = report.suppressed[0]
+        assert violation.rule == "broad-except"
+        assert pragma.justification == "fixture"
+
+    def test_source_file_rel_outside_root(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        src = SourceFile.read(target, pathlib.Path("/nonexistent-root"))
+        assert src.rel == target.as_posix()

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.eval import format_cell, render_table
+from repro.exceptions import DataShapeError
 
 
 class TestFormatCell:
@@ -42,7 +43,7 @@ class TestRenderTable:
         assert set(text.splitlines()[1]) == {"-"}
 
     def test_row_width_mismatch_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(DataShapeError):
             render_table(["a", "b"], [[1]])
 
     def test_precision_forwarded(self):

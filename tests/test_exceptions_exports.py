@@ -11,6 +11,7 @@ from repro.exceptions import (
     PrivacyViolationError,
     ResourceExceededError,
     SerializationError,
+    TrainingStateError,
     UnknownActivityError,
     UnknownCohortError,
 )
@@ -24,6 +25,7 @@ class TestExceptionHierarchy:
         PrivacyViolationError,
         ResourceExceededError,
         SerializationError,
+        TrainingStateError,
         UnknownActivityError,
         UnknownCohortError,
     ])
@@ -65,6 +67,7 @@ class TestPublicApi:
         "repro.edge_runtime",
         "repro.federated",
         "repro.serving",
+        "repro.analysis",
     ])
     def test_subpackage_all_resolves(self, module_name):
         import importlib
@@ -96,6 +99,7 @@ class TestPublicApi:
             "repro", "repro.core", "repro.nn", "repro.sensors",
             "repro.preprocessing", "repro.datasets", "repro.eval",
             "repro.edge_runtime", "repro.federated", "repro.serving",
+            "repro.analysis",
         ):
             module = importlib.import_module(module_name)
             assert len(module.__all__) == len(set(module.__all__)), module_name

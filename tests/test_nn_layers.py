@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import ConfigurationError, DataShapeError
+from repro.exceptions import (
+    ConfigurationError,
+    DataShapeError,
+    TrainingStateError,
+)
 from repro.nn import (
     BatchNorm1d,
     Dropout,
@@ -108,13 +112,13 @@ class TestLinear:
 
     def test_backward_before_forward_rejected(self, rng):
         layer = Linear(2, 2, rng=rng)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(TrainingStateError):
             layer.backward(np.zeros((1, 2)))
 
     def test_inference_forward_does_not_enable_backward(self, rng):
         layer = Linear(2, 2, rng=rng)
         layer.forward(rng.normal(size=(1, 2)), training=False)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(TrainingStateError):
             layer.backward(np.zeros((1, 2)))
 
     def test_invalid_dims_rejected(self):

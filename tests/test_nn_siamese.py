@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import ConfigurationError, DataShapeError
+from repro.exceptions import ConfigurationError, DataShapeError, NotFittedError
 from repro.nn import (
     SiameseEmbedder,
     SiameseTrainer,
@@ -199,6 +199,12 @@ class TestSiameseTrainer:
             emb, X, y
         )
         assert history.final_loss() == history.total[-1]
+
+    def test_empty_history_final_loss_rejected(self):
+        from repro.nn.siamese import TrainHistory
+
+        with pytest.raises(NotFittedError, match="history is empty"):
+            TrainHistory().final_loss()
 
     def test_config_validation(self):
         with pytest.raises(ConfigurationError):

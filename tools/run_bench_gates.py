@@ -93,6 +93,18 @@ GATES: List[BenchGate] = [
         smoke_budget=120,
         claim="3-cohort shared-backbone tick <= 1.1x single-model",
     ),
+    BenchGate(
+        name="latency",
+        file="bench_inference_latency.py",
+        smoke_budget=120,
+        claim="paper-size one-window inference median < 50 ms",
+    ),
+    BenchGate(
+        name="memory",
+        file="bench_memory_footprint.py",
+        smoke_budget=120,
+        claim="paper-size Edge package < 5 MB (support set <= 0.5 MB)",
+    ),
 ]
 
 

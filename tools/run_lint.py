@@ -1,0 +1,111 @@
+"""Run reprolint — the repo's invariant checker — over the source tree.
+
+The enforcement layer for ROADMAP.md's standing contracts: entry-point
+layering, the typed-exception taxonomy, array-aliasing hygiene in
+streaming classes, async event-loop hygiene, and the benchmark/gate
+manifest cross-check.  See ``docs/analysis.md`` for the rule catalog and
+the ``# reprolint: disable=<rule> — <why>`` pragma syntax.
+
+Usage::
+
+    PYTHONPATH=src python tools/run_lint.py                # lint src/
+    PYTHONPATH=src python tools/run_lint.py --strict       # CI mode
+    PYTHONPATH=src python tools/run_lint.py path/to/file.py
+    PYTHONPATH=src python tools/run_lint.py --json
+    PYTHONPATH=src python tools/run_lint.py --list-rules
+
+Exit status: 0 when no *errors* remain after pragma suppression
+(warnings — e.g. ungated benchmarks — are reported but never fatal);
+1 otherwise.  ``--strict`` additionally turns pragmas without a written
+justification into errors, so every suppression in the tree explains
+itself.  The benchmark-manifest cross-check runs when linting the
+default tree (or with ``--bench``); explicit path arguments skip it so
+fixture files can be linted in isolation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import (  # noqa: E402  (path bootstrap above)
+    DEFAULT_CHECKERS,
+    DEFAULT_REPO_CHECKERS,
+    format_json,
+    format_text,
+    lint_paths,
+)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="reprolint: AST checks for the repo's standing invariants"
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="pragmas without a written justification become errors",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable report on stdout",
+    )
+    parser.add_argument(
+        "--bench", action="store_true",
+        help="force the benchmark/gate manifest cross-check even when "
+             "explicit paths are given",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also list suppressed violations with their justifications",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every checker and rule id, then exit",
+    )
+    args = parser.parse_args(argv)
+
+    checkers = [cls() for cls in DEFAULT_CHECKERS]
+    repo_checkers = [cls() for cls in DEFAULT_REPO_CHECKERS]
+
+    if args.list_rules:
+        for checker in checkers + repo_checkers:
+            print(f"{checker.name}: {', '.join(checker.rules)}")
+        print("framework: parse-error, pragma-justification (--strict)")
+        return 0
+
+    if args.paths:
+        paths = [pathlib.Path(p) for p in args.paths]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            print(f"no such path(s): {[str(p) for p in missing]}")
+            return 2
+        run_repo_checkers = repo_checkers if args.bench else []
+    else:
+        paths = [REPO_ROOT / "src"]
+        run_repo_checkers = repo_checkers
+
+    report = lint_paths(
+        paths,
+        checkers,
+        root=REPO_ROOT,
+        repo_checkers=run_repo_checkers,
+        strict=args.strict,
+    )
+    if args.as_json:
+        print(format_json(report))
+    else:
+        print(format_text(report, verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
