@@ -9,6 +9,11 @@ Five subcommands cover the platform lifecycle without writing any Python:
 ``fleet``      serve many simulated devices through the batched engine
                (optionally multi-model: ``--cohorts spec.json`` serves
                each cohort from its own package via a ModelRegistry)
+``gateway``    expose a fleet over TCP: framed HELLO/CHUNK/FINISH
+               sessions served through the async fleet server
+``gateway-bench``  replay N simulated devices against a gateway and
+               report p50/p95/p99 tick latency (optionally a
+               saturation ramp)
 
 Examples::
 
@@ -19,6 +24,8 @@ Examples::
     python -m repro fleet package.npz --sessions 50 --ticks 10
     python -m repro fleet package.npz --cohorts cohorts.json --ticks 10
     python -m repro fleet package.npz --cohorts cohorts.json --async-workers 2
+    python -m repro gateway package.npz --port 7070
+    python -m repro gateway-bench package.npz --devices 16 --ticks 5
 """
 
 from __future__ import annotations
@@ -46,6 +53,7 @@ from .serving import (
     load_cohort_spec,
     registry_from_specs,
 )
+from .serving.gateway import GatewayServer, find_saturation, run_load
 from .sensors import (
     SensorDevice,
     list_activities,
@@ -147,6 +155,55 @@ def _add_fleet(subparsers) -> None:
     cmd.add_argument("--seed", type=int, default=11, help="simulation seed")
 
 
+def _add_gateway(subparsers) -> None:
+    cmd = subparsers.add_parser(
+        "gateway",
+        help="expose a fleet over TCP (framed HELLO/CHUNK/FINISH sessions)",
+    )
+    cmd.add_argument("package", help="path to a saved .npz package")
+    cmd.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    cmd.add_argument("--port", type=int, default=7070,
+                     help="TCP port (default 7070; 0 = ephemeral)")
+    cmd.add_argument("--workers", type=int, default=2,
+                     help="async worker threads (default 2)")
+    cmd.add_argument("--max-inflight", type=int, default=8,
+                     help="fleet ticks in flight before CHUNKs are "
+                          "refused with BUSY frames (default 8)")
+    cmd.add_argument("--cohorts", default=None, metavar="SPEC.json",
+                     help="serve a multi-model fleet from a cohort spec "
+                          "(same format as `repro fleet --cohorts`)")
+
+
+def _add_gateway_bench(subparsers) -> None:
+    cmd = subparsers.add_parser(
+        "gateway-bench",
+        help="replay simulated devices against a gateway and report "
+             "tick-latency percentiles",
+    )
+    cmd.add_argument("package", help="path to a saved .npz package")
+    cmd.add_argument("--devices", type=int, default=8,
+                     help="concurrent simulated devices (default 8)")
+    cmd.add_argument("--ticks", type=int, default=5,
+                     help="chunks each device replays (default 5)")
+    cmd.add_argument("--chunk-seconds", type=float, default=1.0,
+                     help="raw samples each device uploads per tick "
+                          "(default 1.0 s)")
+    cmd.add_argument("--tick-interval", type=float, default=0.0,
+                     help="idle seconds between a device's ticks "
+                          "(default 0 = full-speed replay)")
+    cmd.add_argument("--codec", choices=("binary", "json"),
+                     default="binary",
+                     help="wire format (default binary; json is the "
+                          "debug codec)")
+    cmd.add_argument("--workers", type=int, default=2,
+                     help="async worker threads (default 2)")
+    cmd.add_argument("--saturation", action="store_true",
+                     help="after the replay, ramp the device count at "
+                          "full speed and report the saturation point")
+    cmd.add_argument("--seed", type=int, default=11, help="simulation seed")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -158,6 +215,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_infer(subparsers)
     _add_demo(subparsers)
     _add_fleet(subparsers)
+    _add_gateway(subparsers)
+    _add_gateway_bench(subparsers)
     return parser
 
 
@@ -372,12 +431,133 @@ def _cmd_fleet(args) -> int:
     return 0 if accuracy >= 0.5 else 1
 
 
+def _gateway_registry(args) -> ModelRegistry:
+    """The registry a gateway command serves (single- or multi-model)."""
+    if getattr(args, "cohorts", None):
+        spec = load_cohort_spec(args.cohorts)
+        return registry_from_specs(spec, fallback_package=args.package)
+    registry = ModelRegistry()
+    registry.register_lazy(DEFAULT_COHORT, args.package)
+    return registry
+
+
+def _cmd_gateway(args) -> int:
+    """Serve a fleet over TCP until interrupted.
+
+    Every connection is one device session speaking the framed wire
+    protocol (binary or JSON-lines, auto-detected); chunks are
+    micro-batched per cohort into single
+    :class:`~repro.serving.async_fleet.AsyncFleetServer` ticks, so socket
+    serving keeps the in-process batching economics.
+    """
+    registry = _gateway_registry(args)
+
+    async def serve() -> None:
+        fleet = AsyncFleetServer(
+            registry, workers=args.workers, max_inflight=args.max_inflight
+        )
+        async with GatewayServer(
+            fleet, host=args.host, port=args.port
+        ) as gateway:
+            print(f"gateway listening on {gateway.host}:{gateway.port} "
+                  f"({args.workers} workers, "
+                  f"max_inflight={args.max_inflight})", flush=True)
+            try:
+                await gateway.serve_forever()
+            except asyncio.CancelledError:
+                pass
+        fleet.close()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("gateway stopped")
+    return 0
+
+
+def _cmd_gateway_bench(args) -> int:
+    """Replay a simulated device fleet against a live gateway.
+
+    Starts an in-process gateway on an ephemeral port, replays
+    ``--devices`` concurrent sessions for ``--ticks`` chunks each, and
+    prints client-observed p50/p95/p99 tick round-trip latency plus
+    throughput.  ``--saturation`` then ramps the device count at full
+    replay speed and reports the largest fleet that still scaled
+    (throughput gain with zero BUSY refusals).
+    """
+    if args.devices < 1 or args.ticks < 1:
+        print("--devices and --ticks must be >= 1")
+        return 2
+    registry = _gateway_registry(args)
+    engine = registry.engine_for(registry.default_cohort)
+    activities = list(engine.class_names)
+
+    def device_schedule(n_devices, prefix="dev"):
+        schedule = {}
+        for i in range(n_devices):
+            user = sample_user(user_id=i, rng=args.seed + i)
+            phone = SensorDevice(user=user, rng=args.seed + i)
+            activity = activities[i % len(activities)]
+            schedule[f"{prefix}-{i:04d}"] = [
+                phone.record(activity, args.chunk_seconds).data
+                for _ in range(args.ticks)
+            ]
+        return schedule
+
+    async def bench() -> None:
+        fleet = AsyncFleetServer(registry, workers=args.workers)
+        async with GatewayServer(fleet, port=0) as gateway:
+            report = await run_load(
+                gateway.host,
+                gateway.port,
+                device_schedule(args.devices),
+                tick_interval_s=args.tick_interval,
+                codec=args.codec,
+            )
+            stats = report.to_dict()
+            print(f"{args.devices} devices x {args.ticks} ticks "
+                  f"({args.codec} codec, "
+                  f"{args.chunk_seconds:.1f}s chunks): "
+                  f"{stats['windows_served']} windows in "
+                  f"{stats['wall_s']:.2f}s "
+                  f"({stats['windows_per_sec']:.0f} windows/s)")
+            print(f"tick latency: p50 {stats['p50_ms']:.1f} ms, "
+                  f"p95 {stats['p95_ms']:.1f} ms, "
+                  f"p99 {stats['p99_ms']:.1f} ms; "
+                  f"BUSY refusals absorbed: {stats['busy_frames']}")
+            if args.saturation:
+                counts, n = [], args.devices
+                for _ in range(4):
+                    counts.append(n)
+                    n *= 2
+                ramp = await find_saturation(
+                    gateway.host,
+                    gateway.port,
+                    lambda k: device_schedule(k, prefix=f"ramp-{k}"),
+                    counts,
+                    codec=args.codec,
+                )
+                for step in ramp["steps"]:
+                    print(f"  {int(step['devices']):>5} devices: "
+                          f"{step['windows_per_sec']:8.0f} windows/s, "
+                          f"p95 {step['p95_ms']:.1f} ms, "
+                          f"busy {int(step['busy_frames'])}")
+                print(f"saturation point: "
+                      f"{ramp['saturation_devices']} devices")
+        fleet.close()
+
+    asyncio.run(bench())
+    return 0
+
+
 _COMMANDS = {
     "pretrain": _cmd_pretrain,
     "inspect": _cmd_inspect,
     "infer": _cmd_infer,
     "demo": _cmd_demo,
     "fleet": _cmd_fleet,
+    "gateway": _cmd_gateway,
+    "gateway-bench": _cmd_gateway_bench,
 }
 
 

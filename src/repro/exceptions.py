@@ -52,6 +52,18 @@ class BackpressureError(MagnetoError):
     """
 
 
+class ProtocolError(MagnetoError):
+    """A gateway wire frame could not be parsed or was semantically invalid.
+
+    Raised by the :mod:`repro.serving.gateway.protocol` codecs for
+    truncated, oversized or garbage-header bytes — never a raw
+    ``struct.error``/``UnicodeDecodeError`` — and surfaced to remote
+    clients as a structured ``ERROR`` frame with code ``PROTOCOL``.  The
+    decoder resynchronizes past the offending bytes, so one corrupt frame
+    does not poison the rest of the stream.
+    """
+
+
 class NotFittedError(MagnetoError):
     """A component that must be fitted/trained was used before fitting."""
 

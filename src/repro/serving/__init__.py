@@ -19,7 +19,12 @@ Everything needed to serve a heterogeneous device fleet from one process:
   ticks and hot-swap pinning via :class:`~repro.core.engine.EngineHandle`;
 - :class:`~repro.serving.cohorts.CohortSpec` /
   :func:`~repro.serving.cohorts.load_cohort_spec` — declarative fleet
-  layouts for the CLI and benchmarks.
+  layouts for the CLI and benchmarks;
+- :class:`~repro.serving.gateway.GatewayServer` /
+  :class:`~repro.serving.gateway.GatewayClient` — the TCP ingestion
+  edge: framed ``HELLO``/``CHUNK``/``FINISH`` sessions served through
+  the async fleet with per-cohort micro-batched ticks, protocol-level
+  ``BUSY`` backpressure, and structured error codes.
 
 Quickstart::
 
@@ -57,6 +62,7 @@ from .cohorts import (
     parse_fleet_spec,
     registry_from_specs,
 )
+from .gateway import GatewayClient, GatewayServer
 from .registry import ModelRegistry, engine_from_package
 
 __all__ = [
@@ -70,6 +76,8 @@ __all__ = [
     "FleetSpec",
     "FleetServer",
     "FusedCohortEngine",
+    "GatewayClient",
+    "GatewayServer",
     "ModelRegistry",
     "SessionVerdict",
     "backbone_fingerprint_of",

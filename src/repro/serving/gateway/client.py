@@ -1,0 +1,222 @@
+"""A typed asyncio client for the gateway wire protocol.
+
+:class:`GatewayClient` drives one device session over one TCP
+connection: ``connect`` sends ``HELLO`` and returns the server's
+``WELCOME`` metadata, :meth:`send_chunk` ships one tick of raw samples
+and blocks for the verdicts it completed, :meth:`finish` flushes the
+session tail.  Server-side failures come back as the **same typed
+exception** the in-process API raises (``ERROR`` frames are rebuilt via
+:func:`~repro.serving.gateway.protocol.exception_for`), so code written
+against :class:`~repro.core.engine.FleetServer` ports over unchanged.
+
+Backpressure is handled in-line: a ``BUSY`` frame makes
+:meth:`send_chunk` sleep the server's ``retry_after_ms`` hint and resend
+the *same* chunk (the server guarantees a refused chunk consumed
+nothing), up to ``busy_retries`` times before surfacing
+:class:`~repro.exceptions.BackpressureError` to the caller.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...core.engine import SessionVerdict
+from ...exceptions import BackpressureError, ConfigurationError, ProtocolError
+from .protocol import (
+    BinaryFrameCodec,
+    Frame,
+    FrameType,
+    JsonLinesFrameCodec,
+    chunk_frame,
+    exception_for,
+    finish_frame,
+    hello_frame,
+)
+
+__all__ = ["GatewayClient"]
+
+_READ_SIZE = 1 << 16
+
+
+class GatewayClient:
+    """One device session against a :class:`GatewayServer`.
+
+    Parameters
+    ----------
+    host / port:
+        The gateway's bind address.
+    codec:
+        ``"binary"`` (default) or ``"json"`` — both carry identical
+        semantics; JSON-lines exists for debugging.
+    busy_retries:
+        How many ``BUSY`` refusals :meth:`send_chunk` absorbs (sleeping
+        the server's retry hint each time) before raising
+        :class:`~repro.exceptions.BackpressureError`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        codec: str = "binary",
+        busy_retries: int = 64,
+    ) -> None:
+        if codec not in ("binary", "json"):
+            raise ConfigurationError(
+                f"codec must be 'binary' or 'json', got {codec!r}"
+            )
+        self._host = host
+        self._port = int(port)
+        self._codec = (
+            BinaryFrameCodec() if codec == "binary" else JsonLinesFrameCodec()
+        )
+        self.busy_retries = int(busy_retries)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._inbox: List[Frame] = []
+        self.session_id: Optional[str] = None
+        self.cohort: Optional[str] = None
+        self.window_len: Optional[int] = None
+        self.classes: List[str] = []
+        self.busy_frames_seen = 0
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def connect(
+        self,
+        session_id: str,
+        cohort: Optional[str] = None,
+        stride: Optional[int] = None,
+    ) -> Dict:
+        """Open the TCP connection and the device session; returns WELCOME meta."""
+        if self._writer is not None:
+            raise ConfigurationError("client is already connected")
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+        await self._write(hello_frame(session_id, cohort=cohort, stride=stride))
+        frame = await self._read_frame()
+        if frame.type == FrameType.ERROR:
+            raise exception_for(frame.meta.get("code"), frame.meta.get("message"))
+        if frame.type != FrameType.WELCOME:
+            raise ProtocolError(
+                f"expected WELCOME, server sent {frame.type.name}"
+            )
+        self.session_id = frame.meta.get("session_id")
+        self.cohort = frame.meta.get("cohort")
+        self.window_len = frame.meta.get("window_len")
+        self.classes = list(frame.meta.get("classes", []))
+        return dict(frame.meta)
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass  # the far side may already be gone; closing is closing
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "GatewayClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------ #
+    # the session verbs
+    # ------------------------------------------------------------------ #
+
+    async def send_chunk(self, chunk: np.ndarray) -> List[SessionVerdict]:
+        """Ship one tick of raw samples; returns the verdicts it completed.
+
+        Retries ``BUSY`` refusals transparently (the server never consumed
+        a refused chunk, so resending the same bytes is exact); all other
+        ``ERROR`` frames re-raise as the typed repro exception.
+        """
+        self._require_session()
+        self._seq += 1
+        frame = chunk_frame(self._seq, chunk)
+        for _ in range(self.busy_retries + 1):
+            await self._write(frame)
+            reply = await self._read_frame()
+            if reply.type == FrameType.VERDICT:
+                return self._parse_verdicts(reply)
+            if reply.type == FrameType.BUSY:
+                self.busy_frames_seen += 1
+                retry_ms = float(reply.meta.get("retry_after_ms", 20.0))
+                await asyncio.sleep(retry_ms / 1000.0)
+                continue
+            self._raise_for(reply)
+        raise BackpressureError(
+            f"gateway refused the chunk {self.busy_retries + 1} times "
+            f"(session {self.session_id!r})"
+        )
+
+    async def finish(self) -> List[SessionVerdict]:
+        """Flush the session's held-back tail; returns the final verdicts."""
+        self._require_session()
+        self._seq += 1
+        await self._write(finish_frame(self._seq))
+        reply = await self._read_frame()
+        if reply.type == FrameType.VERDICT:
+            return self._parse_verdicts(reply)
+        self._raise_for(reply)
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+
+    def _require_session(self) -> None:
+        if self._writer is None or self.session_id is None:
+            raise ConfigurationError(
+                "no session established — call connect() first"
+            )
+
+    def _parse_verdicts(self, frame: Frame) -> List[SessionVerdict]:
+        return [
+            SessionVerdict(
+                session_id=self.session_id,
+                activity=row["activity"],
+                display=row["display"],
+                confidence=float(row["confidence"]),
+                accepted=bool(row["accepted"]),
+            )
+            for row in frame.meta.get("verdicts", [])
+        ]
+
+    def _raise_for(self, frame: Frame) -> None:
+        if frame.type == FrameType.ERROR:
+            raise exception_for(
+                frame.meta.get("code"), frame.meta.get("message")
+            )
+        raise ProtocolError(
+            f"unexpected {frame.type.name} frame from the server"
+        )
+
+    async def _write(self, frame: Frame) -> None:
+        self._writer.write(self._codec.encode(frame))
+        await self._writer.drain()
+
+    async def _read_frame(self) -> Frame:
+        while not self._inbox:
+            data = await self._reader.read(_READ_SIZE)
+            if not data:
+                raise ProtocolError(
+                    "gateway closed the connection mid-exchange"
+                )
+            self._inbox.extend(self._codec.feed(data))
+        return self._inbox.pop(0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"GatewayClient({self._host}:{self._port}, "
+            f"session={self.session_id!r})"
+        )

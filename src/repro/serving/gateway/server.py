@@ -1,0 +1,554 @@
+"""The asyncio TCP ingestion edge: framed chunks in, verdicts out.
+
+:class:`GatewayServer` is the network front of the serving stack.  Each
+TCP connection speaks the :mod:`~repro.serving.gateway.protocol` framing
+(binary or JSON-lines — auto-detected from the first byte), carries **one
+device session** (``HELLO`` → ``CHUNK``* → ``FINISH``), and every chunk is
+served through the in-process :class:`~repro.serving.AsyncFleetServer` —
+the gateway owns no inference code of its own, so gateway verdicts are
+pinned identical (1e-9) to in-process serving by construction.
+
+Three design points carry the production semantics:
+
+- **Micro-batched ticks.**  A chunk does not become its own engine call.
+  Arriving chunks park in a pending set; a flusher task drains it as soon
+  as every live session has a chunk parked (lockstep fleets pay zero
+  added latency) or after ``batch_window_s`` (stragglers bound the wait),
+  then issues **one** ``AsyncFleetServer.step_stream`` call per
+  ``(cohort, stride)`` group.  A 50-device tick therefore costs the same
+  batched engine passes as in-process serving, not 50 singleton calls —
+  this is what keeps the gateway bench gate (p95 ≤ 2x in-process) honest.
+- **Protocol-level backpressure.**  When the fleet's ``max_inflight`` is
+  saturated, :class:`~repro.exceptions.BackpressureError` guarantees the
+  refused chunks were never consumed; the gateway converts the exception
+  into a ``BUSY`` frame carrying ``retry_after_ms`` (an EWMA of recent
+  tick wall-clock) instead of dropping the connection.  The client
+  retries the same chunk; nothing is ever lost.
+- **Failure isolation per connection.**  A client vanishing mid-CHUNK,
+  mid-tick or mid-handshake releases exactly its own session (waiting
+  out any in-flight tick first); other sessions' verdicts are untouched.
+  Frame-level garbage gets a typed ``ERROR`` frame (code ``PROTOCOL``)
+  and the decoder resynchronizes — corruption on one connection never
+  poisons another.
+
+Quickstart::
+
+    import asyncio
+    from repro.serving.gateway import GatewayServer
+
+    async def serve(registry):
+        async with GatewayServer(registry, port=0) as gateway:
+            print("listening on", gateway.port)
+            await gateway.serve_forever()
+
+    asyncio.run(serve(registry))
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from ...exceptions import (
+    BackpressureError,
+    ConfigurationError,
+    MagnetoError,
+    ProtocolError,
+)
+from ...utils import Timer
+from ..async_fleet import AsyncFleetServer
+from .protocol import (
+    BinaryFrameCodec,
+    Frame,
+    FrameType,
+    JsonLinesFrameCodec,
+    busy_frame,
+    error_code_for,
+    error_frame,
+    verdict_frame,
+    welcome_frame,
+)
+
+__all__ = ["GatewayServer"]
+
+_READ_SIZE = 1 << 16
+
+
+class _PendingChunk:
+    """One parked CHUNK awaiting the next micro-batch flush."""
+
+    __slots__ = ("session_id", "cohort", "stride", "chunk", "waiter")
+
+    def __init__(self, session_id, cohort, stride, chunk, waiter) -> None:
+        self.session_id = session_id
+        self.cohort = cohort
+        self.stride = stride
+        self.chunk = chunk
+        self.waiter = waiter
+
+
+class _Connection:
+    """Per-connection protocol state (codec chosen, session bound)."""
+
+    __slots__ = ("codec", "session_id", "stride", "cohort")
+
+    def __init__(self) -> None:
+        self.codec: Optional[object] = None
+        self.session_id: Optional[str] = None
+        self.stride: Optional[int] = None
+        self.cohort: Optional[str] = None
+
+
+class GatewayServer:
+    """Accept framed device sessions over TCP and serve them via the fleet.
+
+    Parameters
+    ----------
+    fleet:
+        An existing :class:`~repro.serving.AsyncFleetServer` to serve
+        through (the caller keeps ownership), or anything its constructor
+        accepts — a :class:`~repro.serving.ModelRegistry`, an engine — in
+        which case the gateway builds and owns one.
+    host / port:
+        Bind address.  ``port=0`` picks an ephemeral port; read it back
+        from :attr:`port` after :meth:`start`.
+    workers / max_inflight:
+        Fleet pool geometry when the gateway owns its fleet (ignored when
+        ``fleet`` is already an ``AsyncFleetServer``).
+    batch_window_s:
+        How long the flusher waits for stragglers before serving a
+        partial tick.  The flush fires early the moment every live
+        session has a chunk parked.
+    retry_after_ms:
+        The floor of the ``BUSY`` frame's retry hint; the actual hint is
+        ``max(floor, EWMA of recent tick wall-clock)``.
+    max_payload:
+        Per-frame payload ceiling handed to each connection's decoder.
+    """
+
+    def __init__(
+        self,
+        fleet: Union[AsyncFleetServer, object],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        max_inflight: int = 8,
+        batch_window_s: float = 0.002,
+        retry_after_ms: float = 20.0,
+        max_payload: int = 1 << 26,
+    ) -> None:
+        if batch_window_s < 0:
+            raise ConfigurationError(
+                f"batch_window_s must be >= 0, got {batch_window_s}"
+            )
+        if isinstance(fleet, AsyncFleetServer):
+            self._fleet = fleet
+            self._owns_fleet = False
+        else:
+            self._fleet = AsyncFleetServer(
+                fleet, workers=workers, max_inflight=max_inflight
+            )
+            self._owns_fleet = True
+        self._host = host
+        self._requested_port = int(port)
+        self.batch_window_s = float(batch_window_s)
+        self.retry_after_floor_ms = float(retry_after_ms)
+        self.max_payload = int(max_payload)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._group_tasks: Set[asyncio.Task] = set()
+        self._pending: Dict[str, _PendingChunk] = {}
+        self._live_sessions: Set[str] = set()
+        self._wake: Optional[asyncio.Event] = None
+        self._flusher: Optional[asyncio.Task] = None
+        self._closed = False
+        self._tick_ewma_ms = 0.0
+        # counters (surfaced by summary())
+        self.connections_total = 0
+        self.busy_refusals = 0
+        self.protocol_errors = 0
+        self.frames_received = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def fleet(self) -> AsyncFleetServer:
+        return self._fleet
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    async def start(self) -> "GatewayServer":
+        if self._server is not None:
+            raise ConfigurationError("GatewayServer is already started")
+        self._wake = asyncio.Event()
+        self._flusher = asyncio.create_task(self._flush_loop())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._requested_port
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise ConfigurationError("call start() before serve_forever()")
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting, drop connections, shut the owned fleet down."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+        for task in list(self._conn_tasks) + list(self._group_tasks):
+            task.cancel()
+        if self._flusher is not None:
+            self._flusher.cancel()
+        pending = (
+            list(self._conn_tasks)
+            + list(self._group_tasks)
+            + ([self._flusher] if self._flusher else [])
+        )
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+        if self._owns_fleet:
+            self._fleet.close()
+
+    async def __aenter__(self) -> "GatewayServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    def summary(self) -> Dict[str, float]:
+        """Gateway-level counters plus the underlying fleet's rollup."""
+        rollup = dict(self._fleet.summary())
+        rollup.update(
+            connections_total=float(self.connections_total),
+            busy_refusals=float(self.busy_refusals),
+            protocol_errors=float(self.protocol_errors),
+            frames_received=float(self.frames_received),
+            live_sessions=float(len(self._live_sessions)),
+        )
+        return rollup
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self.connections_total += 1
+        state = _Connection()
+        try:
+            await self._connection_loop(reader, writer, state)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass  # client vanished; the finally block releases the session
+        except asyncio.CancelledError:
+            pass  # gateway shutdown; cleanup still runs, task ends quietly
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            if state.session_id is not None:
+                self._live_sessions.discard(state.session_id)
+                await self._release_session(state.session_id)
+
+    async def _connection_loop(self, reader, writer, state) -> None:
+        # The first byte picks the codec: "{" = JSON-lines, else binary.
+        first = await reader.read(1)
+        if not first:
+            return
+        state.codec = (
+            JsonLinesFrameCodec(max_payload=self.max_payload)
+            if first == b"{"
+            else BinaryFrameCodec(max_payload=self.max_payload)
+        )
+        data = first
+        while True:
+            frames, faults = self._feed(state.codec, data)
+            for fault in faults:
+                self.protocol_errors += 1
+                await self._send(
+                    writer, state, error_frame("PROTOCOL", str(fault))
+                )
+            for frame in frames:
+                self.frames_received += 1
+                keep_going = await self._dispatch(frame, state, writer)
+                if not keep_going:
+                    return
+            data = await reader.read(_READ_SIZE)
+            if not data:
+                return
+
+    @staticmethod
+    def _feed(codec, data: bytes) -> "Tuple[List[Frame], List[ProtocolError]]":
+        """Drain the codec fully, collecting frames and protocol faults."""
+        frames: List[Frame] = []
+        faults: List[ProtocolError] = []
+        while True:
+            try:
+                frames.extend(codec.feed(data))
+                return frames, faults
+            except ProtocolError as fault:
+                faults.append(fault)
+                data = b""  # the codec resynced; drain what remains
+
+    async def _send(self, writer, state, frame: Frame) -> None:
+        writer.write(state.codec.encode(frame))
+        await writer.drain()
+
+    async def _dispatch(self, frame: Frame, state, writer) -> bool:
+        """Handle one frame; returns False when the connection must close."""
+        if frame.type == FrameType.HELLO:
+            return await self._on_hello(frame, state, writer)
+        if frame.type == FrameType.CHUNK:
+            return await self._on_chunk(frame, state, writer)
+        if frame.type == FrameType.FINISH:
+            return await self._on_finish(frame, state, writer)
+        await self._send(
+            writer,
+            state,
+            error_frame(
+                "PROTOCOL",
+                f"unexpected {frame.type.name} frame from a client",
+                seq=frame.seq,
+            ),
+        )
+        return True
+
+    async def _on_hello(self, frame: Frame, state, writer) -> bool:
+        if state.session_id is not None:
+            await self._send(
+                writer,
+                state,
+                error_frame(
+                    "PROTOCOL",
+                    "session already established on this connection",
+                ),
+            )
+            return True
+        session_id = frame.meta.get("session_id")
+        if not session_id:
+            await self._send(
+                writer,
+                state,
+                error_frame(
+                    "PROTOCOL", "HELLO frame is missing session_id", fatal=True
+                ),
+            )
+            return False
+        cohort = frame.meta.get("cohort")
+        stride = frame.meta.get("stride")
+        try:
+            session = self._fleet.connect(session_id, cohort=cohort)
+            engine = self._fleet.registry.engine_for(session.cohort)
+        except MagnetoError as exc:
+            await self._send(
+                writer,
+                state,
+                error_frame(error_code_for(exc), str(exc), fatal=True),
+            )
+            return False
+        state.session_id = session.session_id
+        state.cohort = session.cohort
+        state.stride = None if stride is None else int(stride)
+        self._live_sessions.add(session.session_id)
+        await self._send(
+            writer,
+            state,
+            welcome_frame(
+                session.session_id,
+                session.cohort,
+                engine.pipeline.window_len,
+                engine.class_names,
+            ),
+        )
+        return True
+
+    async def _on_chunk(self, frame: Frame, state, writer) -> bool:
+        if state.session_id is None:
+            await self._send(
+                writer,
+                state,
+                error_frame(
+                    "PROTOCOL", "CHUNK before HELLO", seq=frame.seq, fatal=True
+                ),
+            )
+            return False
+        if frame.payload is None:
+            await self._send(
+                writer,
+                state,
+                error_frame(
+                    "PROTOCOL", "CHUNK frame has no payload", seq=frame.seq
+                ),
+            )
+            return True
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[state.session_id] = _PendingChunk(
+            state.session_id,
+            state.cohort,
+            state.stride,
+            frame.payload,
+            waiter,
+        )
+        self._wake.set()
+        try:
+            verdicts = await waiter
+        except BackpressureError:
+            self.busy_refusals += 1
+            await self._send(
+                writer,
+                state,
+                busy_frame(
+                    frame.seq, self._retry_after_ms(), self._fleet.inflight
+                ),
+            )
+            return True
+        except MagnetoError as exc:
+            await self._send(
+                writer,
+                state,
+                error_frame(error_code_for(exc), str(exc), seq=frame.seq),
+            )
+            return True
+        except Exception as exc:  # reprolint: disable=broad-except — failure isolation: a model blowing up mid-tick must surface as a structured INTERNAL error frame on this one session, not tear down the whole gateway
+            await self._send(
+                writer,
+                state,
+                error_frame("INTERNAL", str(exc), seq=frame.seq),
+            )
+            return True
+        await self._send(writer, state, verdict_frame(frame.seq, verdicts))
+        return True
+
+    async def _on_finish(self, frame: Frame, state, writer) -> bool:
+        if state.session_id is None:
+            await self._send(
+                writer,
+                state,
+                error_frame(
+                    "PROTOCOL", "FINISH before HELLO", seq=frame.seq, fatal=True
+                ),
+            )
+            return False
+        try:
+            verdicts = await self._fleet.finish_stream(state.session_id)
+        except MagnetoError as exc:
+            await self._send(
+                writer,
+                state,
+                error_frame(error_code_for(exc), str(exc), seq=frame.seq),
+            )
+            return True
+        await self._send(
+            writer, state, verdict_frame(frame.seq, verdicts, final=True)
+        )
+        return True
+
+    # ------------------------------------------------------------------ #
+    # micro-batch flushing
+    # ------------------------------------------------------------------ #
+
+    def _retry_after_ms(self) -> float:
+        return max(self.retry_after_floor_ms, self._tick_ewma_ms)
+
+    def _batch_ready(self) -> bool:
+        """Flush early once every live session has a chunk parked."""
+        return bool(self._pending) and self._live_sessions.issubset(
+            self._pending.keys()
+        )
+
+    async def _flush_loop(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            if not self._pending:
+                continue
+            if not self._batch_ready() and self.batch_window_s > 0:
+                await asyncio.sleep(self.batch_window_s)
+            batch, self._pending = self._pending, {}
+            for group in self._group_batch(batch):
+                task = asyncio.create_task(self._serve_group(group))
+                self._group_tasks.add(task)
+                task.add_done_callback(self._group_tasks.discard)
+
+    @staticmethod
+    def _group_batch(batch) -> "List[List[_PendingChunk]]":
+        """Split a flush into one engine tick per ``(cohort, stride)``.
+
+        Grouping by cohort keeps model-failure isolation at the cohort
+        boundary (one model raising cannot error another cohort's
+        clients); splitting further by stride lets ``step_stream`` take a
+        single scalar stride per call.
+        """
+        groups: Dict[Tuple[str, Optional[int]], List[_PendingChunk]] = {}
+        for item in batch.values():
+            groups.setdefault((item.cohort, item.stride), []).append(item)
+        return list(groups.values())
+
+    async def _serve_group(self, group: "List[_PendingChunk]") -> None:
+        chunks = {item.session_id: item.chunk for item in group}
+        stride = group[0].stride
+        with Timer() as timer:
+            try:
+                tick = await self._fleet.step_stream(chunks, stride=stride)
+            except Exception as exc:  # reprolint: disable=broad-except — failure isolation: the failure is delivered to every waiter of this cohort group as a typed frame; other groups and the flush loop must keep serving
+                for item in group:
+                    if not item.waiter.done():
+                        item.waiter.set_exception(exc)
+                return
+        alpha = 0.3
+        self._tick_ewma_ms = (
+            timer.elapsed_ms
+            if self._tick_ewma_ms == 0.0
+            else alpha * timer.elapsed_ms + (1 - alpha) * self._tick_ewma_ms
+        )
+        for item in group:
+            if not item.waiter.done():
+                item.waiter.set_result(tick.get(item.session_id, []))
+
+    # ------------------------------------------------------------------ #
+    # session cleanup
+    # ------------------------------------------------------------------ #
+
+    async def _release_session(self, session_id: str) -> None:
+        """Disconnect a dead client's session, waiting out in-flight ticks.
+
+        The fleet refuses to disconnect a session whose tick is still in
+        flight (that would void per-session ordering), so a client that
+        died mid-tick is released as soon as its tick drains.  Sessions
+        already gone (an explicit disconnect elsewhere) are a no-op.
+        """
+        deadline = asyncio.get_running_loop().time() + 10.0
+        while True:
+            if session_id not in self._fleet.sessions:
+                return
+            try:
+                self._fleet.disconnect(session_id)
+                return
+            except ConfigurationError:
+                if asyncio.get_running_loop().time() >= deadline:
+                    return  # leave it; an operator can disconnect later
+                await asyncio.sleep(0.01)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"GatewayServer(host={self._host!r}, port={self.port}, "
+            f"sessions={len(self._live_sessions)})"
+        )

@@ -216,3 +216,56 @@ class TestDemoCommand:
         out = capsys.readouterr().out
         assert "new:gesture_hi" in out
         assert "user bytes sent to Cloud: 0" in out
+
+
+class TestGatewayCommands:
+    def test_gateway_defaults(self):
+        args = build_parser().parse_args(["gateway", "pkg.npz"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7070
+        assert args.workers == 2
+        assert args.max_inflight == 8
+
+    def test_gateway_bench_defaults(self):
+        args = build_parser().parse_args(["gateway-bench", "pkg.npz"])
+        assert args.devices == 8
+        assert args.ticks == 5
+        assert args.codec == "binary"
+        assert args.tick_interval == 0.0
+
+    def test_gateway_bench_rejects_bad_codec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["gateway-bench", "pkg.npz", "--codec", "msgpack"]
+            )
+
+    def test_gateway_bench_replays_devices(self, saved_package, capsys):
+        code = main([
+            "gateway-bench", saved_package,
+            "--devices", "3", "--ticks", "2", "--seed", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 devices x 2 ticks" in out
+        assert "tick latency: p50" in out
+        assert "BUSY refusals absorbed" in out
+
+    def test_gateway_bench_json_codec(self, saved_package, capsys):
+        code = main([
+            "gateway-bench", saved_package,
+            "--devices", "2", "--ticks", "2", "--codec", "json",
+        ])
+        assert code == 0
+        assert "json codec" in capsys.readouterr().out
+
+    def test_gateway_bench_saturation_ramp(self, saved_package, capsys):
+        code = main([
+            "gateway-bench", saved_package,
+            "--devices", "2", "--ticks", "2", "--saturation",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "saturation point:" in out
+
+    def test_gateway_bench_rejects_zero_devices(self, saved_package):
+        assert main(["gateway-bench", saved_package, "--devices", "0"]) == 2

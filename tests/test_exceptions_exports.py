@@ -4,11 +4,13 @@ import pytest
 
 import repro
 from repro.exceptions import (
+    BackpressureError,
     ConfigurationError,
     DataShapeError,
     MagnetoError,
     NotFittedError,
     PrivacyViolationError,
+    ProtocolError,
     ResourceExceededError,
     SerializationError,
     TrainingStateError,
@@ -19,10 +21,12 @@ from repro.exceptions import (
 
 class TestExceptionHierarchy:
     @pytest.mark.parametrize("exc_cls", [
+        BackpressureError,
         ConfigurationError,
         DataShapeError,
         NotFittedError,
         PrivacyViolationError,
+        ProtocolError,
         ResourceExceededError,
         SerializationError,
         TrainingStateError,
@@ -67,6 +71,7 @@ class TestPublicApi:
         "repro.edge_runtime",
         "repro.federated",
         "repro.serving",
+        "repro.serving.gateway",
         "repro.analysis",
     ])
     def test_subpackage_all_resolves(self, module_name):
@@ -99,7 +104,7 @@ class TestPublicApi:
             "repro", "repro.core", "repro.nn", "repro.sensors",
             "repro.preprocessing", "repro.datasets", "repro.eval",
             "repro.edge_runtime", "repro.federated", "repro.serving",
-            "repro.analysis",
+            "repro.serving.gateway", "repro.analysis",
         ):
             module = importlib.import_module(module_name)
             assert len(module.__all__) == len(set(module.__all__)), module_name

@@ -12,6 +12,7 @@ import pytest
 from repro.core import EdgeDevice, TransferPackage
 from repro.edge_runtime import EdgeRuntime, MIDRANGE_PHONE
 from repro.exceptions import (
+    ConfigurationError,
     DataShapeError,
     NotFittedError,
     ResourceExceededError,
@@ -139,3 +140,201 @@ class TestAdversarialLearning:
 
         with pytest.raises(ConfigurationError):
             edge.learn_activity("gesture_hi", rec2)
+
+
+class TestGatewayFaultInjection:
+    """The TCP gateway under misbehaving clients.
+
+    A vanished, crawling or half-speaking client must cost the fleet
+    exactly its own session: resources released, the id reusable, and
+    every other session's verdicts untouched.
+    """
+
+    @pytest.fixture
+    def gateway_registry(self, scenario):
+        from repro.serving import ModelRegistry
+
+        edge_a = scenario.fresh_edge(rng=1)
+        edge_b = scenario.fresh_edge(rng=2)
+        registry = ModelRegistry(default_cohort="a")
+        registry.publish("a", edge_a.engine)
+        registry.publish("b", edge_b.engine)
+        return registry
+
+    @staticmethod
+    def _drive(coro):
+        import asyncio
+
+        async def bounded():
+            return await asyncio.wait_for(coro, timeout=60)
+
+        return asyncio.run(bounded())
+
+    def test_disconnect_mid_chunk_releases_session(
+        self, gateway_registry, scenario
+    ):
+        """A client dying inside a half-sent CHUNK frees its session."""
+        import asyncio
+
+        from repro.serving.gateway import (
+            BinaryFrameCodec,
+            GatewayClient,
+            GatewayServer,
+            chunk_frame,
+            hello_frame,
+        )
+
+        window = scenario.sensor_device.record("walk", 1.0).data[:120]
+
+        async def body():
+            async with GatewayServer(gateway_registry) as gateway:
+                codec = BinaryFrameCodec()
+                reader, writer = await asyncio.open_connection(
+                    gateway.host, gateway.port
+                )
+                writer.write(codec.encode(hello_frame("victim", cohort="a")))
+                await writer.drain()
+                codec.feed(await reader.read(4096))  # WELCOME
+                # half a CHUNK frame, then vanish
+                wire = codec.encode(chunk_frame(1, window))
+                writer.write(wire[: len(wire) // 2])
+                await writer.drain()
+                writer.close()
+                # the id must become reusable once the server cleans up
+                for _ in range(200):
+                    try:
+                        async with GatewayClient(
+                            gateway.host, gateway.port
+                        ) as again:
+                            await again.connect("victim", cohort="a")
+                            verdicts = await again.send_chunk(window)
+                            return len(verdicts)
+                    except ConfigurationError:
+                        await asyncio.sleep(0.01)
+                return -1
+
+        assert self._drive(body()) == 1
+
+    def test_slow_loris_client_does_not_stall_other_sessions(
+        self, gateway_registry, scenario
+    ):
+        """One byte at a time from one client; everyone else full speed."""
+        import asyncio
+
+        from repro.serving.gateway import (
+            BinaryFrameCodec,
+            FrameType,
+            GatewayClient,
+            GatewayServer,
+            chunk_frame,
+            hello_frame,
+        )
+
+        data = scenario.sensor_device.record("walk", 2.0).data
+        window = data[:120]
+
+        async def body():
+            async with GatewayServer(gateway_registry) as gateway:
+                codec = BinaryFrameCodec()
+                reader, writer = await asyncio.open_connection(
+                    gateway.host, gateway.port
+                )
+                writer.write(codec.encode(hello_frame("loris", cohort="a")))
+                await writer.drain()
+                codec.feed(await reader.read(4096))  # WELCOME
+                wire = codec.encode(chunk_frame(1, window))
+
+                fast_verdicts = []
+
+                async def drip():
+                    # ~40 dribbled writes while the fast path serves
+                    step = max(1, len(wire) // 40)
+                    for start in range(0, len(wire), step):
+                        writer.write(wire[start : start + step])
+                        await writer.drain()
+                        await asyncio.sleep(0.002)
+
+                async def fast_session():
+                    async with GatewayClient(
+                        gateway.host, gateway.port
+                    ) as fast:
+                        await fast.connect("fast", cohort="b")
+                        for start in range(0, data.shape[0], 240):
+                            fast_verdicts.extend(
+                                await fast.send_chunk(
+                                    data[start : start + 240]
+                                )
+                            )
+                        fast_verdicts.extend(await fast.finish())
+
+                await asyncio.gather(drip(), fast_session())
+                frames = codec.feed(await reader.read(4096))
+                writer.close()
+            return frames, fast_verdicts
+
+        frames, fast_verdicts = self._drive(body())
+        # the dribbled frame still decodes into real verdicts ...
+        assert [f.type for f in frames] == [FrameType.VERDICT]
+        assert len(frames[0].meta["verdicts"]) == 1
+        # ... and the fast session was never starved or corrupted
+        assert len(fast_verdicts) == 2
+
+    def test_kill_mid_tick_releases_resources_other_sessions_untouched(
+        self, gateway_registry, scenario, monkeypatch
+    ):
+        """A session killed while its tick is in flight is fully released."""
+        import asyncio
+        import threading
+
+        from repro.serving import AsyncFleetServer
+        from repro.serving.gateway import GatewayClient, GatewayServer
+
+        engine_a = gateway_registry.engine_for("a")
+        release = threading.Event()
+        original = engine_a.infer_features
+
+        def blocked(features):
+            release.wait(timeout=30)
+            return original(features)
+
+        monkeypatch.setattr(engine_a, "infer_features", blocked)
+        data = scenario.sensor_device.record("walk", 2.0).data
+        window = data[:120]
+
+        async def body():
+            fleet = AsyncFleetServer(gateway_registry, workers=2)
+            async with GatewayServer(fleet) as gateway:
+                victim = GatewayClient(gateway.host, gateway.port)
+                await victim.connect("victim", cohort="a")
+                victim_task = asyncio.create_task(victim.send_chunk(window))
+                while gateway.fleet.inflight == 0:
+                    await asyncio.sleep(0.005)
+                # kill the connection while its tick is blocked in-engine
+                victim._writer.transport.abort()
+                victim_task.cancel()
+                release.set()
+                # an untouched session on the other cohort serves normally
+                survivor_verdicts = []
+                async with GatewayClient(
+                    gateway.host, gateway.port
+                ) as survivor:
+                    await survivor.connect("survivor", cohort="b")
+                    for start in range(0, data.shape[0], 240):
+                        survivor_verdicts.extend(
+                            await survivor.send_chunk(
+                                data[start : start + 240]
+                            )
+                        )
+                    survivor_verdicts.extend(await survivor.finish())
+                # the victim's session drains out of the fleet entirely
+                for _ in range(200):
+                    if "victim" not in gateway.fleet.sessions:
+                        break
+                    await asyncio.sleep(0.01)
+                released = "victim" not in gateway.fleet.sessions
+            fleet.close()
+            return released, survivor_verdicts
+
+        released, survivor_verdicts = self._drive(body())
+        assert released
+        assert len(survivor_verdicts) == 2

@@ -94,6 +94,12 @@ GATES: List[BenchGate] = [
         claim="3-cohort shared-backbone tick <= 1.1x single-model",
     ),
     BenchGate(
+        name="gateway",
+        file="bench_gateway.py",
+        smoke_budget=120,
+        claim="gateway p95 tick latency <= 2.0x in-process async",
+    ),
+    BenchGate(
         name="latency",
         file="bench_inference_latency.py",
         smoke_budget=120,
