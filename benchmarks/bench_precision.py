@@ -1,0 +1,240 @@
+"""E-PREC — the float32 fast path vs the canonical float64 stream.
+
+``infer_stream(dtype=np.float32)`` runs the whole pipeline — per-signal
+series, prefix sums, pooled extrema, keyed order statistics, normalization,
+embedding — in 32 bits.  That halves the memory traffic of every
+bandwidth-bound stage and lets the order statistics select over bit-monotone
+``uint32`` keys instead of NaN-aware floats, so the fast path should beat
+the canonical stream by a wide margin *without* changing verdicts: the
+documented error model (``docs/precision.md``) predicts distance
+perturbations far below the inter-class margins.
+
+The same bench also pins the tentpole exactness claim: the chunk-exact
+Butterworth stream (:class:`~repro.preprocessing.denoise.ZeroPhaseIIRStream`)
+must match the monolithic ``filtfilt`` to the documented 1e-9 tolerance no
+matter how the recording is sliced into ticks.
+
+Gates:
+
+- float32 ``infer_stream`` >= **1.5x** the float64 wall-clock at an
+  overlapping stride,
+- verdict flip rate (labels or accepts) <= **1e-3** vs float64,
+- chunked Butterworth == monolithic ``apply`` within **1e-9**.
+
+Run under pytest for the CI assertions, or standalone to record a baseline::
+
+    PYTHONPATH=src python benchmarks/bench_precision.py \
+        --out BENCH_precision.json       # full benchmark scale
+    PYTHONPATH=src python benchmarks/bench_precision.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core import InferenceEngine
+
+RECORDING_SECONDS = 120.0
+#: 30x overlap: the regime the float32 mode exists for — dense verdict
+#: streams where feature extraction, not the network, dominates the tick.
+STRIDE = 4
+MIN_FLOAT32_SPEEDUP = 1.5
+MAX_FLIP_RATE = 1e-3
+#: docs/precision.md documents the truncated backward warm-start bound
+#: (rho**T ~ 7.8e-17 relative); 1e-9 absolute is the pinned contract.
+CHUNK_TOLERANCE = 1e-9
+
+
+def _best_seconds(fn, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``fn()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_precision(
+    scenario,
+    seconds: float = RECORDING_SECONDS,
+    stride: int = STRIDE,
+    repeats: int = 5,
+) -> Dict:
+    """Wall-clock + exactness of the reduced-precision serving modes."""
+    edge = scenario.fresh_edge(rng=0)
+    engine = edge.engine
+    data = scenario.sensor_device.record("walk", seconds).data
+
+    ref = engine.infer_stream(data, stride=stride)  # warm-up + reference
+    fast = engine.infer_stream(data, stride=stride, dtype=np.float32)
+    n_windows = len(ref)
+    flips = int(
+        (ref.labels != fast.labels).sum()
+        + (ref.accepted != fast.accepted).sum()
+    )
+    max_distance_err = float(
+        np.max(np.abs(fast.distances.astype(np.float64) - ref.distances))
+    )
+
+    f64_s = _best_seconds(
+        lambda: engine.infer_stream(data, stride=stride), repeats=repeats
+    )
+    f32_s = _best_seconds(
+        lambda: engine.infer_stream(data, stride=stride, dtype=np.float32),
+        repeats=repeats,
+    )
+
+    # quantized prototypes: int8 reconstruction of the class prototypes
+    quant = InferenceEngine(
+        engine.embedder,
+        engine.classifier,
+        pipeline=edge.pipeline,
+        quantize_prototypes=True,
+    )
+    qref = quant.infer_stream(data, stride=stride)
+    quant_flips = int(
+        (ref.labels != qref.labels).sum()
+        + (ref.accepted != qref.accepted).sum()
+    )
+    quant_distance_err = float(np.max(np.abs(qref.distances - ref.distances)))
+
+    # chunk-exact Butterworth: ragged ticks vs one monolithic filtfilt
+    denoiser = edge.pipeline.denoiser
+    mono = denoiser.apply(data)
+    rng = np.random.default_rng(7)
+    stream = denoiser.make_stream()
+    pieces, start = [], 0
+    while start < data.shape[0]:
+        step = int(rng.integers(1, 301))
+        pieces.append(stream.push(data[start : start + step]))
+        start += step
+    pieces.append(stream.finish())
+    chunked = np.concatenate([p for p in pieces if p.size], axis=0)
+    chunk_err = float(np.max(np.abs(chunked - mono)))
+
+    return {
+        "windows": n_windows,
+        "stride": stride,
+        "recording_samples": int(data.shape[0]),
+        "float64": {
+            "ms_total": f64_s * 1e3,
+            "windows_per_sec": n_windows / f64_s,
+        },
+        "float32": {
+            "ms_total": f32_s * 1e3,
+            "windows_per_sec": n_windows / f32_s,
+            "verdict_flips": flips,
+            "flip_rate": flips / n_windows,
+            "max_distance_err": max_distance_err,
+        },
+        "quantized_prototypes": {
+            "verdict_flips": quant_flips,
+            "flip_rate": quant_flips / n_windows,
+            "max_distance_err": quant_distance_err,
+        },
+        "speedup_float32_vs_float64": f64_s / f32_s,
+        "chunked_butterworth_max_err": chunk_err,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# pytest entry points (CI gates)
+# ---------------------------------------------------------------------- #
+
+
+def test_bench_float32_speedup_and_verdict_parity(bench_scenario):
+    """float32 stream >= 1.5x float64 with flip rate <= 1e-3."""
+    results = measure_precision(bench_scenario)
+    speedup = results["speedup_float32_vs_float64"]
+    flip_rate = results["float32"]["flip_rate"]
+    print(
+        f"\nE-PREC: float64 {results['float64']['ms_total']:.1f} ms, "
+        f"float32 {results['float32']['ms_total']:.1f} ms "
+        f"({speedup:.2f}x), flip rate {flip_rate:.2e} over "
+        f"{results['windows']} windows"
+    )
+    assert speedup >= MIN_FLOAT32_SPEEDUP
+    assert flip_rate <= MAX_FLIP_RATE
+
+
+def test_bench_quantized_prototypes_keep_verdicts(bench_scenario):
+    """int8-reconstructed prototypes flip <= 1e-3 of verdicts."""
+    results = measure_precision(bench_scenario, repeats=1)
+    assert results["quantized_prototypes"]["flip_rate"] <= MAX_FLIP_RATE
+
+
+def test_bench_chunked_butterworth_matches_monolithic(bench_scenario):
+    """Ragged-tick Butterworth streaming == one filtfilt, to 1e-9."""
+    results = measure_precision(bench_scenario, repeats=1)
+    err = results["chunked_butterworth_max_err"]
+    print(f"\nE-PREC: chunked Butterworth max err {err:.2e}")
+    assert err <= CHUNK_TOLERANCE
+
+
+# ---------------------------------------------------------------------- #
+# standalone baseline recorder
+# ---------------------------------------------------------------------- #
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from conftest import build_benchmark_scenario
+
+    parser = argparse.ArgumentParser(
+        description="measure the float32/quantized fast paths vs float64"
+    )
+    parser.add_argument("--out", default=None,
+                        help="write the results as JSON to this path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny scenario + short recording for a fast "
+                             "CI smoke run")
+    args = parser.parse_args(argv)
+
+    seconds = 30.0 if args.smoke else RECORDING_SECONDS
+    scenario = build_benchmark_scenario(smoke=args.smoke)
+    results = measure_precision(scenario, seconds=seconds)
+    results["scale"] = "smoke" if args.smoke else "benchmark"
+    results["recorded"] = time.strftime("%Y-%m-%d")
+    results["recording_seconds"] = seconds
+
+    for path in ("float64", "float32"):
+        row = results[path]
+        print(f"{path:>9}: {row['ms_total']:8.1f} ms "
+              f"({row['windows_per_sec']:7.0f} windows/s)")
+    speedup = results["speedup_float32_vs_float64"]
+    print(f"float32 vs float64: {speedup:.2f}x "
+          f"(gate >= {MIN_FLOAT32_SPEEDUP}x); flip rate "
+          f"{results['float32']['flip_rate']:.2e} "
+          f"(gate <= {MAX_FLIP_RATE:g})")
+    print(f"quantized prototypes: flip rate "
+          f"{results['quantized_prototypes']['flip_rate']:.2e}, "
+          f"max distance err "
+          f"{results['quantized_prototypes']['max_distance_err']:.2e}")
+    print(f"chunked Butterworth max err: "
+          f"{results['chunked_butterworth_max_err']:.2e} "
+          f"(gate <= {CHUNK_TOLERANCE:g})")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {args.out}")
+
+    ok = (
+        speedup >= MIN_FLOAT32_SPEEDUP
+        and results["float32"]["flip_rate"] <= MAX_FLIP_RATE
+        and results["chunked_butterworth_max_err"] <= CHUNK_TOLERANCE
+    )
+    if not ok:
+        print("FAIL: a precision gate is above its acceptance threshold")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,9 @@ convention — this checker cross-checks them:
   ``BENCH_*.json`` baseline no gate reads.  Warnings never fail the run;
   they are the checker's work-list.  A deliberately ungated benchmark can
   justify itself with a file-level pragma.
+* **warnings** (``docs-uncovered``) — a ``docs/*.md`` page with no fenced
+  ``python`` block: ``tools/run_doc_examples.py`` executes every fence in
+  CI, so a fence-free page is documentation nothing keeps honest.
 
 The manifest is read **statically** (AST of ``tools/run_bench_gates.py``,
 ``name=``/``file=`` keywords of each ``BenchGate(...)`` row), so linting
@@ -54,9 +57,13 @@ def read_gate_rows(manifest: pathlib.Path) -> List[Tuple[str, str, int]]:
     return rows
 
 
+#: The fence ``tools/run_doc_examples.py`` executes (same opening syntax).
+_PYTHON_FENCE = "```python"
+
+
 class BenchManifestChecker(RepoChecker):
     name = "bench-manifest"
-    rules = ("bench-gate", "bench-ungated")
+    rules = ("bench-gate", "bench-ungated", "docs-uncovered")
 
     def check_repo(self, root: pathlib.Path) -> Iterable[Violation]:
         manifest = root / MANIFEST
@@ -117,3 +124,21 @@ class BenchManifestChecker(RepoChecker):
                     ),
                     severity="warning",
                 )
+
+        docs_dir = root / "docs"
+        if docs_dir.is_dir():
+            for page in sorted(docs_dir.glob("*.md")):
+                text = page.read_text(encoding="utf-8")
+                if _PYTHON_FENCE not in text:
+                    yield Violation(
+                        rule="docs-uncovered",
+                        path=f"docs/{page.name}",
+                        line=1,
+                        message=(
+                            f"docs/{page.name} has no fenced python "
+                            "example — tools/run_doc_examples.py executes "
+                            "every fence in CI, so nothing keeps this "
+                            "page honest"
+                        ),
+                        severity="warning",
+                    )

@@ -46,11 +46,26 @@ from ..exceptions import (
     NotFittedError,
     UnknownCohortError,
 )
+from ..nn.compress import quantize_tensor
 from ..nn.siamese import SharedBackbone
+from ..preprocessing.pipeline import resolve_feature_dtype
 from ..utils import Timer, check_2d, check_3d
 from .ncm import NCMClassifier
 from .openset import UNKNOWN_LABEL, UNKNOWN_NAME, OpenSetNCM, accept_from_distances
 from .smoothing import HysteresisSmoother
+
+
+def _feature_dtype(dtype):
+    """Map an engine compute dtype to the pipeline feature dtype.
+
+    Only ``float32`` engages the reduced-precision *feature* path (prefix
+    sums, normalization, embedding all in 32 bits); every other dtype keeps
+    float64 features and only changes the distance-matrix dtype, which
+    preserves the historical distance-only semantics of e.g. ``float16``.
+    """
+    if dtype is not None and np.dtype(dtype) == np.float32:
+        return np.float32
+    return None
 
 
 @dataclass(frozen=True)
@@ -109,6 +124,13 @@ class InferenceEngine:
         case only the ``*_features``/``*_embeddings`` entry points work.
     temperature:
         Softmax temperature of the confidence proxy.
+    quantize_prototypes:
+        When true, distances are computed against the int8
+        affine-quantized prototypes (dequantized once and cached) instead
+        of the raw float64 matrix — the serving-side twin of shipping a
+        :func:`~repro.nn.compress.quantize_tensor` package.  The induced
+        per-coordinate error is bounded by half the quantization step
+        (see ``docs/precision.md``).
     """
 
     def __init__(
@@ -117,6 +139,7 @@ class InferenceEngine:
         classifier: Union[NCMClassifier, OpenSetNCM],
         pipeline=None,
         temperature: float = 1.0,
+        quantize_prototypes: bool = False,
     ) -> None:
         if temperature <= 0:
             raise ConfigurationError(
@@ -126,14 +149,24 @@ class InferenceEngine:
         self.classifier = classifier
         self.pipeline = pipeline
         self.temperature = float(temperature)
+        self.quantize_prototypes = bool(quantize_prototypes)
         # Prototype squared-norm cache, keyed on the prototype array object:
         # NCM fits always assign a fresh array, so identity comparison
         # invalidates the cache on every support-set rebuild.  Reduced
         # compute dtypes (float32 distance matrices) keep their own cast of
-        # the prototypes in ``_cached_casts``.
+        # the prototypes in ``_cached_casts``.  ``_cached_base`` is the
+        # matrix distances are actually served from: the raw prototypes, or
+        # their dequantized int8 reconstruction under
+        # ``quantize_prototypes``.
         self._cached_protos: Optional[np.ndarray] = None
+        self._cached_base: Optional[np.ndarray] = None
         self._cached_sq_norms: Optional[np.ndarray] = None
         self._cached_casts: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        # Lazily-built float32 replica of the embedder network for the
+        # reduced-precision feature path; keyed on the network object so
+        # retraining (which swaps/mutates parameters via a fresh fit or
+        # ``load_state_dict``) rebuilds it.
+        self._float32_embedder_cache: Optional[Tuple[int, object]] = None
 
     # ------------------------------------------------------------------ #
     # classifier plumbing
@@ -160,34 +193,45 @@ class InferenceEngine:
         return self.ncm.class_names_
 
     def refresh(self) -> None:
-        """Drop the prototype-norm cache explicitly.
+        """Drop the prototype-norm and replica caches explicitly.
 
         Normally unnecessary — re-fitting the classifier replaces the
         prototype array and the identity check invalidates the cache —
-        but exposed for callers that mutate ``prototypes_`` in place.
+        but exposed for callers that mutate ``prototypes_`` (or the
+        embedder's parameters) in place.
         """
         self._cached_protos = None
+        self._cached_base = None
         self._cached_sq_norms = None
         self._cached_casts = {}
+        self._float32_embedder_cache = None
 
     def _prototype_norms(self, dtype=None) -> Tuple[np.ndarray, np.ndarray]:
-        """The prototype matrix with its cached squared norms.
+        """The served prototype matrix with its cached squared norms.
 
         ``dtype=None`` is the canonical ``float64`` pair; any other compute
         dtype gets (and caches) its own cast of the prototypes so repeated
-        reduced-precision calls pay the conversion once.
+        reduced-precision calls pay the conversion once.  Under
+        ``quantize_prototypes`` the served matrix is the dequantized int8
+        reconstruction, rebuilt whenever the classifier is re-fitted.
         """
         protos = self.ncm.prototypes_
         if protos is not self._cached_protos:
             self._cached_protos = protos
-            self._cached_sq_norms = np.einsum("ij,ij->i", protos, protos)
+            if self.quantize_prototypes:
+                base = quantize_tensor(protos).dequantize()
+            else:
+                base = protos
+            self._cached_base = base
+            self._cached_sq_norms = np.einsum("ij,ij->i", base, base)
             self._cached_casts = {}
+            self._float32_embedder_cache = None
         if dtype is None or np.dtype(dtype) == np.float64:
-            return self._cached_protos, self._cached_sq_norms
+            return self._cached_base, self._cached_sq_norms
         key = np.dtype(dtype).name
         entry = self._cached_casts.get(key)
         if entry is None:
-            cast = np.asarray(protos, dtype=dtype)
+            cast = np.asarray(self._cached_base, dtype=dtype)
             entry = (cast, np.einsum("ij,ij->i", cast, cast))
             self._cached_casts[key] = entry
         return entry
@@ -303,9 +347,13 @@ class InferenceEngine:
         filter edge artifacts), which for non-local denoisers differs
         marginally from denoising each overlapping window in isolation.
 
-        ``dtype`` selects the compute dtype of the distance matrix (see
-        :meth:`distances_from_embeddings`); ``np.float32`` trades the last
-        bits of distance precision for half the matmul bandwidth.
+        ``dtype=np.float32`` selects the reduced-precision fast path:
+        feature extraction, normalization, the embedder forward pass (via
+        a cached float32 parameter replica) and the distance matrix all
+        run in 32 bits, halving memory bandwidth end to end; verdicts flip
+        only for windows already sitting on a decision boundary (see
+        ``docs/precision.md``).  Other dtypes change the distance-matrix
+        dtype only (see :meth:`distances_from_embeddings`).
 
         For recordings that arrive tick by tick rather than all at once,
         use the chunked twin — :meth:`open_stream` + :meth:`infer_chunk` —
@@ -315,7 +363,9 @@ class InferenceEngine:
         self._require_pipeline("infer a raw stream, or use infer_features()")
         arr = check_2d("data", data)
         timer = Timer().__enter__()
-        features = self.pipeline.process_stream(arr, stride=stride)
+        features = self.pipeline.process_stream(
+            arr, stride=stride, dtype=_feature_dtype(dtype)
+        )
         return self._finish_features(features, dtype, timer)
 
     def open_stream(
@@ -335,13 +385,16 @@ class InferenceEngine:
         identical and distances to the streaming parity budget when the
         pipeline's denoiser is chunk-capable — see
         :meth:`~repro.preprocessing.pipeline.PreprocessingPipeline.open_stream`).
-        ``dtype`` is remembered on the session and selects the distance
-        compute dtype of every chunk (see :meth:`distances_from_embeddings`).
+        ``dtype`` is remembered on the session; ``np.float32`` runs every
+        chunk's features, embedding and distances in 32 bits (see
+        :meth:`infer_stream`).
         """
         self._require_pipeline("stream raw chunks")
         return StreamSession(
             self,
-            self.pipeline.open_stream(stride=stride, denoise=denoise),
+            self.pipeline.open_stream(
+                stride=stride, denoise=denoise, dtype=_feature_dtype(dtype)
+            ),
             dtype=dtype,
         )
 
@@ -375,20 +428,70 @@ class InferenceEngine:
         session.windows_inferred += len(batch)
         return batch
 
+    def _float32_embedder(self):
+        """The cached float32 parameter replica of the embedder network.
+
+        Built lazily from ``embedder.network`` (clone + cast every
+        parameter, and any batch-norm running statistics, to float32) so
+        the reduced-precision path runs its forward pass in 32 bits end to
+        end.  Returns ``None`` for embedders without a clonable network —
+        those fall back to a float64 forward cast down afterwards.  The
+        replica is keyed on the network object and additionally dropped
+        whenever the prototype cache rebuilds (a classifier re-fit follows
+        retraining) or :meth:`refresh` is called.
+        """
+        network = getattr(self.embedder, "network", None)
+        if network is None or not hasattr(network, "clone"):
+            return None
+        cache = self._float32_embedder_cache
+        if cache is not None and cache[0] is network:
+            return cache[1]
+        replica = network.clone()
+        for param in replica.parameters():
+            param.data = param.data.astype(np.float32)
+        for layer in getattr(replica, "layers", []):
+            if hasattr(layer, "running_mean"):
+                layer.running_mean = layer.running_mean.astype(np.float32)
+                layer.running_var = layer.running_var.astype(np.float32)
+        self._float32_embedder_cache = (network, replica)
+        return replica
+
+    def _embed(self, features: np.ndarray, dtype) -> np.ndarray:
+        """Embed feature rows, on the float32 replica when asked.
+
+        ``dtype=np.float32`` runs the whole forward pass in 32 bits (or,
+        lacking a clonable network, embeds in float64 and casts down);
+        anything else is the unchanged float64 path.
+        """
+        if dtype is not None and np.dtype(dtype) == np.float32:
+            replica = self._float32_embedder()
+            if replica is not None:
+                arr = check_2d(
+                    "features",
+                    features,
+                    n_cols=getattr(self.embedder, "input_dim", None),
+                    dtype=np.float32,
+                )
+                return replica.forward(arr, training=False)
+            return np.asarray(self.embedder.embed(features), dtype=np.float32)
+        return self.embedder.embed(features)
+
     def _finish_features(
         self, features: np.ndarray, dtype, timer: Timer
     ) -> BatchInference:
-        embeddings = self.embedder.embed(features)
+        embeddings = self._embed(features, dtype)
         dists = self.distances_from_embeddings(embeddings, dtype=dtype)
         return self._assemble(dists, timer)
 
-    def infer_features(self, features: np.ndarray) -> BatchInference:
-        """Normalized feature rows ``(k, d)`` -> batch verdicts."""
-        arr = check_2d("features", features)
+    def infer_features(self, features: np.ndarray, dtype=None) -> BatchInference:
+        """Normalized feature rows ``(k, d)`` -> batch verdicts.
+
+        ``dtype=np.float32`` selects the reduced-precision path: float32
+        embedder replica plus float32 distance matrix (see
+        :meth:`distances_from_embeddings`).
+        """
         timer = Timer().__enter__()
-        embeddings = self.embedder.embed(arr)
-        dists = self.distances_from_embeddings(embeddings)
-        return self._assemble(dists, timer)
+        return self._finish_features(features, dtype, timer)
 
     def infer_embeddings(self, embeddings: np.ndarray) -> BatchInference:
         """Pre-embedded rows ``(k, dim)`` -> batch verdicts."""
@@ -724,10 +827,19 @@ class _StreamTickGroup:
     batched call per group.
     """
 
-    __slots__ = ("engine", "ids", "arrays", "strides", "n_channels", "blocks")
+    __slots__ = (
+        "engine",
+        "dtype",
+        "ids",
+        "arrays",
+        "strides",
+        "n_channels",
+        "blocks",
+    )
 
-    def __init__(self, engine: InferenceEngine) -> None:
+    def __init__(self, engine: InferenceEngine, dtype=None) -> None:
         self.engine = engine
+        self.dtype = dtype  # per-session compute dtype (float32 fast path)
         self.ids: List[str] = []
         self.arrays: List[np.ndarray] = []
         self.strides: List[int] = []
@@ -763,11 +875,16 @@ class EdgeSession:
     """
 
     def __init__(
-        self, session_id: str, smoother=None, cohort: str = DEFAULT_COHORT
+        self,
+        session_id: str,
+        smoother=None,
+        cohort: str = DEFAULT_COHORT,
+        dtype=None,
     ) -> None:
         self.session_id = str(session_id)
         self.smoother = smoother
         self.cohort = str(cohort)
+        self.dtype = dtype  # compute dtype of this session's chunk streams
         self.stream: Optional[StreamSession] = None  # chunk carry-over state
         self.windows_seen = 0
         self.rejected_windows = 0
@@ -891,7 +1008,10 @@ class FleetServer:
         return len(self.sessions)
 
     def connect(
-        self, session_id: str, cohort: Optional[str] = None
+        self,
+        session_id: str,
+        cohort: Optional[str] = None,
+        dtype=None,
     ) -> EdgeSession:
         """Register a new device session; ids must be unique.
 
@@ -899,7 +1019,13 @@ class FleetServer:
         registry's default cohort when ``None``); a cohort the registry
         cannot serve raises
         :class:`~repro.exceptions.UnknownCohortError` immediately, before
-        any traffic flows.
+        any traffic flows.  ``dtype`` selects the session's chunk-stream
+        compute dtype: ``np.float32`` (or ``"float32"``) runs the
+        session's features, embedding and distances in 32 bits (see
+        :meth:`InferenceEngine.infer_stream`); ``None``/``float64`` keeps
+        the canonical math.  Anything else raises
+        :class:`~repro.exceptions.ConfigurationError` before any traffic
+        flows.
         """
         key = str(session_id)
         if key in self.sessions:
@@ -912,18 +1038,21 @@ class FleetServer:
                 f"cannot connect session {key!r}: cohort {cohort_key!r} "
                 f"is not in the registry"
             )
+        dtype_key = resolve_feature_dtype(dtype)
         smoother = (
             self.smoother_factory() if self.smoother_factory is not None else None
         )
-        session = EdgeSession(key, smoother=smoother, cohort=cohort_key)
+        session = EdgeSession(
+            key, smoother=smoother, cohort=cohort_key, dtype=dtype_key
+        )
         self.sessions[key] = session
         return session
 
     def connect_many(
-        self, session_ids, cohort: Optional[str] = None
+        self, session_ids, cohort: Optional[str] = None, dtype=None
     ) -> List[EdgeSession]:
         return [
-            self.connect(session_id, cohort=cohort)
+            self.connect(session_id, cohort=cohort, dtype=dtype)
             for session_id in session_ids
         ]
 
@@ -975,14 +1104,18 @@ class FleetServer:
         self._backbone_memo[id(engine)] = (engine, key)
         return key
 
-    def _fusion_plan(self, groups: Mapping[int, "object"]) -> List[List]:
+    def _fusion_plan(self, groups: Mapping["object", "object"]) -> List[List]:
         """Partition a tick's engine-groups into backbone clusters.
 
         Returns a list of clusters in first-seen order; each cluster is a
         list of tick groups whose engines share a backbone fingerprint.
         Singleton clusters (distinct backbones, unfingerprintable
-        embedders, or fusion disabled) run the classic per-model call;
-        multi-member clusters run one :class:`FusedCohortEngine` call.
+        embedders, reduced-precision groups, or fusion disabled) run the
+        classic per-model call; multi-member clusters run one
+        :class:`FusedCohortEngine` call.  Groups with a non-``None``
+        compute dtype always stay singleton —
+        :class:`FusedCohortEngine` is float64-only, and the float32 path
+        already halves its own bandwidth.
         """
         ordered = list(groups.values())
         if len(ordered) < 2 or not self._fusion_enabled():
@@ -990,6 +1123,9 @@ class FleetServer:
         plan: List[List] = []
         clusters: Dict[str, List] = {}
         for group in ordered:
+            if getattr(group, "dtype", None) is not None:
+                plan.append([group])
+                continue
             fingerprint = self._backbone_key(group.engine)
             if fingerprint is None:
                 plan.append([group])
@@ -1251,9 +1387,14 @@ class FleetServer:
             try:
                 if len(members) == 1:
                     group = members[0]
+                    concat = np.concatenate(group.blocks, axis=0)
+                    # dtype is forwarded only when set so stubbed/legacy
+                    # engines without the parameter keep working.
                     batches = [
-                        group.engine.infer_features(
-                            np.concatenate(group.blocks, axis=0)
+                        group.engine.infer_features(concat)
+                        if group.dtype is None
+                        else group.engine.infer_features(
+                            concat, dtype=group.dtype
                         )
                     ]
                 else:
@@ -1283,22 +1424,35 @@ class FleetServer:
         self,
         chunks_by_session: Mapping[str, np.ndarray],
         stride: "Optional[Union[int, Mapping[str, int]]]" = None,
-    ) -> Dict[int, _StreamTickGroup]:
+    ) -> "Dict[Tuple[int, Optional[str]], _StreamTickGroup]":
         """Validation pass of a stream tick: nothing mutates until every
-        chunk is checked.  Groups sessions by serving engine identity."""
-        groups: Dict[int, _StreamTickGroup] = {}  # keyed by engine identity
+        chunk is checked.  Groups sessions by serving engine identity and
+        compute dtype (a float32 session cannot share a batched call with
+        float64 sessions of the same engine)."""
+        groups: Dict[Tuple[int, Optional[str]], _StreamTickGroup] = {}
         for session_id, chunk in chunks_by_session.items():
             session = self.session(session_id)  # raises for unknown ids
             engine = self._stream_engine(session)  # pinned or registry
             pipeline = engine.pipeline
             stride_val = self._resolve_stride(session, stride, pipeline)
+            # An open stream keeps the dtype it was opened with even if
+            # the session attribute were mutated mid-stream.
+            dtype_val = (
+                session.stream.dtype
+                if session.stream is not None
+                else session.dtype
+            )
             arr = np.asarray(chunk, dtype=np.float64)
             if arr.ndim != 2:
                 raise DataShapeError(
                     f"session {session.session_id!r} chunk must be 2-D "
                     f"(samples, channels), got {arr.shape}"
                 )
-            group = groups.setdefault(id(engine), _StreamTickGroup(engine))
+            dtype_key = None if dtype_val is None else np.dtype(dtype_val).name
+            group = groups.setdefault(
+                (id(engine), dtype_key),
+                _StreamTickGroup(engine, dtype=dtype_val),
+            )
             if group.n_channels is None:
                 group.n_channels = int(arr.shape[1])
             elif arr.shape[1] != group.n_channels:
@@ -1328,7 +1482,7 @@ class FleetServer:
         return groups
 
     def _featurize_stream_groups(
-        self, groups: Dict[int, _StreamTickGroup]
+        self, groups: "Dict[Tuple[int, Optional[str]], _StreamTickGroup]"
     ) -> None:
         """Featurize pass: fold chunks into each session's carry-over.
 
@@ -1347,7 +1501,7 @@ class FleetServer:
                 session = self.sessions[session_id]
                 if session.stream is None:
                     session.stream = group.engine.open_stream(
-                        stride=stride_val
+                        stride=stride_val, dtype=group.dtype
                     )
                 group.blocks.append(
                     pipeline.process_chunk(session.stream.state, arr)

@@ -88,7 +88,11 @@ class Linear(Layer):
         self._x: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        # Inputs follow the layer's parameter dtype: float64 for trained
+        # networks (unchanged behavior), float32 for the engine's cast
+        # inference replicas, so a reduced-precision forward pass stays in
+        # 32 bits end to end.
+        x = np.asarray(x, dtype=self.weight.data.dtype)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise DataShapeError(
                 f"Linear expects (batch, {self.in_features}), got {x.shape}"
@@ -124,7 +128,9 @@ class ReLU(Layer):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x)
+        if not np.issubdtype(x.dtype, np.floating):
+            x = x.astype(np.float64)
         if training:
             self._mask = x > 0.0
         return np.maximum(x, 0.0)
@@ -145,7 +151,10 @@ class Tanh(Layer):
         self._out: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        out = np.tanh(np.asarray(x, dtype=np.float64))
+        x = np.asarray(x)
+        if not np.issubdtype(x.dtype, np.floating):
+            x = x.astype(np.float64)
+        out = np.tanh(x)
         if training:
             self._out = out
         return out
@@ -170,7 +179,9 @@ class Dropout(Layer):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x)
+        if not np.issubdtype(x.dtype, np.floating):
+            x = x.astype(np.float64)
         if not training or self.rate == 0.0:
             self._mask = np.ones_like(x)
             return x
@@ -209,7 +220,7 @@ class BatchNorm1d(Layer):
         self._cache = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.gamma.data.dtype)
         if x.ndim != 2 or x.shape[1] != self.num_features:
             raise DataShapeError(
                 f"BatchNorm1d expects (batch, {self.num_features}), got {x.shape}"

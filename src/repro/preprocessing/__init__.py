@@ -12,6 +12,7 @@ from .denoise import (
     LocalDenoiserStream,
     MedianFilter,
     MovingAverageFilter,
+    ZeroPhaseIIRStream,
     denoiser_from_dict,
 )
 from .features import (
@@ -32,6 +33,7 @@ from .pipeline import (
     StreamState,
     extractor_from_dict,
     extractor_to_dict,
+    resolve_feature_dtype,
 )
 from .segmentation import segment_recording, sliding_windows, window_count
 from .streaming import (
@@ -74,7 +76,9 @@ __all__ = [
     "STREAMING_STATISTICS",
     "StreamingFeatureExtractor",
     "ZScoreNormalizer",
+    "ZeroPhaseIIRStream",
     "denoiser_from_dict",
+    "resolve_feature_dtype",
     "extractor_from_dict",
     "extractor_to_dict",
     "normalizer_from_dict",

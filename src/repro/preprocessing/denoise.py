@@ -14,20 +14,26 @@ carries its configuration in plain attributes and round-trips through
 package.
 
 Filters whose output at sample ``i`` depends only on a bounded neighborhood
-``[i - L, i + L]`` additionally expose ``make_stream()`` returning a
+``[i - L, i + L]`` expose ``make_stream()`` returning a
 :class:`LocalDenoiserStream`: a chunked applicator that emits, across *any*
 split of the signal into chunks, exactly the samples ``apply(whole_signal)``
 would produce (delayed by the ``L``-sample lookahead, flushed by
-``finish()``).  :class:`ButterworthLowpass` deliberately has no
-``make_stream`` — ``filtfilt``'s backward pass depends on unboundedly many
-future samples, so exact chunked application is impossible; chunked
-pipelines fall back to per-chunk application for it (see
-:meth:`~repro.preprocessing.pipeline.PreprocessingPipeline.open_stream`).
+``finish()``).  :class:`ButterworthLowpass` — whose ``filtfilt`` backward
+pass formally depends on every future sample — streams through
+:class:`ZeroPhaseIIRStream` instead: the forward pass carries its
+``lfilter`` state (``zi`` handoff, bit-exact), and the backward pass is
+emitted in fixed sample-index-aligned blocks, each warm-started a
+truncation window ``T`` past the block so the start-up transient has
+decayed below 1e-15 relative (the backward recursion is exponentially
+stable; see the class docstring for the error bound).  Emission depends
+only on absolute sample indices, so chunked output is *identical for every
+chunking*, and matches monolithic ``apply`` to well under the pipeline's
+1e-9 parity budget (the final ``finish()`` flush is bit-exact).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Type
+from typing import Dict, Optional, Type
 
 import numpy as np
 from scipy import signal as _signal
@@ -125,19 +131,218 @@ class LocalDenoiserStream:
         return emitted
 
 
+#: Relative magnitude the truncated backward warm-start transient must decay
+#: below before a block is emitted; drives :class:`ZeroPhaseIIRStream`'s
+#: truncation window ``T`` via ``rho**T <= _TRUNCATION_TARGET``.
+_TRUNCATION_TARGET = 1e-16
+
+#: Upper bound on the truncation window, guarding near-unstable filters
+#: (pole radius ~1) from unbounded lookahead.
+_MAX_TRUNCATION = 4096
+
+
+class ZeroPhaseIIRStream:
+    """Chunk-exact streaming twin of zero-phase ``filtfilt`` application.
+
+    ``filtfilt`` runs the IIR filter forward then backward over the
+    odd-extended signal.  The forward half streams exactly: ``lfilter`` is
+    a sequential recurrence, so carrying its final state ``zf`` across
+    chunk boundaries reproduces the monolithic forward output *bit for
+    bit*.  The backward half formally needs every future sample, but the
+    backward recursion is exponentially stable — a state error decays by
+    the largest pole magnitude ``rho < 1`` per sample.  The stream
+    therefore emits backward-filtered output in fixed blocks of ``B``
+    samples aligned to absolute sample indices: block ``[k*B, (k+1)*B)``
+    is released once ``(k+1)*B + T`` forward outputs exist, by running the
+    backward filter over the trailing ``T`` lookahead samples first (warm
+    start ``lfilter_zi * y`` at the fixed index ``(k+1)*B + T - 1``) so
+    its transient has decayed by ``rho**T <= 1e-15`` relative before the
+    block is reached.
+
+    Consequences, pinned by ``tests/test_chunked_stream.py``:
+
+    - the emitted samples depend only on *absolute* indices, never on how
+      the signal was split into chunks — any two chunkings of the same
+      signal produce bit-identical streams;
+    - ``finish()`` rebuilds the true right odd extension from the last raw
+      samples and back-filters from the genuine signal end, so the flushed
+      tail is bit-identical to ``apply``; earlier blocks differ from
+      monolithic ``apply`` by at most ``O(max|y| * rho**T)`` — around
+      1e-15 relative, orders of magnitude inside the 1e-9 parity budget;
+    - signals short enough that ``apply`` falls back to the identity copy
+      (``n <= 3 * max(len(a), len(b))``) are returned unfiltered by
+      ``finish()``, matching ``apply`` exactly.
+
+    Worst-case emission delay is ``lookahead = B + T`` samples (``B = 2T``
+    keeps the recompute overhead at 1.5x while bounding the delay).
+    """
+
+    def __init__(self, b, a) -> None:
+        self._b = np.asarray(b, dtype=np.float64)
+        self._a = np.asarray(a, dtype=np.float64)
+        # filtfilt's default pad length; also ``apply``'s identity-fallback
+        # threshold, so streaming and monolithic short-signal behavior agree.
+        self._pad = 3 * max(self._b.shape[0], self._a.shape[0])
+        self._zi_unit = _signal.lfilter_zi(self._b, self._a)
+        poles = np.roots(self._a)
+        rho = float(np.max(np.abs(poles))) if poles.size else 0.0
+        if 0.0 < rho < 1.0:
+            t = int(np.ceil(np.log(_TRUNCATION_TARGET) / np.log(rho)))
+        else:
+            t = _MAX_TRUNCATION
+        #: Backward warm-start distance: transient decay factor rho**T.
+        self.truncation = int(min(max(t, self._pad), _MAX_TRUNCATION))
+        #: Emission block size (absolute-index aligned).
+        self.block = 2 * self.truncation
+        #: Worst-case samples held back awaiting future context.
+        self.lookahead = self.block + self.truncation
+        #: Relative error bound of pushed (non-flush) emissions vs ``apply``.
+        self.error_bound = rho ** self.truncation
+        self._raw_head: Optional[np.ndarray] = None  # raw samples pre-start
+        self._raw_tail: Optional[np.ndarray] = None  # last pad+1 raw samples
+        self._zf: Optional[np.ndarray] = None  # carried forward filter state
+        self._yf: Optional[np.ndarray] = None  # forward outputs [n_out, n_in)
+        self._channels: Optional[int] = None
+        self._n_in = 0
+        self._n_out = 0
+        self._finished = False
+
+    @property
+    def samples_in(self) -> int:
+        return self._n_in
+
+    @property
+    def samples_out(self) -> int:
+        return self._n_out
+
+    def _empty(self) -> np.ndarray:
+        return np.empty((0, self._channels if self._channels else 0))
+
+    def _start(self, raw: np.ndarray) -> None:
+        """Prime the forward filter exactly as ``filtfilt`` does.
+
+        Builds the left odd extension, runs the forward filter over it with
+        ``filtfilt``'s initial state (``lfilter_zi * ext[0]``), and keeps
+        only the carried state — from here on the forward pass is bit-exact
+        versus the monolithic run no matter how chunks arrive.
+        """
+        p = self._pad
+        ext = 2.0 * raw[0] - raw[p:0:-1]
+        zi = self._zi_unit[:, None] * ext[0]
+        _, zf = _signal.lfilter(self._b, self._a, ext, axis=0, zi=zi)
+        self._yf, self._zf = _signal.lfilter(
+            self._b, self._a, raw, axis=0, zi=zf
+        )
+
+    def _backward_tail(self, segment: np.ndarray, keep: int) -> np.ndarray:
+        """Backward-filter ``segment`` reversed; return last ``keep`` rows
+        in forward order.  Warm start at the segment's (fixed) right edge."""
+        rev = segment[::-1]
+        zi = self._zi_unit[:, None] * rev[0]
+        back, _ = _signal.lfilter(self._b, self._a, rev, axis=0, zi=zi)
+        return np.ascontiguousarray(back[-keep:][::-1])
+
+    def _emit_ready(self) -> np.ndarray:
+        blocks = []
+        b_len, t_len = self.block, self.truncation
+        while self._n_in >= self._n_out + b_len + t_len:
+            blocks.append(self._backward_tail(self._yf[: b_len + t_len], b_len))
+            self._yf = self._yf[b_len:]
+            self._n_out += b_len
+        if not blocks:
+            return self._empty()
+        return blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=0)
+
+    def push(self, chunk: np.ndarray) -> np.ndarray:
+        """Feed raw samples; returns the newly-released denoised blocks."""
+        if self._finished:
+            raise ConfigurationError("denoiser stream is finished")
+        arr = np.asarray(chunk, dtype=np.float64)
+        if arr.ndim != 2:
+            raise DataShapeError(
+                f"chunk must be 2-D (samples, channels), got {arr.shape}"
+            )
+        if self._channels is None:
+            self._channels = int(arr.shape[1])
+        elif arr.shape[1] != self._channels:
+            raise DataShapeError(
+                f"chunk has {arr.shape[1]} channels, stream started with "
+                f"{self._channels}"
+            )
+        self._n_in += arr.shape[0]
+        if arr.shape[0]:
+            # Copies throughout: buffers outlive this call and callers may
+            # reuse their chunk arrays (e.g. a preallocated ring buffer).
+            keep = self._pad + 1
+            if self._raw_tail is None:
+                self._raw_tail = arr[-keep:].copy()
+            else:
+                self._raw_tail = np.concatenate(
+                    [self._raw_tail, arr], axis=0
+                )[-keep:].copy()
+        if self._zf is None:
+            if arr.shape[0]:
+                self._raw_head = (
+                    arr.copy()
+                    if self._raw_head is None
+                    else np.concatenate([self._raw_head, arr], axis=0)
+                )
+            if self._n_in <= self._pad:
+                return self._empty()
+            self._start(self._raw_head)
+            self._raw_head = None
+        elif arr.shape[0]:
+            yf, self._zf = _signal.lfilter(
+                self._b, self._a, arr, axis=0, zi=self._zf
+            )
+            self._yf = np.concatenate([self._yf, yf], axis=0)
+        return self._emit_ready()
+
+    def finish(self) -> np.ndarray:
+        """Flush the held-back tail using the true right odd extension.
+
+        The flush back-filters from the genuine signal end with exactly
+        ``filtfilt``'s terminal state, so every flushed sample is
+        bit-identical to monolithic ``apply``.
+        """
+        if self._finished:
+            raise ConfigurationError("denoiser stream is finished")
+        self._finished = True
+        if self._n_in == 0:
+            return self._empty()
+        if self._zf is None:
+            # apply() returns short signals unchanged; so do we.
+            out, self._raw_head = self._raw_head, None
+            self._n_out = self._n_in
+            return out
+        p = self._pad
+        ext = 2.0 * self._raw_tail[-1] - self._raw_tail[-2::-1]
+        yf_ext, _ = _signal.lfilter(
+            self._b, self._a, ext, axis=0, zi=self._zf
+        )
+        rev = np.concatenate([self._yf, yf_ext], axis=0)[::-1]
+        zi = self._zi_unit[:, None] * rev[0]
+        back, _ = _signal.lfilter(self._b, self._a, rev, axis=0, zi=zi)
+        pending = self._n_in - self._n_out
+        out = np.ascontiguousarray(back[p : p + pending][::-1])
+        self._yf = None
+        self._raw_tail = None
+        self._n_out = self._n_in
+        return out
+
+
 class ChunkLocalDenoiserStream:
-    """Per-chunk fallback for denoisers without a bounded context.
+    """Per-chunk applicator — deprecated, retained for compatibility only.
 
     Applies the denoiser to each chunk in isolation — no carried state, so
     the output near chunk boundaries differs marginally from ``apply`` over
-    the whole signal (the same caveat class as denoising overlapping
-    windows independently).  Used by the chunked pipeline when the
-    configured denoiser has no ``make_stream`` (in practice: the default
-    Butterworth low-pass at overlapping strides); streams built on this
-    fallback are flagged with
-    :attr:`~repro.preprocessing.pipeline.StreamState.chunk_invariant`
-    ``= False`` so callers can detect that verdicts depend marginally on
-    the chunking.
+    the whole signal.  The chunked pipeline no longer builds these: every
+    shipped denoiser now has an exact chunked applicator (bounded-context
+    filters via :class:`LocalDenoiserStream`, the Butterworth low-pass via
+    :class:`ZeroPhaseIIRStream`), and
+    :meth:`~repro.preprocessing.pipeline.PreprocessingPipeline.open_stream`
+    rejects stream-mode denoisers without ``make_stream`` instead of
+    silently degrading to chunk-dependent output.
     """
 
     lookahead = 0
@@ -317,6 +522,12 @@ class ButterworthLowpass:
         if arr.shape[1] <= min_len:
             return arr.copy()
         return _signal.filtfilt(b, a, arr, axis=1)
+
+    def make_stream(self) -> ZeroPhaseIIRStream:
+        """Chunked applicator with zi carry-over; see
+        :class:`ZeroPhaseIIRStream` for the exactness contract."""
+        b, a = self._ba
+        return ZeroPhaseIIRStream(b, a)
 
     def to_dict(self) -> Dict:
         return {

@@ -50,7 +50,18 @@ class ZScoreNormalizer:
     def transform(self, features: np.ndarray) -> np.ndarray:
         if not self.is_fitted:
             raise NotFittedError("ZScoreNormalizer used before fit()")
-        arr = check_2d("features", features, n_cols=self.mean_.shape[0])
+        arr = check_2d(
+            "features", features, n_cols=self.mean_.shape[0], dtype=None
+        )
+        if arr.dtype == np.float32:
+            # The reduced-precision fast path: normalize in 32 bits so
+            # float32 feature blocks stay float32 (the fitted statistics
+            # are cast per call — 2 x n_features values, negligible).
+            return (arr - self.mean_.astype(np.float32)) / self.scale_.astype(
+                np.float32
+            )
+        if arr.dtype != np.float64:
+            arr = np.asarray(arr, dtype=np.float64)
         return (arr - self.mean_) / self.scale_
 
     def fit_transform(self, features: np.ndarray) -> np.ndarray:
@@ -110,8 +121,18 @@ class MinMaxNormalizer:
     def transform(self, features: np.ndarray) -> np.ndarray:
         if not self.is_fitted:
             raise NotFittedError("MinMaxNormalizer used before fit()")
-        arr = check_2d("features", features, n_cols=self.min_.shape[0])
-        out = (arr - self.min_) / self.range_
+        arr = check_2d(
+            "features", features, n_cols=self.min_.shape[0], dtype=None
+        )
+        if arr.dtype == np.float32:
+            # Mirror ZScoreNormalizer: float32 blocks normalize in 32 bits.
+            out = (arr - self.min_.astype(np.float32)) / self.range_.astype(
+                np.float32
+            )
+        else:
+            if arr.dtype != np.float64:
+                arr = np.asarray(arr, dtype=np.float64)
+            out = (arr - self.min_) / self.range_
         if self.clip:
             out = np.clip(out, 0.0, 1.0)
         return out

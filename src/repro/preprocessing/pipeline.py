@@ -30,6 +30,7 @@ The normalizer is fitted exactly once (on the Cloud) via
 from __future__ import annotations
 
 import json
+import warnings
 from typing import Dict, Optional
 
 import numpy as np
@@ -45,7 +46,6 @@ from ..sensors.channels import N_CHANNELS
 from ..sensors.device import Recording
 from .denoise import (
     ButterworthLowpass,
-    ChunkLocalDenoiserStream,
     IdentityFilter,
     denoiser_from_dict,
 )
@@ -95,6 +95,26 @@ def extractor_from_dict(payload: Dict):
     raise SerializationError(f"unknown extractor kind {kind!r}")
 
 
+def resolve_feature_dtype(dtype):
+    """Canonicalize a feature-dtype selector.
+
+    ``None``/``float64`` (the canonical path) map to ``None``; ``float32``
+    (by any spelling: ``np.float32``, ``"float32"``, ``np.dtype``) maps to
+    ``np.float32``.  Anything else raises — the pipeline's reduced
+    precision is a two-point switch, not a general dtype knob.
+    """
+    if dtype is None:
+        return None
+    dt = np.dtype(dtype)
+    if dt == np.float64:
+        return None
+    if dt == np.float32:
+        return np.float32
+    raise ConfigurationError(
+        f"dtype must be float32 or float64, got {dtype!r}"
+    )
+
+
 class StreamState:
     """Carry-over state of one chunked stream through the pipeline.
 
@@ -108,12 +128,19 @@ class StreamState:
     no buffered sample ever re-featurized.
 
     ``chunk_invariant`` records whether the feature stream is independent
-    of how the recording was split into chunks: true for windowed
-    denoising (each window is denoised in isolation) and for denoisers
-    with an exact chunked applicator
-    (:class:`~repro.preprocessing.denoise.LocalDenoiserStream`); false for
-    unbounded-context denoisers (Butterworth), which fall back to
-    per-chunk application with marginal chunk-boundary differences.
+    of how the recording was split into chunks.  It is now always ``True``:
+    windowed denoising denoises each window in isolation, bounded-context
+    denoisers stream through
+    :class:`~repro.preprocessing.denoise.LocalDenoiserStream`, and the
+    Butterworth low-pass streams through
+    :class:`~repro.preprocessing.denoise.ZeroPhaseIIRStream` (zi carry-over
+    forward, block-truncated backward — emitted values are identical for
+    every chunking).  Constructing a state with ``chunk_invariant=False``
+    is deprecated; no shipped code path does so.
+
+    ``dtype`` is ``None`` for the canonical ``float64`` feature stream or
+    ``np.float32`` for the reduced-precision fast path (feature extraction
+    and normalization run in 32 bits; denoising always stays ``float64``).
     """
 
     def __init__(
@@ -123,12 +150,23 @@ class StreamState:
         denoise: str,
         denoiser_stream=None,
         chunk_invariant: bool = True,
+        dtype=None,
     ) -> None:
         self.window_len = int(window_len)
         self.stride = int(stride)
         self.denoise = denoise
         self.denoiser_stream = denoiser_stream
+        if not chunk_invariant:
+            warnings.warn(
+                "chunk_invariant=False is deprecated: every shipped "
+                "denoiser now streams chunk-exactly (Butterworth via "
+                "ZeroPhaseIIRStream), so no pipeline path produces "
+                "chunk-dependent streams",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.chunk_invariant = bool(chunk_invariant)
+        self.dtype = dtype
         self.buffer: Optional[np.ndarray] = None  # raw (windowed) / denoised
         self.n_channels: Optional[int] = None  # locked by the first chunk
         self.samples_in = 0  # raw samples received across all chunks
@@ -317,7 +355,7 @@ class PreprocessingPipeline:
 
     def raw_stream_features(
         self, data: np.ndarray, stride: Optional[int] = None,
-        denoise: str = "auto",
+        denoise: str = "auto", dtype=None,
     ) -> np.ndarray:
         """Continuous ``(n, channels)`` samples -> *unnormalized* features.
 
@@ -337,6 +375,9 @@ class PreprocessingPipeline:
         - ``"auto"`` (default) — ``"windowed"`` when ``stride ==
           window_len`` so the canonical per-window verdicts are reproduced
           exactly, ``"stream"`` otherwise.
+
+        ``dtype=np.float32`` runs feature extraction in 32 bits (denoising
+        always stays ``float64``); the returned matrix is then ``float32``.
         """
         arr = np.asarray(data, dtype=np.float64)
         if arr.ndim != 2:
@@ -352,40 +393,72 @@ class PreprocessingPipeline:
                 f"data must have {expected} channels, got {arr.shape[1]}"
             )
         stride, denoise = self._resolve_stream_args(stride, denoise)
+        dtype = resolve_feature_dtype(dtype)
         streaming = self.streaming_extractor
         if denoise == "windowed":
             windows = sliding_windows(arr, self.window_len, stride, copy=False)
             if windows.shape[0] == 0:
-                return np.empty((0, self.n_features))
+                return np.empty(
+                    (0, self.n_features), dtype=dtype or np.float64
+                )
             denoised = self._denoise_windows(windows)
             if streaming is None:
-                return self.extractor.extract(denoised)
+                return self._cast_features(
+                    self.extractor.extract(denoised), dtype
+                )
             # Non-overlapping windows partition the signal, so the denoised
             # stack folds back into a continuous array for the O(n) pass.
             return streaming.extract(
                 denoised.reshape(-1, arr.shape[1]),
                 self.window_len,
                 stride=stride,
+                dtype=dtype,
             )
         denoised = self.denoiser.apply(arr)
         if streaming is None:
-            return self.extractor.extract(
-                sliding_windows(denoised, self.window_len, stride, copy=False)
+            return self._cast_features(
+                self.extractor.extract(
+                    sliding_windows(
+                        denoised, self.window_len, stride, copy=False
+                    )
+                ),
+                dtype,
             )
-        return streaming.extract(denoised, self.window_len, stride=stride)
+        return streaming.extract(
+            denoised, self.window_len, stride=stride, dtype=dtype
+        )
+
+    @staticmethod
+    def _cast_features(features: np.ndarray, dtype) -> np.ndarray:
+        """Cast a fallback (windowed-extractor) feature block to ``dtype``.
+
+        The batched extractor computes in ``float64``; the reduced-precision
+        stream contract is only about the *emitted* dtype for extractors
+        without a streaming twin.
+        """
+        if dtype is None:
+            return features
+        return np.asarray(features, dtype=dtype)
 
     def process_stream(
         self, data: np.ndarray, stride: Optional[int] = None,
-        denoise: str = "auto",
+        denoise: str = "auto", dtype=None,
     ) -> np.ndarray:
-        """Continuous raw samples -> normalized features, O(n) end to end."""
+        """Continuous raw samples -> normalized features, O(n) end to end.
+
+        ``dtype=np.float32`` selects the reduced-precision fast path:
+        features extract and normalize in 32 bits (see
+        :meth:`raw_stream_features`).
+        """
         if not self.is_fitted:
             raise NotFittedError(
                 "pipeline normalizer is not fitted; call fit_normalizer() "
                 "on the Cloud before processing"
             )
         return self.normalizer.transform(
-            self.raw_stream_features(data, stride=stride, denoise=denoise)
+            self.raw_stream_features(
+                data, stride=stride, denoise=denoise, dtype=dtype
+            )
         )
 
     # ------------------------------------------------------------------ #
@@ -393,39 +466,43 @@ class PreprocessingPipeline:
     # ------------------------------------------------------------------ #
 
     def open_stream(
-        self, stride: Optional[int] = None, denoise: str = "auto"
+        self, stride: Optional[int] = None, denoise: str = "auto",
+        dtype=None,
     ) -> StreamState:
         """Open a chunked stream: per-session state for :meth:`process_chunk`.
 
         ``stride``/``denoise`` follow :meth:`raw_stream_features` — with
         ``"auto"`` the non-overlapping stride denoises per window (exact
         :meth:`process_windows` semantics at any chunking) and overlapping
-        strides denoise the continuous signal.  Continuous denoising is
-        chunk-exact when the denoiser has a bounded context
-        (``make_stream``); unbounded-context denoisers (Butterworth) are
-        applied per chunk, with the marginal chunk-boundary differences
-        recorded on ``StreamState.chunk_invariant``.
+        strides denoise the continuous signal through the denoiser's
+        chunk-exact applicator (``make_stream``; every shipped denoiser
+        has one — the Butterworth low-pass streams via
+        :class:`~repro.preprocessing.denoise.ZeroPhaseIIRStream`'s zi
+        carry-over).  Streams are always chunk-invariant; a user denoiser
+        without ``make_stream`` raises here instead of silently degrading
+        to chunk-dependent output.  ``dtype=np.float32`` is remembered on
+        the state: every chunk's features extract and normalize in 32 bits.
         """
         stride, denoise = self._resolve_stream_args(stride, denoise)
+        dtype = resolve_feature_dtype(dtype)
         if denoise == "windowed":
-            return StreamState(
-                self.window_len, stride, denoise, chunk_invariant=True
-            )
+            return StreamState(self.window_len, stride, denoise, dtype=dtype)
         make_stream = getattr(self.denoiser, "make_stream", None)
-        if make_stream is not None:
-            return StreamState(
-                self.window_len,
-                stride,
-                denoise,
-                denoiser_stream=make_stream(),
-                chunk_invariant=True,
+        if make_stream is None:
+            raise ConfigurationError(
+                f"denoiser {type(self.denoiser).__name__} has no "
+                f"make_stream(): stream-mode chunked processing requires a "
+                f"chunk-exact denoiser stream (every built-in denoiser "
+                f"provides one).  Use the non-overlapping stride for "
+                f"windowed denoising, or implement make_stream() on the "
+                f"denoiser"
             )
         return StreamState(
             self.window_len,
             stride,
             denoise,
-            denoiser_stream=ChunkLocalDenoiserStream(self.denoiser),
-            chunk_invariant=False,
+            denoiser_stream=make_stream(),
+            dtype=dtype,
         )
 
     def _check_chunk(self, state: StreamState, chunk: np.ndarray) -> np.ndarray:
@@ -453,14 +530,21 @@ class PreprocessingPipeline:
             )
         return arr
 
-    def _extract_span(self, span: np.ndarray, stride: int) -> np.ndarray:
+    def _extract_span(
+        self, span: np.ndarray, stride: int, dtype=None
+    ) -> np.ndarray:
         """Unnormalized features of every window of a denoised span."""
         streaming = self.streaming_extractor
         if streaming is None:
-            return self.extractor.extract(
-                sliding_windows(span, self.window_len, stride, copy=False)
+            return self._cast_features(
+                self.extractor.extract(
+                    sliding_windows(span, self.window_len, stride, copy=False)
+                ),
+                dtype,
             )
-        return streaming.extract(span, self.window_len, stride=stride)
+        return streaming.extract(
+            span, self.window_len, stride=stride, dtype=dtype
+        )
 
     def _consume_denoised(
         self, state: StreamState, emitted: np.ndarray
@@ -482,8 +566,10 @@ class PreprocessingPipeline:
             # < window_len samples; copy so the carried tail never aliases
             # a caller array that may be reused for the next tick.
             state.buffer = buffer.copy()
-            return np.empty((0, self.n_features))
-        features = self._extract_span(buffer[: (k - 1) * s + w], s)
+            return np.empty((0, self.n_features), dtype=state.dtype or np.float64)
+        features = self._extract_span(
+            buffer[: (k - 1) * s + w], s, dtype=state.dtype
+        )
         # Keep everything from the next window's start on; with
         # stride > window_len that start may lie beyond the received
         # samples, in which case the gap is skipped off future chunks.
@@ -514,7 +600,9 @@ class PreprocessingPipeline:
                 # < window_len samples; copy so the carried tail never
                 # aliases a caller array that may be reused next tick.
                 state.buffer = buffer.copy()
-                return np.empty((0, self.n_features))
+                return np.empty(
+                    (0, self.n_features), dtype=state.dtype or np.float64
+                )
             consumed = buffer[: k * w]
             state.buffer = buffer[k * w :].copy()
             state.windows_out += k
@@ -522,9 +610,12 @@ class PreprocessingPipeline:
             denoised = self._denoise_windows(windows)
             streaming = self.streaming_extractor
             if streaming is None:
-                return self.extractor.extract(denoised)
+                return self._cast_features(
+                    self.extractor.extract(denoised), state.dtype
+                )
             return streaming.extract(
-                denoised.reshape(-1, consumed.shape[1]), w, stride=w
+                denoised.reshape(-1, consumed.shape[1]), w, stride=w,
+                dtype=state.dtype,
             )
         emitted = state.denoiser_stream.push(arr)
         features = self._consume_denoised(state, emitted)

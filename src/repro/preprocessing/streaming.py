@@ -42,6 +42,28 @@ from .features import DERIVED_SIGNALS, STATISTICS, FeatureConfig
 from .segmentation import window_count
 
 
+def _monotone_keys(values: np.ndarray) -> np.ndarray:
+    """Bit-monotone ``uint32`` keys of a float32 array (exact order map).
+
+    IEEE-754 floats compare like their sign-magnitude bit patterns:
+    flipping the sign bit of non-negatives and complementing negatives
+    yields unsigned keys whose integer order equals the float order.
+    Integer introselect skips the NaN-aware float comparisons, which makes
+    ``np.partition`` on the keys ~1.5x faster — the float32 fast path's
+    order-statistics trick (finite inputs assumed; see docs/precision.md).
+    """
+    u = values.view(np.uint32)
+    return np.where(u >> 31 == 0, u ^ np.uint32(0x80000000), ~u)
+
+
+def _keys_to_float32(keys: np.ndarray) -> np.ndarray:
+    """Invert :func:`_monotone_keys` (bit-exact)."""
+    u = np.where(
+        keys >> 31 == 1, keys ^ np.uint32(0x80000000), ~keys
+    )
+    return u.view(np.float32)
+
+
 def _pooled_extrema(
     series: np.ndarray, window_len: int, starts: np.ndarray, op
 ) -> np.ndarray:
@@ -60,19 +82,20 @@ def _pooled_extrema(
     return op(table[starts], table[starts + window_len - span])
 
 
-def _lerp_quantile(part: np.ndarray, window_len: int, q: float) -> np.ndarray:
-    """``np.percentile(..., method="linear")`` from a partitioned ``(k, w)``.
+def _lerp_quantile(ctx: "_SignalWindows", q: float) -> np.ndarray:
+    """``np.percentile(..., method="linear")`` from the shared partition.
 
     Replicates numpy's virtual-index arithmetic and its ``_lerp`` (including
     the ``t >= 0.5`` rewrite) so the result is bit-identical to
     ``np.percentile`` on the same windows.
     """
+    window_len = ctx.window_len
     virtual = q * (window_len - 1)
     lo = int(np.floor(virtual))
     hi = min(lo + 1, window_len - 1)
     t = virtual - lo
-    a = part[:, lo]
-    b = part[:, hi]
+    a = ctx.part_col(lo)
+    b = ctx.part_col(hi)
     diff = b - a
     if t >= 0.5:
         return b - diff * (1.0 - t)
@@ -101,6 +124,7 @@ class _SignalWindows:
         self._variances: Optional[np.ndarray] = None
         self._view: Optional[np.ndarray] = None
         self._partitioned: Optional[np.ndarray] = None
+        self._part_cols: Dict[int, np.ndarray] = {}
         self._medians: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
@@ -108,7 +132,11 @@ class _SignalWindows:
     # ------------------------------------------------------------------ #
 
     def _windowed_sum(self, values: np.ndarray) -> np.ndarray:
-        csum = np.empty(values.shape[0] + 1)
+        # Follows the series dtype: the float32 fast path accumulates its
+        # prefix sums in 32 bits (the global mean shift keeps the running
+        # values at the scale of the signal's variation, so float32's ~7
+        # digits comfortably hold the documented verdict-flip budget).
+        csum = np.empty(values.shape[0] + 1, dtype=values.dtype)
         csum[0] = 0.0
         np.cumsum(values, out=csum[1:])
         return csum[self.starts + self.window_len] - csum[self.starts]
@@ -167,31 +195,107 @@ class _SignalWindows:
             )[:: self.stride]
         return self._view
 
+    def _quartile_ranks(self) -> set:
+        """The order-statistic ranks median/iqr read (lerp lo/hi pairs)."""
+        w = self.window_len
+        ranks = set()
+        for q in (0.25, 0.5, 0.75):
+            lo = int(np.floor(q * (w - 1)))
+            ranks.add(lo)
+            ranks.add(min(lo + 1, w - 1))
+        return ranks
+
     @property
     def partitioned(self) -> np.ndarray:
         """One shared ``np.partition`` at every quartile/median index."""
         if self._partitioned is None:
-            w = self.window_len
-            kth = set()
-            for q in (0.25, 0.5, 0.75):
-                lo = int(np.floor(q * (w - 1)))
-                kth.add(lo)
-                kth.add(min(lo + 1, w - 1))
-            self._partitioned = np.partition(self.view, sorted(kth), axis=1)
+            self._partitioned = np.partition(
+                self.view, sorted(self._quartile_ranks()), axis=1
+            )
         return self._partitioned
+
+    def _fast_order_stats(self) -> None:
+        """Populate :attr:`_part_cols` for float32 via keyed introselect.
+
+        Two tricks over the canonical multi-kth ``np.partition``, exact by
+        construction (see docs/precision.md):
+
+        - partition bit-monotone ``uint32`` keys of the series instead of
+          floats (order-preserving bijection, integer comparisons);
+        - select each quantile's ``hi`` rank with a *scalar* in-place
+          ``ndarray.partition`` on the not-yet-placed suffix — numpy's
+          multi-kth path re-walks segments per kth and is ~5x slower —
+          then recover ``lo = hi - 1`` as the max of the segment below
+          ``hi``, which holds exactly the ranks in ``(prev_kth, hi)``.
+        """
+        keys = _monotone_keys(self.series)
+        # .copy() (not ascontiguousarray): the strided window view is
+        # read-only and the scalar selections below run in place.
+        buf = np.lib.stride_tricks.sliding_window_view(
+            keys, self.window_len
+        )[:: self.stride].copy()
+        ranks = sorted(self._quartile_ranks())
+        kths: List[int] = []
+        derived = {}  # rank -> (segment start, kth above it)
+        prev = -1
+        i = 0
+        while i < len(ranks):
+            r = ranks[i]
+            if i + 1 < len(ranks) and ranks[i + 1] == r + 1:
+                kths.append(r + 1)
+                derived[r] = (prev + 1, r + 1)
+                prev = r + 1
+                i += 2
+            else:
+                kths.append(r)
+                prev = r
+                i += 1
+        off = 0
+        for kth in kths:
+            buf[:, off:].partition(kth - off, axis=1)
+            off = kth + 1
+        for kth in kths:
+            self._part_cols[kth] = _keys_to_float32(buf[:, kth])
+        for r, (start, kth) in derived.items():
+            self._part_cols[r] = _keys_to_float32(
+                buf[:, start:kth].max(axis=1)
+            )
+
+    def part_col(self, i: int) -> np.ndarray:
+        """Float-valued order statistic (rank ``i``) of every window."""
+        col = self._part_cols.get(i)
+        if col is not None:
+            return col
+        if self.series.dtype == np.float32:
+            self._fast_order_stats()
+            col = self._part_cols.get(i)
+            if col is None:
+                # A rank outside the standard quartile set (custom stats):
+                # one-off scalar selection on a fresh key buffer.
+                keys = _monotone_keys(self.series)
+                buf = np.lib.stride_tricks.sliding_window_view(
+                    keys, self.window_len
+                )[:: self.stride].copy()
+                buf.partition(i, axis=1)
+                col = _keys_to_float32(buf[:, i])
+                self._part_cols[i] = col
+        else:
+            col = self.partitioned[:, i]
+            self._part_cols[i] = col
+        return col
 
     @property
     def medians(self) -> np.ndarray:
         if self._medians is None:
             w = self.window_len
             if w % 2:
-                self._medians = self.partitioned[:, (w - 1) // 2].copy()
+                self._medians = self.part_col((w - 1) // 2).copy()
             else:
-                # np.mean over the two middle order statistics, exactly as
-                # np.median computes the even case.
-                self._medians = np.mean(
-                    self.partitioned[:, [w // 2 - 1, w // 2]], axis=1
-                )
+                # (a + b) / 2 over the two middle order statistics — the
+                # same exact halving np.median performs for the even case.
+                self._medians = (
+                    self.part_col(w // 2 - 1) + self.part_col(w // 2)
+                ) / 2.0
         return self._medians
 
 
@@ -221,12 +325,30 @@ def _stream_median(ctx: _SignalWindows) -> np.ndarray:
 
 
 def _stream_iqr(ctx: _SignalWindows) -> np.ndarray:
-    part = ctx.partitioned
-    w = ctx.window_len
-    return _lerp_quantile(part, w, 0.75) - _lerp_quantile(part, w, 0.25)
+    return _lerp_quantile(ctx, 0.75) - _lerp_quantile(ctx, 0.25)
 
 
 def _stream_mad(ctx: _SignalWindows) -> np.ndarray:
+    if ctx.series.dtype == np.float32:
+        # Non-negative float32 values already compare like their raw bit
+        # patterns, so the median selection runs straight over the uint32
+        # view of the (owned, contiguous) deviations buffer: scalar
+        # in-place introselect at the upper middle rank, lower middle as
+        # the max of the segment below it.  Exact vs np.median — same
+        # order statistics, same (a + b) / 2 halving.
+        w = ctx.window_len
+        dev = ctx.view - ctx.medians[:, None]
+        np.abs(dev, out=dev)
+        keys = dev.view(np.uint32)
+        if w % 2:
+            mid = (w - 1) // 2
+            keys.partition(mid, axis=1)
+            return dev[:, mid].copy()
+        hi = w // 2
+        keys.partition(hi, axis=1)
+        # raw bits, not mapped keys: a plain view restores the floats
+        lo_vals = keys[:, :hi].max(axis=1).view(np.float32)
+        return (lo_vals + dev[:, hi]) / 2.0
     deviations = np.abs(ctx.view - ctx.medians[:, None])
     return np.median(deviations, axis=1)
 
@@ -238,13 +360,17 @@ def _stream_zcr(ctx: _SignalWindows) -> np.ndarray:
 def _stream_slope(ctx: _SignalWindows) -> np.ndarray:
     w = ctx.window_len
     if w < 2:
-        return np.zeros(ctx.starts.shape[0])
+        return np.zeros(ctx.starts.shape[0], dtype=ctx.series.dtype)
     t_mean = (w - 1) / 2.0
     t_centered = np.arange(w, dtype=np.float64) - t_mean
     denom = float((t_centered * t_centered).sum())
     shifted = ctx.series - ctx.shift
+    # The index-weighted sum stays float64 even on the float32 fast path:
+    # its running values grow with the absolute sample index, so a 32-bit
+    # prefix sum would cancel catastrophically on long recordings.
     weighted = ctx._windowed_sum(
-        shifted * np.arange(ctx.series.shape[0], dtype=np.float64)
+        shifted.astype(np.float64, copy=False)
+        * np.arange(ctx.series.shape[0], dtype=np.float64)
     )
     # sum_i s[a+i] * (i - t_mean)  ==  sum_j s[j]*j over the window minus
     # (a + t_mean) * windowed sum; the global shift drops out because the
@@ -314,15 +440,28 @@ class StreamingFeatureExtractor:
         return np.ascontiguousarray(data[:, CHANNEL_INDEX[signal]])
 
     def extract(
-        self, data: np.ndarray, window_len: int, stride: int = None
+        self, data: np.ndarray, window_len: int, stride: int = None,
+        dtype=None,
     ) -> np.ndarray:
         """Features of every complete window of ``data``.
 
         ``stride`` defaults to ``window_len`` (non-overlapping); the tail
         shorter than a full window is dropped, exactly like
         :func:`~repro.preprocessing.segmentation.sliding_windows`.
+
+        ``dtype`` selects the compute (and output) dtype: ``None`` keeps
+        the canonical ``float64`` math, ``np.float32`` runs the per-signal
+        series, prefix sums, pooled extrema and the shared partition in 32
+        bits — halving the memory traffic of the order-statistics pass —
+        except the index-weighted slope sum, which stays ``float64`` (see
+        ``docs/precision.md`` for the stage-by-stage dtype flow).
         """
-        arr = np.asarray(data, dtype=np.float64)
+        target = np.float64 if dtype is None else np.dtype(dtype)
+        if target not in (np.float32, np.float64):
+            raise ConfigurationError(
+                f"dtype must be float32 or float64, got {dtype!r}"
+            )
+        arr = np.asarray(data, dtype=target)
         if arr.ndim != 2:
             raise DataShapeError(
                 f"data must be 2-D (n, channels), got {arr.shape}"
@@ -342,10 +481,10 @@ class StreamingFeatureExtractor:
 
         n_windows = window_count(arr.shape[0], window_len, stride)
         if n_windows == 0:
-            return np.empty((0, self.n_features))
+            return np.empty((0, self.n_features), dtype=target)
         starts = np.arange(n_windows) * stride
 
-        out = np.empty((n_windows, self.n_features))
+        out = np.empty((n_windows, self.n_features), dtype=target)
         col = 0
         for sig in self.config.signals:
             ctx = _SignalWindows(

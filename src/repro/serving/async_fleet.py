@@ -115,8 +115,14 @@ def _worker_call(key, fn, args):
     return fn(engine, *args)
 
 
-def _call_engine_method(engine: InferenceEngine, method: str, array):
-    """The default pool task: one batched engine entry-point call."""
+def _call_engine_method(engine: InferenceEngine, method: str, array, dtype=None):
+    """The default pool task: one batched engine entry-point call.
+
+    ``dtype`` is forwarded only when set, so entry points without a
+    ``dtype`` parameter (``infer_windows``) stay callable.
+    """
+    if dtype is not None:
+        return getattr(engine, method)(array, dtype=dtype)
     return getattr(engine, method)(array)
 
 
@@ -243,16 +249,24 @@ class EngineWorkerPool:
         return executor.submit(_worker_call, handle.key, fn, args)
 
     def submit(
-        self, handle: EngineHandle, method: str, array: np.ndarray
+        self,
+        handle: EngineHandle,
+        method: str,
+        array: np.ndarray,
+        dtype=None,
     ) -> "Future":
         """Fan one batched engine entry-point call out to the pool.
 
         ``method`` names an :class:`~repro.core.engine.InferenceEngine`
         entry point taking a single array (``infer_features``,
         ``infer_windows``, ...); returns a future of its
-        :class:`~repro.core.engine.BatchInference`.
+        :class:`~repro.core.engine.BatchInference`.  ``dtype`` (when set)
+        is forwarded as the entry point's compute dtype — the float32
+        fast path of ``infer_features``.
         """
-        return self.submit_call(handle, _call_engine_method, method, array)
+        return self.submit_call(
+            handle, _call_engine_method, method, array, dtype
+        )
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -655,6 +669,7 @@ class AsyncFleetServer(FleetServer):
                             handles[id(members[0].engine)],
                             "infer_features",
                             blocks[0],
+                            members[0].dtype,
                         )
                     else:
                         future = self._pool.submit_call(
@@ -705,7 +720,9 @@ class AsyncFleetServer(FleetServer):
                 self.serve_ms += timer.elapsed_ms
                 return []
             batch: BatchInference = await asyncio.wrap_future(
-                self._pool.submit(handle, "infer_features", features)
+                self._pool.submit(
+                    handle, "infer_features", features, stream.dtype
+                )
             )
             verdicts = [
                 session.observe(

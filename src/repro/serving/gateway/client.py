@@ -93,14 +93,22 @@ class GatewayClient:
         session_id: str,
         cohort: Optional[str] = None,
         stride: Optional[int] = None,
+        dtype: Optional[str] = None,
     ) -> Dict:
-        """Open the TCP connection and the device session; returns WELCOME meta."""
+        """Open the TCP connection and the device session; returns WELCOME meta.
+
+        ``dtype="float32"`` asks the server to serve this session on the
+        reduced-precision fast path (``"float64"``/``None`` is the
+        canonical math; anything else is rejected with a fatal error).
+        """
         if self._writer is not None:
             raise ConfigurationError("client is already connected")
         self._reader, self._writer = await asyncio.open_connection(
             self._host, self._port
         )
-        await self._write(hello_frame(session_id, cohort=cohort, stride=stride))
+        await self._write(
+            hello_frame(session_id, cohort=cohort, stride=stride, dtype=dtype)
+        )
         frame = await self._read_frame()
         if frame.type == FrameType.ERROR:
             raise exception_for(frame.meta.get("code"), frame.meta.get("message"))

@@ -95,7 +95,7 @@ ALLOWED_DTYPES = ("<f8", "<f4")
 class FrameType(enum.IntEnum):
     """Every frame the protocol speaks, client->server and back."""
 
-    HELLO = 1  # c->s: open a session (session_id, cohort, stride)
+    HELLO = 1  # c->s: open a session (session_id, cohort, stride, dtype)
     WELCOME = 2  # s->c: session accepted (cohort, window_len, classes)
     CHUNK = 3  # c->s: one tick of raw samples (payload = (n, ch) array)
     VERDICT = 4  # s->c: the windows a chunk/finish completed
@@ -128,12 +128,17 @@ def hello_frame(
     session_id: str,
     cohort: Optional[str] = None,
     stride: Optional[int] = None,
+    dtype: Optional[str] = None,
 ) -> Frame:
     meta: Dict = {"session_id": str(session_id)}
     if cohort is not None:
         meta["cohort"] = str(cohort)
     if stride is not None:
         meta["stride"] = int(stride)
+    if dtype is not None:
+        # Session compute dtype ("float64"/"float32"); the server rejects
+        # anything else with a fatal PROTOCOL error.
+        meta["dtype"] = str(dtype)
     return Frame(FrameType.HELLO, meta)
 
 

@@ -354,8 +354,23 @@ class GatewayServer:
             return False
         cohort = frame.meta.get("cohort")
         stride = frame.meta.get("stride")
+        dtype = frame.meta.get("dtype")
+        if dtype is not None and dtype not in ("float64", "float32"):
+            await self._send(
+                writer,
+                state,
+                error_frame(
+                    "PROTOCOL",
+                    f"HELLO dtype must be 'float64' or 'float32', "
+                    f"got {dtype!r}",
+                    fatal=True,
+                ),
+            )
+            return False
         try:
-            session = self._fleet.connect(session_id, cohort=cohort)
+            session = self._fleet.connect(
+                session_id, cohort=cohort, dtype=dtype
+            )
             engine = self._fleet.registry.engine_for(session.cohort)
         except MagnetoError as exc:
             await self._send(

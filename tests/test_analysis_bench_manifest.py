@@ -49,6 +49,12 @@ def build_repo(tmp_path):
     (bench / "bench_orphan.py").write_text("def main():\n    return 0\n")
     (tmp_path / "BENCH_alpha.json").write_text("{}")
     (tmp_path / "BENCH_stale.json").write_text("{}")
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "executed.md").write_text(
+        "# Executed\n\n```python\nassert True\n```\n"
+    )
+    (docs / "prose_only.md").write_text("# Prose\n\nNo examples here.\n")
     return tmp_path
 
 
@@ -86,7 +92,19 @@ class TestBenchManifestChecker:
         assert {(v.rule, v.path) for v in warnings} == {
             ("bench-ungated", "benchmarks/bench_orphan.py"),
             ("bench-ungated", "BENCH_stale.json"),
+            ("docs-uncovered", "docs/prose_only.md"),
         }
+
+    def test_fence_free_docs_page_warns(self, tmp_path):
+        violations = check(build_repo(tmp_path))
+        uncovered = [v for v in violations if v.rule == "docs-uncovered"]
+        assert [v.path for v in uncovered] == ["docs/prose_only.md"]
+        assert all(v.severity == "warning" for v in uncovered)
+        assert "run_doc_examples" in uncovered[0].message
+
+    def test_docs_page_with_fence_is_silent(self, tmp_path):
+        violations = check(build_repo(tmp_path))
+        assert not any("executed.md" in v.path for v in violations)
 
     def test_healthy_gate_is_silent(self, tmp_path):
         violations = check(build_repo(tmp_path))

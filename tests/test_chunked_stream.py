@@ -112,9 +112,44 @@ class TestDenoiserStreams:
             assert got.shape == ref.shape
             assert np.array_equal(got, ref), sizes[:5]
 
-    def test_butterworth_has_no_exact_stream(self):
-        # filtfilt's backward pass depends on unbounded future samples.
-        assert not hasattr(ButterworthLowpass(), "make_stream")
+    def test_butterworth_stream_matches_filtfilt(self, rng):
+        """The zero-phase IIR stream reproduces filtfilt bit-for-bit.
+
+        The backward pass is truncated to a bounded lookahead; the
+        truncation error (``rho**T``) sits below one float64 ulp of the
+        signal, so emitted blocks equal the monolithic ``apply()``.
+        """
+        denoiser = ButterworthLowpass()
+        stream = denoiser.make_stream()
+        assert stream.error_bound < 1e-15
+        assert stream.lookahead == stream.block + stream.truncation
+        for n in (3, 15, 16, 100, 500, 2000):
+            data = rng.normal(size=(n, 2))
+            ref = denoiser.apply(data)
+            s = denoiser.make_stream()
+            got = np.concatenate([s.push(data), s.finish()], axis=0)
+            assert got.shape == ref.shape
+            np.testing.assert_allclose(got, ref, rtol=0.0, atol=1e-12)
+
+    def test_butterworth_stream_is_chunking_invariant(self, rng):
+        """Every chunking of the signal yields bit-identical output."""
+        denoiser = ButterworthLowpass()
+        data = rng.normal(size=(400, 3))
+        ref_stream = denoiser.make_stream()
+        ref = np.concatenate(
+            [ref_stream.push(data), ref_stream.finish()], axis=0
+        )
+        for sizes in ([1] * 400, _splits(400, rng, hi=37)):
+            stream = denoiser.make_stream()
+            parts = []
+            pos = 0
+            for size in sizes:
+                parts.append(stream.push(data[pos : pos + size]))
+                pos += size
+            parts.append(stream.finish())
+            got = np.concatenate(parts, axis=0)
+            assert got.shape == ref.shape
+            assert np.array_equal(got, ref), sizes[:5]
 
     def test_stream_rejects_use_after_finish(self, rng):
         stream = MovingAverageFilter(5).make_stream()
@@ -227,14 +262,15 @@ class TestPipelineChunking:
         assert got.shape == ref.shape
         np.testing.assert_allclose(got, ref, **PARITY)
 
-    def test_butterworth_overlap_falls_back_per_chunk(self, edge, recording):
-        """Unbounded-context denoiser: same windows, marginal value drift."""
+    def test_butterworth_overlap_is_chunk_exact(self, edge, recording, rng):
+        """Zero-phase IIR streaming: overlapping strides are chunk-exact."""
         pipeline = edge.pipeline
-        state = pipeline.open_stream(stride=30)
-        assert not state.chunk_invariant
         ref = pipeline.process_stream(recording.data, stride=30)
-        got, _ = self._feed(pipeline, recording.data, [240] * 3, stride=30)
-        assert got.shape == ref.shape  # no window lost, values chunk-local
+        for sizes in ([240] * 3, _splits(recording.data.shape[0], rng)):
+            got, state = self._feed(pipeline, recording.data, sizes, stride=30)
+            assert state.chunk_invariant
+            assert got.shape == ref.shape
+            np.testing.assert_allclose(got, ref, **PARITY)
 
     def test_chunk_path_safe_against_reused_caller_buffers(self, edge):
         """Carried tails never alias the caller's (reusable) tick array."""

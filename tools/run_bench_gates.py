@@ -111,6 +111,13 @@ GATES: List[BenchGate] = [
         smoke_budget=120,
         claim="paper-size Edge package < 5 MB (support set <= 0.5 MB)",
     ),
+    BenchGate(
+        name="precision",
+        file="bench_precision.py",
+        smoke_budget=120,
+        claim="float32 stream >= 1.5x float64, flip rate <= 1e-3, "
+              "chunked Butterworth == monolithic to 1e-9",
+    ),
 ]
 
 
